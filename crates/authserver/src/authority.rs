@@ -1,0 +1,659 @@
+//! An authoritative nameserver: a set of zones plus the RFC 1034 §4.3.2
+//! answer algorithm, including DNSSEC additions (RFC 4035 §3.1).
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use dsec_wire::{Flags, Message, Name, RData, Rcode, Record, RrType, Zone};
+
+/// One DNS operator's authoritative service.
+///
+/// Thread-safe: the ecosystem mutates zones (daily re-signing, customer
+/// changes) while the scanner queries concurrently.
+#[derive(Debug, Default)]
+pub struct Authority {
+    zones: RwLock<BTreeMap<Name, Zone>>,
+}
+
+impl Authority {
+    /// An authority serving no zones.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs or replaces the zone with the same origin.
+    pub fn upsert_zone(&self, zone: Zone) {
+        self.zones
+            .write()
+            .insert(zone.origin().to_canonical(), zone);
+    }
+
+    /// Removes the zone rooted at `origin`; returns whether it existed.
+    pub fn remove_zone(&self, origin: &Name) -> bool {
+        self.zones.write().remove(&origin.to_canonical()).is_some()
+    }
+
+    /// Runs `f` over the zone rooted at `origin`, if served.
+    pub fn with_zone<R>(&self, origin: &Name, f: impl FnOnce(&Zone) -> R) -> Option<R> {
+        self.zones.read().get(&origin.to_canonical()).map(f)
+    }
+
+    /// Runs `f` mutably over the zone rooted at `origin`, if served.
+    pub fn with_zone_mut<R>(&self, origin: &Name, f: impl FnOnce(&mut Zone) -> R) -> Option<R> {
+        self.zones.write().get_mut(&origin.to_canonical()).map(f)
+    }
+
+    /// Origins of all served zones.
+    pub fn zone_origins(&self) -> Vec<Name> {
+        self.zones.read().keys().cloned().collect()
+    }
+
+    /// Answers one query message.
+    pub fn handle_query(&self, query: &Message) -> Message {
+        let mut response = query.response_to();
+        let Some(question) = query.questions.first() else {
+            response.rcode = Rcode::FormErr;
+            return response;
+        };
+        let qname = question.name.to_canonical();
+        let qtype = question.qtype;
+        let dnssec_ok = query.dnssec_ok();
+
+        let zones = self.zones.read();
+        // Longest-match zone for the qname: walk the ancestor chain so the
+        // lookup stays O(labels · log zones) even when one operator serves
+        // tens of thousands of customer zones.
+        let mut zone = None;
+        let mut candidate = Some(qname.clone());
+        while let Some(c) = candidate {
+            if let Some(z) = zones.get(&c) {
+                zone = Some(z);
+                break;
+            }
+            candidate = c.parent();
+        }
+        let Some(zone) = zone else {
+            response.rcode = Rcode::Refused;
+            return response;
+        };
+
+        response.flags = Flags {
+            response: true,
+            authoritative: true,
+            recursion_desired: query.flags.recursion_desired,
+            checking_disabled: query.flags.checking_disabled,
+            ..Flags::default()
+        };
+
+        // Delegation? (A DS query for the cut itself is answered by this
+        // zone — the parent owns the DS RRset.)
+        if let Some((cut, ns_set)) = zone.find_delegation(&qname) {
+            let ds_query_at_cut = qtype == RrType::Ds && qname == cut;
+            if !ds_query_at_cut {
+                response.flags.authoritative = false;
+                for record in ns_set.records() {
+                    response.authorities.push(record.clone());
+                }
+                if dnssec_ok {
+                    // DS (or its absence) travels with the referral.
+                    if let Some(ds) = zone.rrset(&cut, RrType::Ds) {
+                        response.authorities.extend(ds.records().iter().cloned());
+                    }
+                    append_rrsigs(zone, &cut, &[RrType::Ds], &mut response.authorities);
+                    // NSEC proves DS absence for unsigned children.
+                    if zone.rrset(&cut, RrType::Ds).is_none() {
+                        if let Some(nsec) = zone.rrset(&cut, RrType::Nsec) {
+                            response.authorities.extend(nsec.records().iter().cloned());
+                            append_rrsigs(zone, &cut, &[RrType::Nsec], &mut response.authorities);
+                        }
+                    }
+                }
+                // Glue.
+                for record in ns_set.records() {
+                    if let RData::Ns(host) = &record.rdata {
+                        if host.is_subdomain_of(&cut) {
+                            if let Some(glue) = zone.rrset(host, RrType::A) {
+                                response.additionals.extend(glue.records().iter().cloned());
+                            }
+                        }
+                    }
+                }
+                return response;
+            }
+        }
+
+        // Exact-match answer.
+        if let Some(rrset) = zone.rrset(&qname, qtype) {
+            response.answers.extend(rrset.records().iter().cloned());
+            if dnssec_ok {
+                append_rrsigs(zone, &qname, &[qtype], &mut response.answers);
+            }
+            return response;
+        }
+
+        // CNAME at the name?
+        if let Some(cname) = zone.rrset(&qname, RrType::Cname) {
+            response.answers.extend(cname.records().iter().cloned());
+            if dnssec_ok {
+                append_rrsigs(zone, &qname, &[RrType::Cname], &mut response.answers);
+            }
+            return response;
+        }
+
+        // Negative answer: NODATA (name exists) or NXDOMAIN.
+        let exists = zone.name_exists(&qname) || qname == *zone.origin();
+        if !exists {
+            response.rcode = Rcode::NxDomain;
+        }
+        if let Some(soa) = zone.rrset(zone.origin(), RrType::Soa) {
+            response.authorities.extend(soa.records().iter().cloned());
+            if dnssec_ok {
+                append_rrsigs(zone, zone.origin(), &[RrType::Soa], &mut response.authorities);
+            }
+        }
+        if dnssec_ok {
+            // NSEC3 zones: attach the NSEC3 matching (NODATA) or covering
+            // (NXDOMAIN) the qname's hash. NSEC zones: the plain denial.
+            if let Some(owner) = nsec3_denial_owner(zone, &qname) {
+                if let Some(nsec3) = zone.rrset(&owner, RrType::Nsec3) {
+                    response.authorities.extend(nsec3.records().iter().cloned());
+                    append_rrsigs(zone, &owner, &[RrType::Nsec3], &mut response.authorities);
+                }
+            } else {
+                let nsec_owner = if exists {
+                    Some(qname.clone())
+                } else {
+                    covering_nsec_owner(zone, &qname)
+                };
+                if let Some(owner) = nsec_owner {
+                    if let Some(nsec) = zone.rrset(&owner, RrType::Nsec) {
+                        response.authorities.extend(nsec.records().iter().cloned());
+                        append_rrsigs(zone, &owner, &[RrType::Nsec], &mut response.authorities);
+                    }
+                }
+            }
+        }
+        response
+    }
+
+    /// Answers one raw datagram; malformed input yields a FORMERR reply
+    /// when at least the ID is readable, otherwise no reply (`None`).
+    ///
+    /// Replies larger than the querier's advertised EDNS payload size
+    /// (512 bytes without EDNS, per RFC 1035) are truncated: the TC bit is
+    /// set and the answer sections are emptied, telling the client to
+    /// retry over TCP ([`Authority::handle_tcp_request`]).
+    pub fn handle_datagram(&self, datagram: &[u8]) -> Option<Vec<u8>> {
+        match Message::from_wire(datagram) {
+            Ok(query) => {
+                let limit = query
+                    .edns
+                    .map(|e| e.udp_payload_size as usize)
+                    .unwrap_or(512)
+                    .max(512);
+                let response = self.handle_query(&query);
+                let wire = response.to_wire();
+                if wire.len() <= limit {
+                    return Some(wire);
+                }
+                // RFC 2181 §9: set TC and drop the sections that did not
+                // fit (dropping all of them is the conservative choice).
+                let mut truncated = response;
+                truncated.flags.truncated = true;
+                truncated.answers.clear();
+                truncated.authorities.clear();
+                truncated.additionals.clear();
+                Some(truncated.to_wire())
+            }
+            Err(_) if datagram.len() >= 2 => {
+                let id = u16::from_be_bytes([datagram[0], datagram[1]]);
+                let mut resp = Message::query(id, Name::root(), RrType::A, false);
+                resp.questions.clear();
+                resp.flags.response = true;
+                resp.rcode = Rcode::FormErr;
+                Some(resp.to_wire())
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Answers one RFC 1035 §4.2.2 TCP-framed request (two-byte big-endian
+    /// length prefix + message) with a framed response. TCP carries no
+    /// size limit, so nothing is ever truncated here.
+    pub fn handle_tcp_request(&self, framed: &[u8]) -> Option<Vec<u8>> {
+        if framed.len() < 2 {
+            return None;
+        }
+        let declared = u16::from_be_bytes([framed[0], framed[1]]) as usize;
+        if framed.len() < 2 + declared {
+            return None;
+        }
+        let query = Message::from_wire(&framed[2..2 + declared]).ok()?;
+        let wire = self.handle_query(&query).to_wire();
+        let mut out = Vec::with_capacity(2 + wire.len());
+        out.extend_from_slice(&(wire.len() as u16).to_be_bytes());
+        out.extend_from_slice(&wire);
+        Some(out)
+    }
+}
+
+/// Appends RRSIGs at `owner` covering any of `types`.
+fn append_rrsigs(zone: &Zone, owner: &Name, types: &[RrType], out: &mut Vec<Record>) {
+    if let Some(sigs) = zone.rrset(owner, RrType::Rrsig) {
+        for record in sigs.records() {
+            if let RData::Rrsig(s) = &record.rdata {
+                if types.contains(&s.type_covered) {
+                    out.push(record.clone());
+                }
+            }
+        }
+    }
+}
+
+/// For an NSEC3 zone (apex NSEC3PARAM present), the hashed owner of the
+/// NSEC3 record matching or covering `qname`'s hash; `None` for NSEC
+/// zones.
+fn nsec3_denial_owner(zone: &Zone, qname: &Name) -> Option<Name> {
+    let param_set = zone.rrset(zone.origin(), RrType::Nsec3Param)?;
+    let RData::Nsec3Param(param) = &param_set.records()[0].rdata else {
+        return None;
+    };
+    let qhash = dsec_dnssec::nsec3_hash(qname, &param.salt, param.iterations);
+    // Collect (owner-hash, owner) for every NSEC3 in the zone.
+    let mut entries: Vec<([u8; 20], Name)> = zone
+        .rrsets()
+        .filter(|set| set.rtype() == RrType::Nsec3)
+        .filter_map(|set| {
+            let label = set.name().labels().first()?.as_bytes().to_vec();
+            let text = String::from_utf8(label).ok()?;
+            let raw = dsec_crypto::base32::decode_hex(&text)?;
+            let hash: [u8; 20] = raw.try_into().ok()?;
+            Some((hash, set.name().clone()))
+        })
+        .collect();
+    if entries.is_empty() {
+        return None;
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    // Exact match (NODATA) or the greatest owner-hash ≤ qhash; the last
+    // entry covers the wrap-around interval.
+    entries
+        .iter()
+        .rev()
+        .find(|(h, _)| *h <= qhash)
+        .or_else(|| entries.last())
+        .map(|(_, owner)| owner.clone())
+}
+
+/// Finds the NSEC whose (owner, next) interval covers `qname`.
+fn covering_nsec_owner(zone: &Zone, qname: &Name) -> Option<Name> {
+    use std::cmp::Ordering;
+    let mut owners: Vec<Name> = zone
+        .rrsets()
+        .filter(|set| set.rtype() == RrType::Nsec)
+        .map(|set| set.name().clone())
+        .collect();
+    owners.sort();
+    // The covering owner is the greatest NSEC owner < qname; with a
+    // circular chain the last owner covers names beyond the end.
+    owners
+        .iter()
+        .rev()
+        .find(|o| o.canonical_cmp(qname) == Ordering::Less)
+        .or_else(|| owners.last())
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsec_crypto::Algorithm;
+    use dsec_dnssec::{sign_zone, SignerConfig, ZoneKeys};
+    use dsec_wire::{DsRdata, SoaRdata};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn build_zone(signed: bool) -> (Zone, Option<ZoneKeys>) {
+        let mut z = Zone::new(name("example.com"));
+        z.add(Record::new(
+            name("example.com"),
+            3600,
+            RData::Soa(SoaRdata {
+                mname: name("ns1.example.com"),
+                rname: name("hostmaster.example.com"),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("example.com"),
+            3600,
+            RData::Ns(name("ns1.example.com")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("www.example.com"),
+            300,
+            RData::A("192.0.2.10".parse().unwrap()),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("alias.example.com"),
+            300,
+            RData::Cname(name("www.example.com")),
+        ))
+        .unwrap();
+        // Delegation with glue, child unsigned (no DS).
+        z.add(Record::new(
+            name("sub.example.com"),
+            3600,
+            RData::Ns(name("ns1.sub.example.com")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("ns1.sub.example.com"),
+            3600,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ))
+        .unwrap();
+        // Signed delegation.
+        z.add(Record::new(
+            name("signedchild.example.com"),
+            3600,
+            RData::Ns(name("ns1.other-op.net")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("signedchild.example.com"),
+            3600,
+            RData::Ds(DsRdata {
+                key_tag: 1,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![9; 32],
+            }),
+        ))
+        .unwrap();
+        if signed {
+            let mut rng = StdRng::seed_from_u64(7);
+            let keys = ZoneKeys::generate_default(&mut rng, name("example.com"), Algorithm::RsaSha256)
+                .unwrap();
+            sign_zone(&mut z, &keys, &SignerConfig::valid_from(1_450_000_000, 30 * 86400))
+                .unwrap();
+            (z, Some(keys))
+        } else {
+            (z, None)
+        }
+    }
+
+    fn authority(signed: bool) -> Authority {
+        let auth = Authority::new();
+        auth.upsert_zone(build_zone(signed).0);
+        auth
+    }
+
+    fn ask(auth: &Authority, qname: &str, qtype: RrType, dnssec: bool) -> Message {
+        let q = Message::query(42, name(qname), qtype, dnssec);
+        auth.handle_query(&q)
+    }
+
+    #[test]
+    fn positive_answer() {
+        let auth = authority(false);
+        let resp = ask(&auth, "www.example.com", RrType::A, false);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp.flags.authoritative);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].rtype(), RrType::A);
+    }
+
+    #[test]
+    fn positive_answer_includes_rrsig_with_do() {
+        let auth = authority(true);
+        let resp = ask(&auth, "www.example.com", RrType::A, true);
+        assert_eq!(resp.answers.len(), 2);
+        assert!(resp.answers.iter().any(|r| r.rtype() == RrType::Rrsig));
+    }
+
+    #[test]
+    fn rrsigs_withheld_without_do() {
+        let auth = authority(true);
+        let resp = ask(&auth, "www.example.com", RrType::A, false);
+        assert!(!resp.answers.iter().any(|r| r.rtype() == RrType::Rrsig));
+    }
+
+    #[test]
+    fn dnskey_query_answers_at_apex() {
+        let auth = authority(true);
+        let resp = ask(&auth, "example.com", RrType::Dnskey, true);
+        assert_eq!(
+            resp.answers
+                .iter()
+                .filter(|r| r.rtype() == RrType::Dnskey)
+                .count(),
+            2
+        );
+        assert!(resp.answers.iter().any(|r| r.rtype() == RrType::Rrsig));
+    }
+
+    #[test]
+    fn referral_for_unsigned_child_carries_nsec_ds_denial() {
+        let auth = authority(true);
+        let resp = ask(&auth, "deep.sub.example.com", RrType::A, true);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(!resp.flags.authoritative);
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RrType::Ns));
+        assert!(!resp.authorities.iter().any(|r| r.rtype() == RrType::Ds));
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RrType::Nsec));
+        // Glue travels in additional.
+        assert!(resp.additionals.iter().any(|r| r.rtype() == RrType::A));
+    }
+
+    #[test]
+    fn referral_for_signed_child_carries_ds() {
+        let auth = authority(true);
+        let resp = ask(&auth, "www.signedchild.example.com", RrType::A, true);
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RrType::Ds));
+        assert!(resp
+            .authorities
+            .iter()
+            .any(|r| matches!(&r.rdata, RData::Rrsig(s) if s.type_covered == RrType::Ds)));
+    }
+
+    #[test]
+    fn ds_query_at_cut_is_answered_by_parent() {
+        let auth = authority(true);
+        let resp = ask(&auth, "signedchild.example.com", RrType::Ds, true);
+        assert!(resp.flags.authoritative);
+        assert!(resp.answers.iter().any(|r| r.rtype() == RrType::Ds));
+    }
+
+    #[test]
+    fn cname_returned_for_other_types() {
+        let auth = authority(false);
+        let resp = ask(&auth, "alias.example.com", RrType::A, false);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].rtype(), RrType::Cname);
+    }
+
+    #[test]
+    fn nodata_has_soa_and_nsec() {
+        let auth = authority(true);
+        let resp = ask(&auth, "www.example.com", RrType::Mx, true);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp.answers.is_empty());
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RrType::Soa));
+        assert!(resp
+            .authorities
+            .iter()
+            .any(|r| r.rtype() == RrType::Nsec && r.name == name("www.example.com")));
+    }
+
+    #[test]
+    fn nxdomain_has_covering_nsec() {
+        let auth = authority(true);
+        let resp = ask(&auth, "nope.example.com", RrType::A, true);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RrType::Soa));
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RrType::Nsec));
+    }
+
+    #[test]
+    fn nsec3_zone_negative_answers_carry_nsec3() {
+        let auth = Authority::new();
+        let (mut zone, _) = build_zone(false);
+        let mut rng = StdRng::seed_from_u64(17);
+        let keys =
+            ZoneKeys::generate_default(&mut rng, name("example.com"), Algorithm::RsaSha256)
+                .unwrap();
+        let cfg = SignerConfig::valid_from(1_450_000_000, 30 * 86400)
+            .with_nsec3(dsec_dnssec::Nsec3Config::new(7, vec![0xAB, 0xCD]));
+        sign_zone(&mut zone, &keys, &cfg).unwrap();
+        auth.upsert_zone(zone);
+        // NXDOMAIN: a covering NSEC3 travels in the authority section.
+        let resp = ask(&auth, "nope.example.com", RrType::A, true);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RrType::Nsec3));
+        assert!(!resp.authorities.iter().any(|r| r.rtype() == RrType::Nsec));
+        // NODATA: the matching NSEC3 appears.
+        let resp = ask(&auth, "www.example.com", RrType::Mx, true);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RrType::Nsec3));
+        // Without DO, no NSEC3 leaks.
+        let resp = ask(&auth, "nope.example.com", RrType::A, false);
+        assert!(!resp.authorities.iter().any(|r| r.rtype() == RrType::Nsec3));
+    }
+
+    #[test]
+    fn out_of_bailiwick_refused() {
+        let auth = authority(false);
+        let resp = ask(&auth, "other.org", RrType::A, false);
+        assert_eq!(resp.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn longest_zone_match_wins() {
+        let auth = authority(false);
+        // Also serve the child zone on the same authority.
+        let mut child = Zone::new(name("sub.example.com"));
+        child
+            .add(Record::new(
+                name("host.sub.example.com"),
+                60,
+                RData::A("192.0.2.77".parse().unwrap()),
+            ))
+            .unwrap();
+        auth.upsert_zone(child);
+        let resp = ask(&auth, "host.sub.example.com", RrType::A, false);
+        assert_eq!(resp.answers.len(), 1, "child zone must answer, not parent referral");
+    }
+
+    #[test]
+    fn datagram_round_trip() {
+        let auth = authority(false);
+        let q = Message::query(9, name("www.example.com"), RrType::A, false);
+        let out = auth.handle_datagram(&q.to_wire()).unwrap();
+        let resp = Message::from_wire(&out).unwrap();
+        assert_eq!(resp.id, 9);
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn malformed_datagram_gets_formerr() {
+        let auth = authority(false);
+        let out = auth.handle_datagram(&[0xAB, 0xCD, 0xFF]).unwrap();
+        let resp = Message::from_wire(&out).unwrap();
+        assert_eq!(resp.id, 0xABCD);
+        assert_eq!(resp.rcode, Rcode::FormErr);
+        assert!(auth.handle_datagram(&[1]).is_none());
+    }
+
+    #[test]
+    fn oversized_udp_reply_is_truncated() {
+        // A zone with enough TXT data that the DO response exceeds the
+        // 512-byte no-EDNS limit.
+        let auth = Authority::new();
+        let mut z = Zone::new(name("big.com"));
+        for i in 0..6 {
+            z.add(Record::new(
+                name("big.com"),
+                60,
+                RData::Txt(vec![vec![b'x'; 200], vec![i]]),
+            ))
+            .unwrap();
+        }
+        auth.upsert_zone(z);
+        // No EDNS → 512-byte limit → truncated.
+        let q = Message::query(5, name("big.com"), RrType::Txt, false);
+        let out = auth.handle_datagram(&q.to_wire()).unwrap();
+        assert!(out.len() <= 512);
+        let resp = Message::from_wire(&out).unwrap();
+        assert!(resp.flags.truncated);
+        assert!(resp.answers.is_empty());
+        // With EDNS 4096 → fits, not truncated.
+        let q = Message::query(6, name("big.com"), RrType::Txt, true);
+        let out = auth.handle_datagram(&q.to_wire()).unwrap();
+        let resp = Message::from_wire(&out).unwrap();
+        assert!(!resp.flags.truncated);
+        assert_eq!(resp.answers.len(), 6);
+        // Over TCP the full answer always comes back.
+        let mut framed = Vec::new();
+        let qwire = Message::query(7, name("big.com"), RrType::Txt, false).to_wire();
+        framed.extend_from_slice(&(qwire.len() as u16).to_be_bytes());
+        framed.extend_from_slice(&qwire);
+        let out = auth.handle_tcp_request(&framed).unwrap();
+        let declared = u16::from_be_bytes([out[0], out[1]]) as usize;
+        assert_eq!(declared, out.len() - 2);
+        let resp = Message::from_wire(&out[2..]).unwrap();
+        assert!(!resp.flags.truncated);
+        assert_eq!(resp.answers.len(), 6);
+    }
+
+    #[test]
+    fn tcp_rejects_short_frames() {
+        let auth = Authority::new();
+        assert!(auth.handle_tcp_request(&[]).is_none());
+        assert!(auth.handle_tcp_request(&[0]).is_none());
+        assert!(auth.handle_tcp_request(&[0, 10, 1, 2]).is_none()); // short body
+    }
+
+    #[test]
+    fn empty_question_is_formerr() {
+        let auth = authority(false);
+        let mut q = Message::query(1, name("x.example.com"), RrType::A, false);
+        q.questions.clear();
+        let resp = auth.handle_query(&q);
+        assert_eq!(resp.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn zone_management() {
+        let auth = Authority::new();
+        assert!(auth.zone_origins().is_empty());
+        auth.upsert_zone(build_zone(false).0);
+        assert_eq!(auth.zone_origins(), vec![name("example.com")]);
+        assert_eq!(
+            auth.with_zone(&name("example.com"), |z| z.len()).unwrap() > 0,
+            true
+        );
+        auth.with_zone_mut(&name("example.com"), |z| {
+            z.add(Record::new(
+                name("new.example.com"),
+                60,
+                RData::A("192.0.2.1".parse().unwrap()),
+            ))
+            .unwrap();
+        });
+        assert!(auth.remove_zone(&name("example.com")));
+        assert!(!auth.remove_zone(&name("example.com")));
+    }
+}

@@ -1,0 +1,169 @@
+//! The in-memory "network": a directory of authoritative servers
+//! addressable by nameserver hostname.
+//!
+//! This replaces the Internet in the simulation. Every query the resolver
+//! or scanner makes is a real wire-format `Message` dispatched to a real
+//! `Authority` — only the transport is a function call instead of UDP.
+//! (For real sockets, see [`crate::Authority::handle_datagram`] and the
+//! `udp_wire` example.)
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dsec_wire::{Message, Name};
+
+use crate::authority::Authority;
+
+/// A directory of nameservers.
+#[derive(Debug, Default)]
+pub struct Network {
+    servers: RwLock<HashMap<Name, Arc<Authority>>>,
+    /// Nameserver hostnames of the root servers.
+    root_hints: RwLock<Vec<Name>>,
+    /// Total queries dispatched (measurement bookkeeping).
+    queries: RwLock<u64>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `authority` under the nameserver hostname `ns`.
+    /// One authority may be registered under many hostnames.
+    pub fn register(&self, ns: Name, authority: Arc<Authority>) {
+        self.servers.write().insert(ns.to_canonical(), authority);
+    }
+
+    /// Removes a nameserver hostname from the directory.
+    pub fn deregister(&self, ns: &Name) -> bool {
+        self.servers.write().remove(&ns.to_canonical()).is_some()
+    }
+
+    /// Declares the root server hostnames used as resolution starting
+    /// points.
+    pub fn set_root_hints(&self, hints: Vec<Name>) {
+        *self.root_hints.write() = hints;
+    }
+
+    /// The configured root server hostnames.
+    pub fn root_hints(&self) -> Vec<Name> {
+        self.root_hints.read().clone()
+    }
+
+    /// The authority registered at `ns`, if any.
+    pub fn authority(&self, ns: &Name) -> Option<Arc<Authority>> {
+        self.servers.read().get(&ns.to_canonical()).cloned()
+    }
+
+    /// Sends `query` to the server at `ns`. `None` models an unreachable
+    /// nameserver (the hostname is not registered).
+    pub fn query(&self, ns: &Name, query: &Message) -> Option<Message> {
+        let authority = self.authority(ns)?;
+        *self.queries.write() += 1;
+        Some(authority.handle_query(query))
+    }
+
+    /// Total queries dispatched since construction.
+    pub fn query_count(&self) -> u64 {
+        *self.queries.read()
+    }
+
+    /// Number of registered nameserver hostnames.
+    pub fn server_count(&self) -> usize {
+        self.servers.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsec_wire::{RData, Rcode, Record, RrType, Zone};
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn simple_authority() -> Arc<Authority> {
+        let auth = Authority::new();
+        let mut z = Zone::new(name("example.com"));
+        z.add(Record::new(
+            name("www.example.com"),
+            60,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ))
+        .unwrap();
+        auth.upsert_zone(z);
+        Arc::new(auth)
+    }
+
+    #[test]
+    fn register_and_query() {
+        let net = Network::new();
+        net.register(name("ns1.op.net"), simple_authority());
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        let resp = net.query(&name("ns1.op.net"), &q).unwrap();
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(net.query_count(), 1);
+    }
+
+    #[test]
+    fn unknown_server_is_unreachable() {
+        let net = Network::new();
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        assert!(net.query(&name("ns1.ghost.net"), &q).is_none());
+        assert_eq!(net.query_count(), 0);
+    }
+
+    #[test]
+    fn hostname_lookup_is_case_insensitive() {
+        let net = Network::new();
+        net.register(name("NS1.Op.NET"), simple_authority());
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        assert!(net.query(&name("ns1.op.net"), &q).is_some());
+    }
+
+    #[test]
+    fn shared_authority_under_two_hostnames() {
+        let net = Network::new();
+        let auth = simple_authority();
+        net.register(name("ns1.op.net"), auth.clone());
+        net.register(name("ns2.op.net"), auth);
+        assert_eq!(net.server_count(), 2);
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        assert_eq!(
+            net.query(&name("ns2.op.net"), &q).unwrap().answers.len(),
+            1
+        );
+    }
+
+    #[test]
+    fn deregister_makes_unreachable() {
+        let net = Network::new();
+        net.register(name("ns1.op.net"), simple_authority());
+        assert!(net.deregister(&name("ns1.op.net")));
+        assert!(!net.deregister(&name("ns1.op.net")));
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        assert!(net.query(&name("ns1.op.net"), &q).is_none());
+    }
+
+    #[test]
+    fn root_hints_round_trip() {
+        let net = Network::new();
+        assert!(net.root_hints().is_empty());
+        net.set_root_hints(vec![name("a.root-servers.net")]);
+        assert_eq!(net.root_hints(), vec![name("a.root-servers.net")]);
+    }
+
+    #[test]
+    fn refused_for_unserved_zone_propagates() {
+        let net = Network::new();
+        net.register(name("ns1.op.net"), simple_authority());
+        let q = Message::query(1, name("www.other.org"), RrType::A, false);
+        let resp = net.query(&name("ns1.op.net"), &q).unwrap();
+        assert_eq!(resp.rcode, Rcode::Refused);
+    }
+}

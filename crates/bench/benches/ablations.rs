@@ -1,0 +1,45 @@
+//! Ablation / extension benches (DESIGN.md E-X1…E-X3): the paper's §8
+//! recommendations as measurable what-ifs, plus their cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsec_core::{
+    experiment_cds_bootstrap, experiment_default_signing_ablation, experiment_rollover,
+};
+
+fn bench_cds_bootstrap(c: &mut Criterion) {
+    let result = experiment_cds_bootstrap(12);
+    println!("\n{result}\n{}", result.artifact);
+    assert!(result.reproduced(), "{result}");
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("cds_bootstrap_12_domains", |b| {
+        b.iter(|| experiment_cds_bootstrap(12))
+    });
+    group.finish();
+}
+
+fn bench_default_signing(c: &mut Criterion) {
+    let result = experiment_default_signing_ablation(4, 6);
+    println!("\n{result}\n{}", result.artifact);
+    assert!(result.reproduced(), "{result}");
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("default_signing_4x6", |b| {
+        b.iter(|| experiment_default_signing_ablation(4, 6))
+    });
+    group.finish();
+}
+
+fn bench_rollover(c: &mut Criterion) {
+    let result = experiment_rollover();
+    println!("\n{result}");
+    assert!(result.reproduced(), "{result}");
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("rollover_both_modes", |b| b.iter(experiment_rollover));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cds_bootstrap, bench_default_signing, bench_rollover);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Micro-benchmarks of the substrates: crypto, wire format, zone signing,
+//! chain validation, resolution, and scanning throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsec_crypto::rsa::{RsaHash, RsaPrivateKey};
+use dsec_crypto::sha::sha256;
+use dsec_crypto::{Algorithm, DigestType};
+use dsec_dnssec::{authenticate_dnskeys, sign_zone, SignerConfig, ZoneKeys};
+use dsec_ecosystem::{
+    ExternalDs, Hosting, OperatorDnssec, Plan, RegistrarPolicy, Tld, TldPolicy, TldRole, World,
+    WorldConfig, ALL_TLDS,
+};
+use dsec_resolver::Resolver;
+use dsec_scanner::Snapshot;
+use dsec_wire::{Message, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
+
+const NOW: u32 = 1_450_000_000;
+
+fn name(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(20);
+
+    let data = vec![0xABu8; 4096];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_4k", |b| b.iter(|| sha256(&data)));
+    group.throughput(Throughput::Elements(1));
+
+    for bits in [512usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let key = RsaPrivateKey::generate(&mut rng, bits);
+        let sig = key.sign(RsaHash::Sha256, b"benchmark message");
+        group.bench_function(format!("rsa{bits}_sign"), |b| {
+            b.iter(|| key.sign(RsaHash::Sha256, b"benchmark message"))
+        });
+        group.bench_function(format!("rsa{bits}_verify"), |b| {
+            b.iter(|| key.public.verify(RsaHash::Sha256, b"benchmark message", &sig))
+        });
+    }
+    group.bench_function("rsa512_keygen", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            RsaPrivateKey::generate(&mut rng, 512)
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let mut msg = Message::query(7, name("www.example.com"), RrType::A, true);
+    for i in 0..10 {
+        msg.answers.push(Record::new(
+            name(&format!("host{i}.example.com")),
+            300,
+            RData::A("192.0.2.7".parse().unwrap()),
+        ));
+    }
+    let wire = msg.to_wire();
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("message_encode", |b| b.iter(|| msg.to_wire()));
+    group.bench_function("message_decode", |b| b.iter(|| Message::from_wire(&wire).unwrap()));
+    group.finish();
+}
+
+fn test_zone(keys: &ZoneKeys, hosts: usize) -> Zone {
+    let mut zone = Zone::new(keys.zone.clone());
+    zone.add(Record::new(
+        keys.zone.clone(),
+        3600,
+        RData::Soa(SoaRdata {
+            mname: name("ns1.op.net"),
+            rname: name("hostmaster.op.net"),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1_209_600,
+            minimum: 300,
+        }),
+    ))
+    .unwrap();
+    zone.add(Record::new(keys.zone.clone(), 3600, RData::Ns(name("ns1.op.net"))))
+        .unwrap();
+    for i in 0..hosts {
+        zone.add(Record::new(
+            keys.zone.child(&format!("h{i}")).unwrap(),
+            300,
+            RData::A("192.0.2.9".parse().unwrap()),
+        ))
+        .unwrap();
+    }
+    zone
+}
+
+fn bench_dnssec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnssec");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let keys = ZoneKeys::generate_default(&mut rng, name("example.com"), Algorithm::RsaSha256)
+        .unwrap();
+    let cfg = SignerConfig::valid_from(NOW, 30 * 86_400);
+
+    for hosts in [2usize, 20] {
+        let zone = test_zone(&keys, hosts);
+        group.bench_function(format!("sign_zone_{hosts}_hosts"), |b| {
+            b.iter_batched(
+                || zone.clone(),
+                |mut z| sign_zone(&mut z, &keys, &cfg).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Chain-link validation (DS ↔ DNSKEY + RRSIG check).
+    let mut signed = test_zone(&keys, 2);
+    sign_zone(&mut signed, &keys, &cfg).unwrap();
+    let dnskey_rrset = signed.rrset(&keys.zone, RrType::Dnskey).unwrap();
+    let sigs = dsec_dnssec::validate::covering_rrsigs(
+        signed.rrset(&keys.zone, RrType::Rrsig).as_ref(),
+        RrType::Dnskey,
+    );
+    let ds = vec![keys.ds(DigestType::Sha256)];
+    group.bench_function("authenticate_dnskeys", |b| {
+        b.iter(|| authenticate_dnskeys(&keys.zone, &dnskey_rrset, &sigs, &ds, NOW).unwrap())
+    });
+
+    // RRset canonicalization (the signing hot path).
+    let rrset = RrSet::new(vec![
+        Record::new(name("h.example.com"), 300, RData::A("192.0.2.1".parse().unwrap())),
+        Record::new(name("h.example.com"), 300, RData::A("192.0.2.2".parse().unwrap())),
+    ])
+    .unwrap();
+    group.bench_function("canonical_rrset", |b| b.iter(|| rrset.canonical_wire(300)));
+    group.finish();
+}
+
+fn small_world() -> (World, Name) {
+    let mut w = World::new(WorldConfig {
+        key_pool: 2,
+        ..WorldConfig::default()
+    });
+    let r = w.add_registrar(
+        "BenchReg",
+        name("benchreg.net"),
+        RegistrarPolicy {
+            operator_dnssec: OperatorDnssec::Default,
+            external_ds: ExternalDs::Web { validates: true },
+            tlds: ALL_TLDS
+                .iter()
+                .map(|&t| (t, TldPolicy::full(TldRole::Registrar)))
+                .collect(),
+        },
+    );
+    let mut last = name("placeholder.com");
+    for i in 0..50 {
+        last = w
+            .purchase(
+                r,
+                &format!("bench{i}"),
+                Tld::Com,
+                Hosting::Registrar { plan: Plan::Free },
+                "o@x",
+            )
+            .unwrap();
+    }
+    (w, last)
+}
+
+fn bench_resolution_and_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(20);
+    let (world, domain) = small_world();
+    let resolver = Resolver::new(world.network.clone(), world.trust_anchor());
+    let www = domain.child("www").unwrap();
+    let now = world.today.epoch_seconds();
+    group.bench_function("secure_resolution_cold", |b| {
+        b.iter(|| resolver.resolve(&www, RrType::A, now).unwrap())
+    });
+    group.bench_function("secure_resolution_cached", |b| {
+        b.iter(|| resolver.resolve_cached(&www, RrType::A, now).unwrap())
+    });
+    group.throughput(Throughput::Elements(world.domain_count() as u64));
+    group.bench_function("scanner_snapshot_50_domains", |b| {
+        b.iter(|| Snapshot::take_filtered(&world, &[Tld::Com]))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_wire,
+    bench_dnssec,
+    bench_resolution_and_scan
+);
+criterion_main!(benches);

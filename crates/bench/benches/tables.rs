@@ -1,0 +1,92 @@
+//! Regenerates the paper's Tables 1–4. Each bench prints the table and
+//! its paper-vs-measured checkpoints once, then benchmarks the analysis
+//! step (probe / aggregation / rendering).
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsec_core::{
+    experiment_table1, experiment_table2, experiment_table3, experiment_table4, TOP10_DNSSEC,
+    TOP20,
+};
+use dsec_probe::{probe_all, ProbeReport};
+use dsec_scanner::Snapshot;
+use dsec_workloads::{build, PaperWorld, PopulationConfig};
+
+struct Shared {
+    paper_world: PaperWorld,
+    snapshot: Snapshot,
+    top20: Vec<ProbeReport>,
+    top10: Vec<ProbeReport>,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let mut pw = build(&PopulationConfig::tiny());
+        let snapshot = Snapshot::take(&pw.world);
+        let top20 = probe_all(&mut pw.world, &TOP20);
+        let top10 = probe_all(&mut pw.world, &TOP10_DNSSEC);
+        Shared {
+            paper_world: pw,
+            snapshot,
+            top20,
+            top10,
+        }
+    })
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let s = shared();
+    let result = experiment_table1(&s.snapshot, 400_000);
+    println!("\n{result}\n{}", result.artifact);
+    c.bench_function("table1_regenerate", |b| {
+        b.iter(|| experiment_table1(&s.snapshot, 400_000))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let s = shared();
+    let result = experiment_table2(&s.top20, Some(&s.snapshot));
+    println!("\n{result}");
+    assert!(result.reproduced(), "Table 2 checkpoints must hold:\n{result}");
+    c.bench_function("table2_regenerate", |b| {
+        b.iter(|| experiment_table2(&s.top20, Some(&s.snapshot)))
+    });
+    // Benchmark the probe itself (the paper's hands-on phase) against a
+    // fresh world so purchases don't collide.
+    let mut group = c.benchmark_group("table2_probe");
+    group.sample_size(10);
+    group.bench_function("probe_top20", |b| {
+        b.iter_batched(
+            || build(&PopulationConfig::tiny()),
+            |mut pw| probe_all(&mut pw.world, &TOP20),
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let s = shared();
+    let result = experiment_table3(&s.top10, Some(&s.snapshot));
+    println!("\n{result}");
+    assert!(result.reproduced(), "Table 3 checkpoints must hold:\n{result}");
+    c.bench_function("table3_regenerate", |b| {
+        b.iter(|| experiment_table3(&s.top10, Some(&s.snapshot)))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let s = shared();
+    let result = experiment_table4(&s.paper_world.world);
+    println!("\n{result}\n{}", result.artifact);
+    assert!(result.reproduced(), "Table 4 checkpoints must hold:\n{result}");
+    c.bench_function("table4_regenerate", |b| {
+        b.iter(|| experiment_table4(&s.paper_world.world))
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table3, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! # dsec-bench — experiment regeneration benches
+//!
+//! Criterion benches double as the experiment harness: each bench target
+//! regenerates one of the paper's tables or figures (printing the
+//! paper-vs-measured checkpoints once) and then benchmarks the analysis
+//! step. Micro benches cover the substrates (crypto, wire, signing,
+//! validation, resolution, scanning).
+
+#![warn(missing_docs)]
+
+/// Builds the tiny shared world used by table/figure benches.
+pub fn tiny_paper_world() -> dsec_workloads::PaperWorld {
+    dsec_workloads::build(&dsec_workloads::PopulationConfig::tiny())
+}

@@ -1,0 +1,443 @@
+//! One function per paper artifact: each consumes measurement outputs and
+//! returns an [`ExperimentResult`] with the paper's checkpoint values next
+//! to the measured ones (see DESIGN.md's experiment index E-T1…E-F8).
+
+use dsec_ecosystem::Tld;
+use dsec_probe::{Finding, ProbeReport};
+use dsec_reports::{
+    figure3, figure8, figure_series, table1, table2, table3, ExperimentResult, GTLDS,
+};
+use dsec_scanner::{operators_to_cover, LongitudinalStore, Metric, Snapshot};
+
+/// The paper's top-20 registrar list (Table 2 order).
+pub const TOP20: [&str; 20] = [
+    "GoDaddy",
+    "Alibaba",
+    "1AND1",
+    "NetworkSolutions",
+    "eNom",
+    "Bluehost",
+    "NameCheap",
+    "WIX",
+    "HostGator",
+    "NameBright",
+    "register.com",
+    "OVH",
+    "DreamHost",
+    "WordPress",
+    "Amazon",
+    "Xinnet",
+    "Google",
+    "123-reg",
+    "Yahoo",
+    "Rightside",
+];
+
+/// The paper's top-10 DNSSEC registrar list (Table 3 order).
+pub const TOP10_DNSSEC: [&str; 10] = [
+    "OVH",
+    "Loopia",
+    "DomainNameShop",
+    "TransIP",
+    "MeshDigital",
+    "Binero",
+    "KPN",
+    "PCExtreme",
+    "Antagonist",
+    "NameCheap",
+];
+
+/// The Table-4 operator list.
+pub const TABLE4_OPERATORS: [&str; 11] = [
+    "OVH",
+    "GoDaddy",
+    "MeshDigital",
+    "DomainNameShop",
+    "TransIP",
+    "NameCheap",
+    "Binero",
+    "PCExtreme",
+    "Antagonist",
+    "Loopia",
+    "KPN",
+];
+
+/// E-T1 — Table 1: per-TLD dataset sizes and % with DNSKEY.
+pub fn experiment_table1(snapshot: &Snapshot, scale: u64) -> ExperimentResult {
+    let mut result = ExperimentResult::new("E-T1", "Table 1: dataset overview");
+    let paper = [
+        (Tld::Com, 0.7),
+        (Tld::Net, 1.0),
+        (Tld::Org, 1.1),
+        (Tld::Nl, 51.6),
+        (Tld::Se, 46.7),
+    ];
+    for (tld, pct) in paper {
+        let stats = snapshot.tld_totals(tld);
+        let measured = if stats.domains > 0 {
+            100.0 * stats.with_dnskey as f64 / stats.domains as f64
+        } else {
+            0.0
+        };
+        result.check(format!("{tld} % with DNSKEY"), pct, measured, 0.40);
+    }
+    result.artifact = table1(snapshot, scale);
+    result
+}
+
+/// E-F3 — Figure 3: operator-concentration CDFs.
+pub fn experiment_figure3(snapshot: &Snapshot) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-F3",
+        "Figure 3: CDF of gTLD domains by DNS operator (all/partial/full)",
+    );
+    // Paper: 26 operators to cover 50% of all domains; ~4 cover 57% of the
+    // partially deployed; 2 cover 54% of the fully deployed.
+    result.check(
+        "operators covering 50% of all domains",
+        26.0,
+        operators_to_cover(snapshot, &GTLDS, Metric::All, 0.50) as f64,
+        0.50,
+    );
+    result.check(
+        "operators covering 50% of partially deployed",
+        4.0,
+        operators_to_cover(snapshot, &GTLDS, Metric::Partial, 0.50) as f64,
+        1.00,
+    );
+    result.check(
+        "operators covering 50% of fully deployed",
+        2.0,
+        operators_to_cover(snapshot, &GTLDS, Metric::Full, 0.50) as f64,
+        1.00,
+    );
+    result.artifact = figure3(snapshot);
+    result
+}
+
+/// E-T2 — Table 2: probe results for the top-20 registrars.
+pub fn experiment_table2(reports: &[ProbeReport], snapshot: Option<&Snapshot>) -> ExperimentResult {
+    let mut result = ExperimentResult::new("E-T2", "Table 2: top-20 registrar probe matrix");
+    let hosted = reports
+        .iter()
+        .filter(|r| r.operator_support == Finding::Yes)
+        .count();
+    let external = reports
+        .iter()
+        .filter(|r| r.external_support == Finding::Yes)
+        .count();
+    let validating = reports
+        .iter()
+        .filter(|r| r.validates_ds == Finding::Yes)
+        .count();
+    let default_full = reports
+        .iter()
+        .filter(|r| r.dnssec_default == Finding::Yes)
+        .count();
+    let default_partial = reports
+        .iter()
+        .filter(|r| r.dnssec_default == Finding::Partial)
+        .count();
+    result.check("registrars probed", 20.0, reports.len() as f64, 0.0);
+    result.check("support DNSSEC as DNS operator", 3.0, hosted as f64, 0.0);
+    result.check("support DNSSEC for external NS", 11.0, external as f64, 0.10);
+    result.check("validate uploaded DS", 2.0, validating as f64, 0.0);
+    result.check("DNSSEC by default (all plans)", 0.0, default_full as f64, 0.1);
+    result.check(
+        "DNSSEC by default (some plans only)",
+        1.0,
+        default_partial as f64,
+        0.0,
+    );
+    result.artifact = table2(reports, snapshot);
+    result
+}
+
+/// E-T3 — Table 3: probe results for the DNSSEC-heavy registrars.
+pub fn experiment_table3(reports: &[ProbeReport], snapshot: Option<&Snapshot>) -> ExperimentResult {
+    let mut result = ExperimentResult::new("E-T3", "Table 3: top-10 DNSSEC registrar probe matrix");
+    let default = reports
+        .iter()
+        .filter(|r| r.dnssec_default == Finding::Yes)
+        .count();
+    let external = reports
+        .iter()
+        .filter(|r| r.external_support == Finding::Yes)
+        .count();
+    let validating = reports
+        .iter()
+        .filter(|r| r.validates_ds == Finding::Yes)
+        .count();
+    let partial_ds = reports
+        .iter()
+        .filter(|r| {
+            let vals: Vec<bool> = r.publishes_ds.values().copied().collect();
+            !vals.is_empty() && vals.iter().any(|&v| v) != vals.iter().all(|&v| v)
+        })
+        .count();
+    let email_channels: Vec<&ProbeReport> = reports
+        .iter()
+        .filter(|r| r.ds_channel == Some(dsec_probe::DsChannel::Email))
+        .collect();
+    let email_verifying = email_channels
+        .iter()
+        .filter(|r| r.verifies_email == Finding::Yes)
+        .count();
+    let email_foreign = email_channels
+        .iter()
+        .filter(|r| r.accepts_foreign_email == Finding::Yes)
+        .count();
+    result.check("registrars probed", 10.0, reports.len() as f64, 0.0);
+    // 9 of 10 sign hosted domains by default (OVH is opt-in).
+    result.check("DNSSEC by default", 9.0, default as f64, 0.12);
+    result.check("support external NS", 8.0, external as f64, 0.15);
+    result.check("validate uploaded DS (OVH, PCExtreme)", 2.0, validating as f64, 0.0);
+    // Loopia/KPN/NameCheap publish DS only for some TLDs (▲ rows); Mesh
+    // publishes none.
+    result.check("partial per-TLD DS publication", 3.0, partial_ds as f64, 0.40);
+    result.check("email channels verifying sender", 1.0, email_verifying as f64, 0.0);
+    result.check(
+        "email channels accepting foreign address",
+        1.0,
+        email_foreign as f64,
+        0.0,
+    );
+    result.artifact = table3(reports, snapshot);
+    result
+}
+
+/// E-T4 — Table 4: registrar/reseller roles per TLD.
+pub fn experiment_table4(world: &dsec_ecosystem::World) -> ExperimentResult {
+    let mut result = ExperimentResult::new("E-T4", "Table 4: registrar vs reseller roles per TLD");
+    let mut resellers = 0usize;
+    let mut no_support = 0usize;
+    let mut cells = 0usize;
+    for name in TABLE4_OPERATORS {
+        let Some(id) = world.registrar_by_name(name) else {
+            continue;
+        };
+        let policy = &world.registrar(id).policy;
+        for tld in dsec_ecosystem::ALL_TLDS {
+            cells += 1;
+            match policy.tld(tld).role {
+                dsec_ecosystem::TldRole::ResellerVia(_) => resellers += 1,
+                dsec_ecosystem::TldRole::NoSupport => no_support += 1,
+                dsec_ecosystem::TldRole::Registrar => {}
+            }
+        }
+    }
+    result.check("operators x TLD cells", 55.0, cells as f64, 0.0);
+    // From Table 4: 13 reseller cells, 8 "No support" cells.
+    result.check("reseller cells", 13.0, resellers as f64, 0.25);
+    result.check("no-support cells", 8.0, no_support as f64, 0.25);
+    result.artifact = dsec_reports::table4(world, &TABLE4_OPERATORS);
+    result
+}
+
+/// E-F4 — Figure 4: OVH (free, opt-in) vs GoDaddy (paid) full deployment.
+pub fn experiment_figure4(store: &LongitudinalStore) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-F4",
+        "Figure 4: OVH vs GoDaddy % of domains fully signed over time",
+    );
+    let ovh = store.series("ovh.net.", &GTLDS);
+    let godaddy = store.series("domaincontrol.com.", &GTLDS);
+    let ovh_start = ovh.first().map(|p| 100.0 * p.full_fraction()).unwrap_or(0.0);
+    let ovh_end = ovh.last().map(|p| 100.0 * p.full_fraction()).unwrap_or(0.0);
+    let gd_end = godaddy
+        .last()
+        .map(|p| 100.0 * p.full_fraction())
+        .unwrap_or(0.0);
+    result.check("OVH % fully signed at window end", 25.9, ovh_end, 0.30);
+    result.check("GoDaddy % fully signed at window end", 0.02, gd_end, 10.0);
+    result.check(
+        "OVH grows over the window (end − start > 5pp)",
+        1.0,
+        f64::from(ovh_end - ovh_start > 5.0),
+        0.0,
+    );
+    result.artifact = figure_series(
+        store,
+        "Figure 4: % fully signed (gTLD)",
+        "ovh.net.",
+        &[("OVH", GTLDS.to_vec())],
+    ) + &figure_series(
+        store,
+        "",
+        "domaincontrol.com.",
+        &[("GoDaddy", GTLDS.to_vec())],
+    );
+    result
+}
+
+/// E-F5 — Figure 5: Loopia and KPN sign everywhere, complete the chain
+/// only at their home (incentivized) TLD.
+pub fn experiment_figure5(store: &LongitudinalStore) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-F5",
+        "Figure 5: Loopia (.se only) and KPN (.nl only) full deployment by TLD",
+    );
+    let loopia_se = last_full_pct(store, "loopia.se.", &[Tld::Se]);
+    let loopia_gtld = last_full_pct(store, "loopia.se.", &GTLDS);
+    let kpn_nl = last_full_pct(store, "is.nl.", &[Tld::Nl]);
+    let kpn_gtld = last_full_pct(store, "is.nl.", &GTLDS);
+    result.check("Loopia .se % fully deployed", 90.0, loopia_se, 0.15);
+    result.check("Loopia gTLD % fully deployed", 0.0, loopia_gtld, 3.0);
+    result.check("KPN .nl % fully deployed", 93.0, kpn_nl, 0.15);
+    result.check("KPN gTLD % fully deployed", 0.0, kpn_gtld, 3.0);
+    result.artifact = figure_series(
+        store,
+        "Figure 5: % fully deployed",
+        "loopia.se.",
+        &[
+            ("Loopia-gTLD", GTLDS.to_vec()),
+            ("Loopia-.se", vec![Tld::Se]),
+            ("Loopia-.nl", vec![Tld::Nl]),
+        ],
+    ) + &figure_series(
+        store,
+        "",
+        "is.nl.",
+        &[
+            ("KPN-gTLD", GTLDS.to_vec()),
+            ("KPN-.nl", vec![Tld::Nl]),
+        ],
+    );
+    result
+}
+
+/// E-F6 — Figure 6: Antagonist (gradual renewal-driven growth) and Binero.
+pub fn experiment_figure6(store: &LongitudinalStore) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-F6",
+        "Figure 6: Antagonist and Binero deployment growth and counts",
+    );
+    let antagonist_gtld_end = last_full_pct(store, "webhostingserver.nl.", &GTLDS);
+    let antagonist_nl = last_full_pct(store, "webhostingserver.nl.", &[Tld::Nl]);
+    let binero_gtld = last_full_pct(store, "binero.se.", &GTLDS);
+    let binero_se = last_full_pct(store, "binero.se.", &[Tld::Se]);
+    let antagonist_series = store.series("webhostingserver.nl.", &GTLDS);
+    let counts_flat = {
+        let first = antagonist_series.first().map(|p| p.stats.domains).unwrap_or(0);
+        let last = antagonist_series.last().map(|p| p.stats.domains).unwrap_or(0);
+        first == last
+    };
+    result.check("Antagonist gTLD % fully deployed at end", 52.7, antagonist_gtld_end, 0.35);
+    result.check("Antagonist .nl % fully deployed", 95.4, antagonist_nl, 0.12);
+    result.check("Binero gTLD % fully deployed at end", 37.8, binero_gtld, 0.35);
+    result.check("Binero .se % fully deployed", 92.9, binero_se, 0.12);
+    result.check("domain counts stay flat", 1.0, f64::from(counts_flat), 0.0);
+    result.artifact = figure_series(
+        store,
+        "Figure 6: % with DNSKEY and DS",
+        "webhostingserver.nl.",
+        &[("Antagonist-gTLD", GTLDS.to_vec()), ("Antagonist-.nl", vec![Tld::Nl])],
+    ) + &figure_series(
+        store,
+        "",
+        "binero.se.",
+        &[("Binero-gTLD", GTLDS.to_vec()), ("Binero-.se", vec![Tld::Se])],
+    );
+    result
+}
+
+/// E-F7 — Figure 7: TransIP (registrar vs reseller gap) and PCExtreme
+/// (the 10-day mass-signing step).
+pub fn experiment_figure7(store: &LongitudinalStore) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-F7",
+        "Figure 7: TransIP and PCExtreme full deployment",
+    );
+    let transip_gtld = last_full_pct(store, "transip.net.", &GTLDS);
+    let transip_se = last_full_pct(store, "transip.net.", &[Tld::Se]);
+    let pcx_gtld_end = last_full_pct(store, "pcextreme.nl.", &GTLDS);
+    // The step: before 2015-03-15 PCExtreme is ≈0.44%; within ~10 days it
+    // exceeds 90%.
+    let pcx = store.series("pcextreme.nl.", &GTLDS);
+    let before = pcx
+        .iter()
+        .take_while(|p| p.date < dsec_ecosystem::SimDate::from_ymd(2015, 3, 15))
+        .last()
+        .map(|p| 100.0 * p.full_fraction())
+        .unwrap_or(0.0);
+    let after = pcx
+        .iter()
+        .find(|p| p.date >= dsec_ecosystem::SimDate::from_ymd(2015, 4, 5))
+        .map(|p| 100.0 * p.full_fraction())
+        .unwrap_or(0.0);
+    result.check("TransIP gTLD % fully deployed", 99.2, transip_gtld, 0.10);
+    result.check("TransIP .se % fully deployed (reseller lag)", 48.4, transip_se, 0.40);
+    result.check("PCExtreme % before mass signing", 0.44, before, 6.0);
+    result.check("PCExtreme % shortly after mass signing", 98.3, after, 0.15);
+    result.check("PCExtreme % at window end", 97.0, pcx_gtld_end, 0.15);
+    result.artifact = figure_series(
+        store,
+        "Figure 7: % fully deployed",
+        "transip.net.",
+        &[("TransIP-gTLD", GTLDS.to_vec()), ("TransIP-.se", vec![Tld::Se])],
+    ) + &figure_series(
+        store,
+        "",
+        "pcextreme.nl.",
+        &[("PCExtreme-gTLD", GTLDS.to_vec()), ("PCExtreme-.nl", vec![Tld::Nl])],
+    );
+    result
+}
+
+/// E-F8 — Figure 8: Cloudflare's DNSKEY ramp after universal DNSSEC and
+/// the ≈60% DS-relay completion.
+pub fn experiment_figure8(store: &LongitudinalStore) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-F8",
+        "Figure 8: Cloudflare % with DNSKEY and DS-relay completion",
+    );
+    let series = store.series("cloudflare-dns.sim.", &GTLDS);
+    let launch = dsec_ecosystem::SimDate::from_ymd(2015, 11, 11);
+    let before = series
+        .iter()
+        .take_while(|p| p.date < launch)
+        .last()
+        .map(|p| 100.0 * p.dnskey_fraction())
+        .unwrap_or(0.0);
+    let end_dnskey = series
+        .last()
+        .map(|p| 100.0 * p.dnskey_fraction())
+        .unwrap_or(0.0);
+    let end_relay = series
+        .last()
+        .map(|p| 100.0 * p.ds_given_dnskey())
+        .unwrap_or(0.0);
+    result.check("% with DNSKEY before launch", 0.0, before, 0.2);
+    result.check("% with DNSKEY at window end", 1.9, end_dnskey, 0.45);
+    result.check("% of DNSKEY domains with DS (relay success)", 60.7, end_relay, 0.30);
+    result.artifact = figure8(store, "cloudflare-dns.sim.");
+    result
+}
+
+/// §5.2 scalars: per-registrar signed fractions at the window end.
+pub fn experiment_s52(snapshot: &Snapshot) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-S52",
+        "§5.2 scalars: OVH / NameCheap / GoDaddy signed fractions",
+    );
+    let pct = |op: &str| {
+        let stats = snapshot.operator_totals(op, &dsec_ecosystem::ALL_TLDS);
+        if stats.domains == 0 {
+            0.0
+        } else {
+            100.0 * stats.fully_deployed as f64 / stats.domains as f64
+        }
+    };
+    result.check("OVH % deployed", 25.9, pct("ovh.net."), 0.30);
+    result.check("NameCheap % deployed", 0.59, pct("registrar-servers.com."), 1.0);
+    result.check("GoDaddy % deployed", 0.02, pct("domaincontrol.com."), 10.0);
+    result
+}
+
+fn last_full_pct(store: &LongitudinalStore, operator: &str, tlds: &[Tld]) -> f64 {
+    store
+        .series(operator, tlds)
+        .last()
+        .map(|p| 100.0 * p.full_fraction())
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,96 @@
+//! Base32hex (RFC 4648 §7), the encoding NSEC3 owner names use
+//! (unpadded, lowercase by convention in presentation format).
+
+/// The extended-hex alphabet.
+const ALPHABET: &[u8; 32] = b"0123456789abcdefghijklmnopqrstuv";
+
+/// Encodes `data` as unpadded lowercase base32hex.
+pub fn encode_hex(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(5) * 8);
+    let mut acc: u64 = 0;
+    let mut bits = 0u32;
+    for &b in data {
+        acc = (acc << 8) | b as u64;
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            out.push(ALPHABET[((acc >> bits) & 0x1f) as usize] as char);
+        }
+    }
+    if bits > 0 {
+        out.push(ALPHABET[((acc << (5 - bits)) & 0x1f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes unpadded base32hex (case-insensitive).
+pub fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(s.len() * 5 / 8);
+    let mut acc: u64 = 0;
+    let mut bits = 0u32;
+    for c in s.bytes() {
+        let v = match c.to_ascii_lowercase() {
+            b'0'..=b'9' => c - b'0',
+            c2 @ b'a'..=b'v' => c2 - b'a' + 10,
+            _ => return None,
+        } as u64;
+        acc = (acc << 5) | v;
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    // Dangling bits must be zero padding.
+    if acc & ((1 << bits) - 1) != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_base32hex_vectors() {
+        // RFC 4648 §10 vectors, unpadded.
+        let cases = [
+            ("", ""),
+            ("f", "co"),
+            ("fo", "cpng"),
+            ("foo", "cpnmu"),
+            ("foob", "cpnmuog"),
+            ("fooba", "cpnmuoj1"),
+            ("foobar", "cpnmuoj1e8"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(encode_hex(plain.as_bytes()), enc);
+            assert_eq!(decode_hex(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn decode_is_case_insensitive() {
+        assert_eq!(decode_hex("CPNMUOJ1E8").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_hex("w").is_none()); // outside alphabet
+        assert!(decode_hex("c=").is_none());
+        assert!(decode_hex("cp1").is_none()); // nonzero dangling bits
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode_hex(&encode_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn sha1_digest_width_encodes_to_32_chars() {
+        // NSEC3 owner labels: 20-byte SHA-1 → 32 base32hex characters.
+        assert_eq!(encode_hex(&[0u8; 20]).len(), 32);
+    }
+}

@@ -1,0 +1,159 @@
+//! DS digest types (IANA "Delegation Signer Digest Algorithms" registry) and
+//! the RFC 4034 Appendix B key-tag computation.
+
+use crate::sha::{sha1, sha256, sha384};
+
+/// A DS record digest algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DigestType {
+    /// SHA-1 (1) — mandatory to implement per RFC 4034, deprecated for new DS.
+    Sha1,
+    /// SHA-256 (2) — RFC 4509; the mainstream choice.
+    Sha256,
+    /// SHA-384 (4) — RFC 6605.
+    Sha384,
+    /// Any number this library does not implement.
+    Unknown(u8),
+}
+
+impl DigestType {
+    /// IANA digest type number.
+    pub fn number(self) -> u8 {
+        match self {
+            DigestType::Sha1 => 1,
+            DigestType::Sha256 => 2,
+            DigestType::Sha384 => 4,
+            DigestType::Unknown(n) => n,
+        }
+    }
+
+    /// Maps an IANA number to a digest type.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            1 => DigestType::Sha1,
+            2 => DigestType::Sha256,
+            4 => DigestType::Sha384,
+            other => DigestType::Unknown(other),
+        }
+    }
+
+    /// Whether this library can compute the digest.
+    pub fn is_supported(self) -> bool {
+        !matches!(self, DigestType::Unknown(_))
+    }
+
+    /// Digest length in bytes (`None` for unknown types).
+    pub fn digest_len(self) -> Option<usize> {
+        match self {
+            DigestType::Sha1 => Some(20),
+            DigestType::Sha256 => Some(32),
+            DigestType::Sha384 => Some(48),
+            DigestType::Unknown(_) => None,
+        }
+    }
+
+    /// Computes the digest of `data` (the canonical owner name concatenated
+    /// with the DNSKEY RDATA, per RFC 4034 §5.1.4). `None` for unknown types.
+    pub fn digest(self, data: &[u8]) -> Option<Vec<u8>> {
+        match self {
+            DigestType::Sha1 => Some(sha1(data).to_vec()),
+            DigestType::Sha256 => Some(sha256(data).to_vec()),
+            DigestType::Sha384 => Some(sha384(data).to_vec()),
+            DigestType::Unknown(_) => None,
+        }
+    }
+}
+
+/// RFC 4034 Appendix B key tag over DNSKEY RDATA.
+///
+/// The key tag is a 16-bit non-cryptographic checksum used to pre-select
+/// candidate DNSKEYs when validating an RRSIG or matching a DS record.
+pub fn key_tag(dnskey_rdata: &[u8]) -> u16 {
+    let mut acc: u32 = 0;
+    for (i, &b) in dnskey_rdata.iter().enumerate() {
+        if i & 1 == 0 {
+            acc += (b as u32) << 8;
+        } else {
+            acc += b as u32;
+        }
+    }
+    acc += (acc >> 16) & 0xFFFF;
+    (acc & 0xFFFF) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_round_trip() {
+        for n in 0..=255u8 {
+            assert_eq!(DigestType::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn digest_lengths_match_outputs() {
+        for dt in [DigestType::Sha1, DigestType::Sha256, DigestType::Sha384] {
+            let d = dt.digest(b"abc").unwrap();
+            assert_eq!(d.len(), dt.digest_len().unwrap());
+        }
+        assert!(DigestType::Unknown(3).digest(b"abc").is_none());
+        assert!(DigestType::Unknown(3).digest_len().is_none());
+    }
+
+    #[test]
+    fn sha256_digest_matches_known_vector() {
+        let d = DigestType::Sha256.digest(b"abc").unwrap();
+        assert_eq!(
+            d.iter().map(|b| format!("{b:02x}")).collect::<String>(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn key_tag_rfc4034_appendix_b_vector() {
+        // The DNSKEY RDATA from RFC 4034 §5.4 example (dskey.example.com,
+        // algorithm 5, flags 256): key tag must be 60485.
+        let b64 = "AQOeiiR0GOMYkDshWoSKz9XzfwJr1AYtsmx3TGkJaNXVbfi/2pHm822aJ5iI9BMzNXxeYCmZDRD99WYwYqUSdjMmmAphXdvxegXd/M5+X7OrzKBaMbCVdFLUUh6DhweJBjEVv5f2wwjM9XzcnOf+EPbtG9DMBmADjFDc2w/rljwvFw==";
+        let key_bytes = base64_decode(b64);
+        let mut rdata = Vec::new();
+        rdata.extend_from_slice(&256u16.to_be_bytes()); // flags
+        rdata.push(3); // protocol
+        rdata.push(5); // algorithm
+        rdata.extend_from_slice(&key_bytes);
+        assert_eq!(key_tag(&rdata), 60485);
+    }
+
+    #[test]
+    fn key_tag_is_order_sensitive() {
+        assert_ne!(key_tag(&[1, 2, 3, 4]), key_tag(&[4, 3, 2, 1]));
+    }
+
+    #[test]
+    fn key_tag_empty_is_zero() {
+        assert_eq!(key_tag(&[]), 0);
+    }
+
+    /// Minimal base64 decoder for the test vector (not exposed).
+    fn base64_decode(s: &str) -> Vec<u8> {
+        const TABLE: &[u8; 64] =
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+        let mut out = Vec::new();
+        let mut acc: u32 = 0;
+        let mut bits = 0;
+        for c in s.bytes() {
+            if c == b'=' {
+                break;
+            }
+            let v = TABLE.iter().position(|&t| t == c).expect("valid base64") as u32;
+            acc = (acc << 6) | v;
+            bits += 6;
+            if bits >= 8 {
+                bits -= 8;
+                out.push((acc >> bits) as u8);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,138 @@
+//! # dsec-crypto — cryptographic substrate for the dsec DNSSEC stack
+//!
+//! Everything DNSSEC needs, built from scratch per the reproduction rules:
+//!
+//! - [`bigint`]: arbitrary-precision unsigned arithmetic with Montgomery
+//!   modular exponentiation and Miller–Rabin primality testing;
+//! - [`sha`]: SHA-1 / SHA-256 / SHA-384 / SHA-512 (FIPS 180-4);
+//! - [`rsa`]: RSA key generation and RSASSA-PKCS1-v1_5 (RFC 8017 / RFC 3110);
+//! - [`algorithm`]: the IANA DNSSEC algorithm registry and a typed
+//!   sign/verify dispatch;
+//! - [`digest`]: DS digest types and the RFC 4034 Appendix B key tag;
+//! - [`base64`]: RFC 4648 base64 for zone-file presentation forms;
+//! - [`base32`]: RFC 4648 base32hex for NSEC3 owner labels.
+//!
+//! This crate is `std`-only and has a single dependency (`rand`, for key
+//! generation). It performs **real** cryptography — signatures made by
+//! [`algorithm::SigningKey::sign`] genuinely verify (or fail to) under
+//! [`algorithm::verify`] — so every DNSSEC misconfiguration modeled upstream
+//! is a real validation failure rather than a simulation flag.
+//!
+//! ## Security note
+//!
+//! The implementation is *functionally* correct but not hardened: no
+//! constant-time guarantees, no blinding, and the simulation defaults to
+//! 512-bit RSA for speed. Do not use it to protect real zones.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod base32;
+pub mod base64;
+pub mod bigint;
+pub mod digest;
+pub mod rsa;
+pub mod sha;
+
+pub use algorithm::{verify, Algorithm, SigningKey};
+pub use bigint::BigUint;
+pub use digest::{key_tag, DigestType};
+
+/// Errors produced by the crypto layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The algorithm number is not implemented by this library.
+    UnsupportedAlgorithm(u8),
+    /// Public key material could not be parsed.
+    MalformedKey(&'static str),
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::UnsupportedAlgorithm(n) => {
+                write!(f, "unsupported DNSSEC algorithm {n}")
+            }
+            CryptoError::MalformedKey(why) => write!(f, "malformed key material: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod proptests {
+    use crate::bigint::BigUint;
+    use crate::{base64, digest};
+    use proptest::prelude::*;
+
+    fn biguint() -> impl Strategy<Value = BigUint> {
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(|b| BigUint::from_bytes_be(&b))
+    }
+
+    proptest! {
+        #[test]
+        fn bytes_round_trip(b in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let v = BigUint::from_bytes_be(&b);
+            let back = v.to_bytes_be();
+            let trimmed: Vec<u8> = b.iter().copied().skip_while(|&x| x == 0).collect();
+            prop_assert_eq!(back, trimmed);
+        }
+
+        #[test]
+        fn add_commutes(a in biguint(), b in biguint()) {
+            prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+
+        #[test]
+        fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
+            prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        }
+
+        #[test]
+        fn mul_commutes(a in biguint(), b in biguint()) {
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn mul_distributes(a in biguint(), b in biguint(), c in biguint()) {
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+
+        #[test]
+        fn sub_inverts_add(a in biguint(), b in biguint()) {
+            prop_assert_eq!(a.add(&b).sub(&b), a);
+        }
+
+        #[test]
+        fn divmod_reconstructs(a in biguint(), b in biguint()) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.divmod(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+        }
+
+        #[test]
+        fn shift_round_trip(a in biguint(), s in 0usize..200) {
+            prop_assert_eq!(a.shl(s).shr(s), a);
+        }
+
+        #[test]
+        fn modpow_reduces(a in biguint(), e in biguint(), m in biguint()) {
+            prop_assume!(!m.is_zero());
+            let r = a.modpow(&e, &m);
+            prop_assert!(r < m);
+        }
+
+        #[test]
+        fn base64_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn key_tag_total(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            // Never panics, and is stable.
+            prop_assert_eq!(digest::key_tag(&data), digest::key_tag(&data));
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! RSA key generation and PKCS#1 v1.5 signatures (RFC 8017, RFC 3110).
+//!
+//! DNSSEC's RSA algorithms (RSASHA1 = 5, RSASHA256 = 8, RSASHA512 = 10) all
+//! use RSASSA-PKCS1-v1_5 over the canonical RRset data. The public key is
+//! carried in DNSKEY RDATA in the RFC 3110 wire format: a 1- or 3-byte
+//! exponent length, the exponent, then the modulus.
+//!
+//! Key sizes: the simulation defaults to 512-bit keys so that signing whole
+//! synthetic TLD populations stays fast; the API supports any size ≥ 256
+//! bits and the benches exercise 1024/2048.
+
+use rand::RngCore;
+
+use crate::bigint::BigUint;
+use crate::sha::{sha1, sha256, sha512};
+use crate::CryptoError;
+
+/// Hash function used inside an RSA PKCS#1 v1.5 signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RsaHash {
+    /// SHA-1 (DNSSEC algorithm 5; legacy).
+    Sha1,
+    /// SHA-256 (DNSSEC algorithm 8; the common choice).
+    Sha256,
+    /// SHA-512 (DNSSEC algorithm 10).
+    Sha512,
+}
+
+impl RsaHash {
+    /// ASN.1 DER `DigestInfo` prefix for this hash (RFC 8017 §9.2 note 1).
+    fn digest_info_prefix(self) -> &'static [u8] {
+        match self {
+            RsaHash::Sha1 => &[
+                0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00,
+                0x04, 0x14,
+            ],
+            RsaHash::Sha256 => &[
+                0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04,
+                0x02, 0x01, 0x05, 0x00, 0x04, 0x20,
+            ],
+            RsaHash::Sha512 => &[
+                0x30, 0x51, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04,
+                0x02, 0x03, 0x05, 0x00, 0x04, 0x40,
+            ],
+        }
+    }
+
+    fn hash(self, data: &[u8]) -> Vec<u8> {
+        match self {
+            RsaHash::Sha1 => sha1(data).to_vec(),
+            RsaHash::Sha256 => sha256(data).to_vec(),
+            RsaHash::Sha512 => sha512(data).to_vec(),
+        }
+    }
+}
+
+/// An RSA public key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RsaPublicKey {
+    /// Public exponent (typically 65537).
+    pub e: BigUint,
+    /// Modulus n = p·q.
+    pub n: BigUint,
+}
+
+impl RsaPublicKey {
+    /// Modulus size in bytes; signatures are exactly this long.
+    pub fn modulus_len(&self) -> usize {
+        self.n.to_bytes_be().len()
+    }
+
+    /// Encodes in the RFC 3110 DNSKEY public-key wire format.
+    pub fn to_dnskey_wire(&self) -> Vec<u8> {
+        let exp = self.e.to_bytes_be();
+        let mut out = Vec::with_capacity(4 + exp.len() + self.modulus_len());
+        if exp.len() < 256 {
+            out.push(exp.len() as u8);
+        } else {
+            out.push(0);
+            out.extend_from_slice(&(exp.len() as u16).to_be_bytes());
+        }
+        out.extend_from_slice(&exp);
+        out.extend_from_slice(&self.n.to_bytes_be());
+        out
+    }
+
+    /// Decodes the RFC 3110 DNSKEY public-key wire format.
+    pub fn from_dnskey_wire(data: &[u8]) -> Result<Self, CryptoError> {
+        if data.is_empty() {
+            return Err(CryptoError::MalformedKey("empty RSA key material"));
+        }
+        let (exp_len, off) = if data[0] != 0 {
+            (data[0] as usize, 1)
+        } else {
+            if data.len() < 3 {
+                return Err(CryptoError::MalformedKey("truncated RSA exponent length"));
+            }
+            (u16::from_be_bytes([data[1], data[2]]) as usize, 3)
+        };
+        if data.len() < off + exp_len + 1 {
+            return Err(CryptoError::MalformedKey("truncated RSA key material"));
+        }
+        let e = BigUint::from_bytes_be(&data[off..off + exp_len]);
+        let n = BigUint::from_bytes_be(&data[off + exp_len..]);
+        if e.is_zero() || n.is_zero() {
+            return Err(CryptoError::MalformedKey("zero RSA exponent or modulus"));
+        }
+        Ok(RsaPublicKey { e, n })
+    }
+
+    /// Verifies an RSASSA-PKCS1-v1_5 signature over `message`.
+    pub fn verify(&self, hash: RsaHash, message: &[u8], signature: &[u8]) -> bool {
+        let k = self.modulus_len();
+        if signature.len() != k {
+            return false;
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s >= self.n {
+            return false;
+        }
+        let em = s.modpow(&self.e, &self.n).to_bytes_be_padded(k);
+        em == emsa_pkcs1_v15(hash, message, k)
+    }
+}
+
+/// An RSA private key (with the public half embedded).
+#[derive(Debug, Clone)]
+pub struct RsaPrivateKey {
+    /// Public half.
+    pub public: RsaPublicKey,
+    /// Private exponent d = e⁻¹ mod λ(n).
+    d: BigUint,
+}
+
+impl RsaPrivateKey {
+    /// Generates a fresh key with a modulus of `bits` bits.
+    ///
+    /// Uses e = 65537 and rejects prime pairs where gcd(e, λ) ≠ 1. Miller–
+    /// Rabin rounds are fixed at 24 (error < 4⁻²⁴ per composite accepted).
+    pub fn generate(rng: &mut dyn RngCore, bits: usize) -> Self {
+        assert!(bits >= 256, "RSA modulus below 256 bits is not supported");
+        let e = BigUint::from_u64(65537);
+        loop {
+            let p = BigUint::random_prime(rng, bits / 2, 24);
+            let q = BigUint::random_prime(rng, bits - bits / 2, 24);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            let lambda = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            let Some(d) = e.modinv(&lambda) else {
+                continue;
+            };
+            return RsaPrivateKey {
+                public: RsaPublicKey { e, n },
+                d,
+            };
+        }
+    }
+
+    /// Signs `message` with RSASSA-PKCS1-v1_5.
+    pub fn sign(&self, hash: RsaHash, message: &[u8]) -> Vec<u8> {
+        let k = self.public.modulus_len();
+        let em = emsa_pkcs1_v15(hash, message, k);
+        let m = BigUint::from_bytes_be(&em);
+        m.modpow(&self.d, &self.public.n).to_bytes_be_padded(k)
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding: `00 01 FF…FF 00 || DigestInfo || H(m)`.
+fn emsa_pkcs1_v15(hash: RsaHash, message: &[u8], k: usize) -> Vec<u8> {
+    let digest = hash.hash(message);
+    let prefix = hash.digest_info_prefix();
+    let t_len = prefix.len() + digest.len();
+    assert!(
+        k >= t_len + 11,
+        "modulus too small for {hash:?} PKCS#1 v1.5 encoding"
+    );
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(prefix);
+    em.extend_from_slice(&digest);
+    em
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_key() -> RsaPrivateKey {
+        let mut rng = StdRng::seed_from_u64(0xD5EC);
+        RsaPrivateKey::generate(&mut rng, 512)
+    }
+
+    #[test]
+    fn sign_verify_round_trip_all_hashes() {
+        let key = test_key();
+        for hash in [RsaHash::Sha1, RsaHash::Sha256] {
+            let sig = key.sign(hash, b"the quick brown fox");
+            assert_eq!(sig.len(), key.public.modulus_len());
+            assert!(key.public.verify(hash, b"the quick brown fox", &sig));
+        }
+        // SHA-512 DigestInfo needs a bigger modulus (k >= 64+19+11).
+        let mut rng = StdRng::seed_from_u64(9);
+        let big = RsaPrivateKey::generate(&mut rng, 1024);
+        let sig = big.sign(RsaHash::Sha512, b"msg");
+        assert!(big.public.verify(RsaHash::Sha512, b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_message() {
+        let key = test_key();
+        let sig = key.sign(RsaHash::Sha256, b"original");
+        assert!(!key.public.verify(RsaHash::Sha256, b"0riginal", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let key = test_key();
+        let mut sig = key.sign(RsaHash::Sha256, b"original");
+        sig[10] ^= 0x01;
+        assert!(!key.public.verify(RsaHash::Sha256, b"original", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length_signature() {
+        let key = test_key();
+        let sig = key.sign(RsaHash::Sha256, b"m");
+        assert!(!key.public.verify(RsaHash::Sha256, b"m", &sig[1..]));
+        let mut long = sig.clone();
+        long.push(0);
+        assert!(!key.public.verify(RsaHash::Sha256, b"m", &long));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_hash() {
+        let key = test_key();
+        let sig = key.sign(RsaHash::Sha256, b"m");
+        assert!(!key.public.verify(RsaHash::Sha1, b"m", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_signature_ge_modulus() {
+        let key = test_key();
+        let k = key.public.modulus_len();
+        let too_big = key.public.n.to_bytes_be_padded(k);
+        assert!(!key.public.verify(RsaHash::Sha256, b"m", &too_big));
+    }
+
+    #[test]
+    fn dnskey_wire_round_trip() {
+        let key = test_key();
+        let wire = key.public.to_dnskey_wire();
+        let back = RsaPublicKey::from_dnskey_wire(&wire).unwrap();
+        assert_eq!(back, key.public);
+        // e = 65537 fits in 3 bytes with a 1-byte length prefix.
+        assert_eq!(wire[0], 3);
+    }
+
+    #[test]
+    fn dnskey_wire_rejects_garbage() {
+        assert!(RsaPublicKey::from_dnskey_wire(&[]).is_err());
+        assert!(RsaPublicKey::from_dnskey_wire(&[0]).is_err());
+        assert!(RsaPublicKey::from_dnskey_wire(&[5, 1, 2]).is_err());
+        // Zero exponent.
+        assert!(RsaPublicKey::from_dnskey_wire(&[1, 0, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn dnskey_wire_long_exponent_form() {
+        // A 256-byte exponent forces the 3-byte length form.
+        let mut e_bytes = vec![1u8];
+        e_bytes.extend(std::iter::repeat(0).take(255));
+        e_bytes[255] = 1;
+        let key = RsaPublicKey {
+            e: BigUint::from_bytes_be(&e_bytes),
+            n: BigUint::from_u64(u64::MAX),
+        };
+        let wire = key.to_dnskey_wire();
+        assert_eq!(wire[0], 0);
+        let back = RsaPublicKey::from_dnskey_wire(&wire).unwrap();
+        assert_eq!(back, key);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_cross_verify() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k1 = RsaPrivateKey::generate(&mut rng, 512);
+        let k2 = RsaPrivateKey::generate(&mut rng, 512);
+        assert_ne!(k1.public, k2.public);
+        let sig = k1.sign(RsaHash::Sha256, b"m");
+        assert!(!k2.public.verify(RsaHash::Sha256, b"m", &sig));
+    }
+
+    #[test]
+    fn deterministic_generation_from_seed() {
+        let mut a = StdRng::seed_from_u64(77);
+        let mut b = StdRng::seed_from_u64(77);
+        let k1 = RsaPrivateKey::generate(&mut a, 512);
+        let k2 = RsaPrivateKey::generate(&mut b, 512);
+        assert_eq!(k1.public, k2.public);
+    }
+}

@@ -1,0 +1,159 @@
+//! The simulation calendar: one tick = one day.
+//!
+//! [`SimDate`] counts days since 2015-01-01 (shortly before the paper's
+//! measurement window opens on 2015-03-01) and converts to calendar dates
+//! and epoch seconds, so RRSIG validity windows and report axes agree.
+
+use std::fmt;
+
+/// Epoch seconds at 2015-01-01T00:00:00Z.
+const BASE_EPOCH: u32 = 1_420_070_400;
+
+/// Days per month in a non-leap year.
+const MONTH_DAYS: [u16; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// A simulation date: whole days since 2015-01-01.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDate(pub u32);
+
+impl SimDate {
+    /// 2015-01-01, day zero of the simulation.
+    pub const EPOCH: SimDate = SimDate(0);
+
+    /// Builds from a calendar date (2015 ≤ year ≤ 2035).
+    pub fn from_ymd(year: u16, month: u8, day: u8) -> SimDate {
+        assert!((2015..=2035).contains(&year), "year out of supported range");
+        assert!((1..=12).contains(&month) && day >= 1, "bad calendar date");
+        let mut days: u32 = 0;
+        for y in 2015..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+        for m in 1..month {
+            days += month_len(year, m) as u32;
+        }
+        assert!(day as u16 <= month_len(year, month), "bad day of month");
+        SimDate(days + day as u32 - 1)
+    }
+
+    /// Decomposes into (year, month, day).
+    pub fn ymd(self) -> (u16, u8, u8) {
+        let mut remaining = self.0;
+        let mut year = 2015u16;
+        loop {
+            let len = if is_leap(year) { 366 } else { 365 };
+            if remaining < len {
+                break;
+            }
+            remaining -= len;
+            year += 1;
+        }
+        let mut month = 1u8;
+        loop {
+            let len = month_len(year, month) as u32;
+            if remaining < len {
+                break;
+            }
+            remaining -= len;
+            month += 1;
+        }
+        (year, month, remaining as u8 + 1)
+    }
+
+    /// Seconds since the UNIX epoch at 00:00 UTC of this day.
+    pub fn epoch_seconds(self) -> u32 {
+        BASE_EPOCH + self.0 * 86_400
+    }
+
+    /// This date plus `days`.
+    pub fn plus_days(self, days: u32) -> SimDate {
+        SimDate(self.0 + days)
+    }
+
+    /// Whole days from `earlier` to `self` (saturating at 0).
+    pub fn days_since(self, earlier: SimDate) -> u32 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+fn is_leap(year: u16) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn month_len(year: u16, month: u8) -> u16 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        MONTH_DAYS[month as usize - 1]
+    }
+}
+
+impl fmt::Display for SimDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_2015_01_01() {
+        assert_eq!(SimDate::EPOCH.to_string(), "2015-01-01");
+        assert_eq!(SimDate::EPOCH.epoch_seconds(), 1_420_070_400);
+    }
+
+    #[test]
+    fn known_dates() {
+        // The paper's measurement window endpoints.
+        assert_eq!(SimDate::from_ymd(2015, 3, 1).to_string(), "2015-03-01");
+        assert_eq!(SimDate::from_ymd(2016, 12, 31).to_string(), "2016-12-31");
+        // Cloudflare universal DNSSEC announcement.
+        assert_eq!(SimDate::from_ymd(2015, 11, 11).to_string(), "2015-11-11");
+    }
+
+    #[test]
+    fn round_trips_every_day_of_window() {
+        for day in 0..(3 * 366) {
+            let d = SimDate(day);
+            let (y, m, dd) = d.ymd();
+            assert_eq!(SimDate::from_ymd(y, m, dd), d);
+        }
+    }
+
+    #[test]
+    fn leap_year_2016_handled() {
+        let feb28 = SimDate::from_ymd(2016, 2, 28);
+        let feb29 = feb28.plus_days(1);
+        assert_eq!(feb29.to_string(), "2016-02-29");
+        assert_eq!(feb29.plus_days(1).to_string(), "2016-03-01");
+    }
+
+    #[test]
+    fn epoch_seconds_spacing() {
+        let a = SimDate::from_ymd(2015, 3, 1);
+        let b = a.plus_days(1);
+        assert_eq!(b.epoch_seconds() - a.epoch_seconds(), 86_400);
+    }
+
+    #[test]
+    fn days_since() {
+        let a = SimDate::from_ymd(2015, 3, 1);
+        let b = SimDate::from_ymd(2016, 3, 1);
+        assert_eq!(b.days_since(a), 366); // 2016 is a leap year
+        assert_eq!(a.days_since(b), 0);
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        assert!(SimDate::from_ymd(2015, 6, 1) < SimDate::from_ymd(2015, 6, 2));
+        assert!(SimDate::from_ymd(2015, 12, 31) < SimDate::from_ymd(2016, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad day of month")]
+    fn rejects_feb_30() {
+        SimDate::from_ymd(2015, 2, 30);
+    }
+}

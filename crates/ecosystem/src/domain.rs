@@ -1,0 +1,91 @@
+//! Registered domains and their hosting/DNSSEC state.
+
+use dsec_dnssec::ZoneKeys;
+use dsec_wire::Name;
+
+use crate::clock::SimDate;
+use crate::operator::OperatorId;
+use crate::policy::Plan;
+use crate::tld::Tld;
+use crate::RegistrarId;
+
+/// Who runs the authoritative nameservers for a domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hosting {
+    /// The registrar's own hosting (the common default).
+    Registrar {
+        /// The customer's plan tier (gates NameCheap-style signing).
+        plan: Plan,
+    },
+    /// The owner runs their own nameserver (`ns1.<domain>` by convention).
+    Owner,
+    /// A third-party DNS operator (Cloudflare / DNSPod model).
+    ThirdParty {
+        /// Which operator.
+        operator: OperatorId,
+    },
+}
+
+/// One registered second-level domain.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// The domain name.
+    pub name: Name,
+    /// Its TLD.
+    pub tld: Tld,
+    /// The registrar the customer bought it from (a reseller keeps the
+    /// customer relationship; `sponsor` below is who talks to the registry).
+    pub registrar: RegistrarId,
+    /// The accredited registrar of record at the registry (differs from
+    /// `registrar` when that one is a reseller).
+    pub sponsor: RegistrarId,
+    /// Hosting arrangement.
+    pub hosting: Hosting,
+    /// Zone keys, present iff the zone is signed (DNSKEY+RRSIG published).
+    pub keys: Option<ZoneKeys>,
+    /// Registration date.
+    pub created: SimDate,
+    /// Next renewal date.
+    pub expires: SimDate,
+    /// Reseller switched partners; the registry transfer (and any new
+    /// DNSSEC defaults) applies at the next renewal (the Antagonist /
+    /// TransIP pattern from §6.3).
+    pub pending_partner_migration: bool,
+    /// The registrant's contact address for email-channel authentication.
+    pub registrant_email: String,
+}
+
+impl Domain {
+    /// The owner-hosting nameserver hostname for this domain.
+    pub fn owner_ns_host(&self) -> Name {
+        self.name.child("ns1").expect("ns1 label fits")
+    }
+
+    /// True when the zone publishes DNSKEYs (signed by whoever hosts it).
+    pub fn is_signed(&self) -> bool {
+        self.keys.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_ns_host_is_under_domain() {
+        let d = Domain {
+            name: Name::parse("example.com").unwrap(),
+            tld: Tld::Com,
+            registrar: RegistrarId(0),
+            sponsor: RegistrarId(0),
+            hosting: Hosting::Owner,
+            keys: None,
+            created: SimDate(0),
+            expires: SimDate(365),
+            pending_partner_migration: false,
+            registrant_email: "owner@example.com".into(),
+        };
+        assert_eq!(d.owner_ns_host(), Name::parse("ns1.example.com").unwrap());
+        assert!(!d.is_signed());
+    }
+}

@@ -1,0 +1,733 @@
+//! # dsec-ecosystem — the simulated registration world
+//!
+//! Everything between "a customer wants a domain" and "records appear in
+//! zones": TLD [`registry::Registry`]s, [`registrar::Registrar`]s and
+//! resellers with the policy knobs the paper's Tables 2–4 document,
+//! [`operator::Operator`]s (including third-party operators like
+//! Cloudflare), owners, the email channel, and the daily simulation
+//! [`world::World::tick`].
+//!
+//! Every DNSSEC state transition performs real work: signing puts real
+//! RRSIGs in zones served by real authorities, DS uploads put real DS
+//! RRsets (signed by the registry) in the TLD zone, and a misconfigured
+//! domain genuinely fails validation when resolved.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod domain;
+pub mod events;
+pub mod operator;
+pub mod policy;
+pub mod registrar;
+pub mod registry;
+pub mod tld;
+pub mod world;
+
+pub use clock::SimDate;
+pub use domain::{Domain, Hosting};
+pub use events::{Event, EventLog};
+pub use operator::{Operator, OperatorId};
+pub use policy::{ExternalDs, OperatorDnssec, Plan, RegistrarPolicy, TldPolicy, TldRole};
+pub use registrar::{Milestone, PolicyChange, Registrar};
+pub use registry::{Registry, RegistryError};
+pub use tld::{Incentive, Tld, ALL_TLDS};
+pub use world::{ActionError, DsSubmission, ThirdParty, UploadOutcome, World, WorldConfig};
+
+/// Index of a registrar in the world's registrar table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegistrarId(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsec_dnssec::{classify, DeploymentStatus, Misconfiguration};
+    use dsec_wire::{DsRdata, Name};
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn small_world() -> World {
+        World::new(WorldConfig {
+            key_pool: 2,
+            ..WorldConfig::default()
+        })
+    }
+
+    fn add_full_registrar(world: &mut World, nm: &str, ns: &str) -> RegistrarId {
+        world.add_registrar(
+            nm,
+            name(ns),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Default,
+                external_ds: ExternalDs::Web { validates: true },
+                tlds: ALL_TLDS
+                    .iter()
+                    .map(|&t| (t, TldPolicy::full(TldRole::Registrar)))
+                    .collect(),
+            },
+        )
+    }
+
+    fn add_no_dnssec_registrar(world: &mut World, nm: &str, ns: &str) -> RegistrarId {
+        world.add_registrar(nm, name(ns), RegistrarPolicy::no_dnssec(&ALL_TLDS))
+    }
+
+    fn now(world: &World) -> u32 {
+        world.today.epoch_seconds()
+    }
+
+    #[test]
+    fn purchase_with_default_signing_is_fully_deployed() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let obs = w.observation_of(&d);
+        assert_eq!(classify(&d, &obs, now(&w)), DeploymentStatus::FullyDeployed);
+    }
+
+    #[test]
+    fn purchase_from_no_dnssec_registrar_is_not_deployed() {
+        let mut w = small_world();
+        let r = add_no_dnssec_registrar(&mut w, "BadReg", "badreg.net");
+        let d = w
+            .purchase(r, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let obs = w.observation_of(&d);
+        assert_eq!(classify(&d, &obs, now(&w)), DeploymentStatus::NotDeployed);
+        assert_eq!(w.enable_dnssec(&d), Err(ActionError::DnssecUnsupported));
+    }
+
+    #[test]
+    fn name_collisions_rejected() {
+        let mut w = small_world();
+        let r = add_no_dnssec_registrar(&mut w, "Reg", "reg.net");
+        w.purchase(r, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        assert_eq!(
+            w.purchase(r, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com"),
+            Err(ActionError::NameTaken)
+        );
+    }
+
+    #[test]
+    fn unsold_tld_rejected() {
+        let mut w = small_world();
+        let r = w.add_registrar(
+            "ComOnly",
+            name("comonly.net"),
+            RegistrarPolicy::no_dnssec(&[Tld::Com]),
+        );
+        assert_eq!(
+            w.purchase(r, "x", Tld::Se, Hosting::Registrar { plan: Plan::Free }, "o@x.com"),
+            Err(ActionError::TldNotSold)
+        );
+    }
+
+    #[test]
+    fn paid_dnssec_needs_payment() {
+        let mut w = small_world();
+        let r = w.add_registrar(
+            "PayReg",
+            name("payreg.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Paid {
+                    cents_per_year: 3500,
+                    adoption_rate: 0.0002,
+                },
+                external_ds: ExternalDs::Web { validates: false },
+                tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+            },
+        );
+        let d = w
+            .purchase(r, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        assert_eq!(
+            w.enable_dnssec(&d),
+            Err(ActionError::RequiresPayment { cents_per_year: 3500 })
+        );
+        w.enable_dnssec_paid(&d).unwrap();
+        let obs = w.observation_of(&d);
+        assert_eq!(classify(&d, &obs, now(&w)), DeploymentStatus::FullyDeployed);
+    }
+
+    #[test]
+    fn plan_gated_signing() {
+        let mut w = small_world();
+        let r = w.add_registrar(
+            "PlanReg",
+            name("planreg.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::DefaultOnPlans(vec![Plan::Premium]),
+                external_ds: ExternalDs::Web { validates: false },
+                tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+            },
+        );
+        let free = w
+            .purchase(r, "free", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let premium = w
+            .purchase(r, "prem", Tld::Com, Hosting::Registrar { plan: Plan::Premium }, "o@x.com")
+            .unwrap();
+        assert!(!w.domain(&free).unwrap().is_signed());
+        assert!(w.domain(&premium).unwrap().is_signed());
+    }
+
+    #[test]
+    fn partial_deployment_when_registrar_never_uploads_ds() {
+        // The MeshDigital / Loopia-for-.com pattern.
+        let mut w = small_world();
+        let r = w.add_registrar(
+            "PartialReg",
+            name("partialreg.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Default,
+                external_ds: ExternalDs::Email {
+                    verifies_sender: false,
+                    accepts_foreign_sender: false,
+                    validates: false,
+                },
+                tlds: [(Tld::Com, TldPolicy::without_ds(TldRole::Registrar))].into(),
+            },
+        );
+        let d = w
+            .purchase(r, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let obs = w.observation_of(&d);
+        assert_eq!(
+            classify(&d, &obs, now(&w)),
+            DeploymentStatus::PartiallyDeployed
+        );
+    }
+
+    #[test]
+    fn owner_hosting_full_cycle_via_validating_web_form() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "self", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let ns = w.switch_to_owner_hosting(&d).unwrap();
+        assert_eq!(ns, name("ns1.self.com"));
+        // After the switch the domain is unsigned again.
+        let obs = w.observation_of(&d);
+        assert!(obs.dnskey_rrset.is_none());
+        let ds = w.owner_sign_zone(&d).unwrap();
+        // Without DS upload: partial.
+        let obs = w.observation_of(&d);
+        assert_eq!(
+            classify(&d, &obs, now(&w)),
+            DeploymentStatus::PartiallyDeployed
+        );
+        // Upload via the validating web form.
+        assert_eq!(
+            w.upload_ds(&d, ds, DsSubmission::Web).unwrap(),
+            UploadOutcome::Accepted
+        );
+        let obs = w.observation_of(&d);
+        assert_eq!(classify(&d, &obs, now(&w)), DeploymentStatus::FullyDeployed);
+    }
+
+    #[test]
+    fn validating_web_form_rejects_garbage_ds() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "self", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        w.switch_to_owner_hosting(&d).unwrap();
+        w.owner_sign_zone(&d).unwrap();
+        let garbage = DsRdata {
+            key_tag: 1,
+            algorithm: 8,
+            digest_type: 2,
+            digest: vec![0xAA; 32],
+        };
+        assert_eq!(
+            w.upload_ds(&d, garbage, DsSubmission::Web).unwrap(),
+            UploadOutcome::RejectedInvalid
+        );
+        assert!(w.registry(Tld::Com).ds_of(&d).is_empty());
+    }
+
+    #[test]
+    fn non_validating_web_form_accepts_garbage_making_domain_bogus() {
+        let mut w = small_world();
+        let r = w.add_registrar(
+            "SloppyReg",
+            name("sloppyreg.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Unsupported,
+                external_ds: ExternalDs::Web { validates: false },
+                tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+            },
+        );
+        let d = w
+            .purchase(r, "self", Tld::Com, Hosting::Owner, "o@x.com")
+            .unwrap();
+        w.owner_sign_zone(&d).unwrap();
+        let garbage = DsRdata {
+            key_tag: 1,
+            algorithm: 8,
+            digest_type: 2,
+            digest: b"copy paste error".to_vec(),
+        };
+        assert_eq!(
+            w.upload_ds(&d, garbage, DsSubmission::Web).unwrap(),
+            UploadOutcome::Accepted
+        );
+        let obs = w.observation_of(&d);
+        assert_eq!(
+            classify(&d, &obs, now(&w)),
+            DeploymentStatus::Misconfigured(Misconfiguration::DsMismatch)
+        );
+    }
+
+    #[test]
+    fn email_channel_authentication_matrix() {
+        let mut w = small_world();
+        let strict = w.add_registrar(
+            "StrictMail",
+            name("strictmail.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Unsupported,
+                external_ds: ExternalDs::Email {
+                    verifies_sender: true,
+                    accepts_foreign_sender: false,
+                    validates: false,
+                },
+                tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+            },
+        );
+        let d = w
+            .purchase(strict, "a", Tld::Com, Hosting::Owner, "owner@a.com")
+            .unwrap();
+        let ds = w.owner_sign_zone(&d).unwrap();
+        // Forged header, attacker mailbox → rejected.
+        assert_eq!(
+            w.upload_ds(
+                &d,
+                ds.clone(),
+                DsSubmission::Email {
+                    claimed_from: "owner@a.com".into(),
+                    actual_from: "evil@attacker.net".into(),
+                }
+            )
+            .unwrap(),
+            UploadOutcome::EmailNotVerified
+        );
+        // Genuine sender → accepted.
+        assert_eq!(
+            w.upload_ds(
+                &d,
+                ds,
+                DsSubmission::Email {
+                    claimed_from: "owner@a.com".into(),
+                    actual_from: "owner@a.com".into(),
+                }
+            )
+            .unwrap(),
+            UploadOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn forged_email_hijack_succeeds_at_lax_registrar() {
+        // The paper's §5.3 vulnerability: no email authentication at all.
+        let mut w = small_world();
+        let lax = w.add_registrar(
+            "LaxMail",
+            name("laxmail.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Unsupported,
+                external_ds: ExternalDs::Email {
+                    verifies_sender: false,
+                    accepts_foreign_sender: false,
+                    validates: false,
+                },
+                tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+            },
+        );
+        let d = w
+            .purchase(lax, "victim", Tld::Com, Hosting::Owner, "owner@victim.com")
+            .unwrap();
+        w.owner_sign_zone(&d).unwrap();
+        let attacker_ds = DsRdata {
+            key_tag: 666,
+            algorithm: 8,
+            digest_type: 2,
+            digest: vec![6; 32],
+        };
+        assert_eq!(
+            w.upload_ds(
+                &d,
+                attacker_ds.clone(),
+                DsSubmission::Email {
+                    claimed_from: "owner@victim.com".into(), // forged
+                    actual_from: "evil@attacker.net".into(),
+                }
+            )
+            .unwrap(),
+            UploadOutcome::Accepted
+        );
+        assert_eq!(w.registry(Tld::Com).ds_of(&d), vec![attacker_ds]);
+        assert_eq!(w.events.count("forged_email_accepted"), 1);
+        let obs = w.observation_of(&d);
+        assert_eq!(
+            classify(&d, &obs, now(&w)),
+            DeploymentStatus::Misconfigured(Misconfiguration::DsMismatch)
+        );
+    }
+
+    #[test]
+    fn foreign_sender_acceptance_is_worst_case() {
+        let mut w = small_world();
+        let worst = w.add_registrar(
+            "WorstMail",
+            name("worstmail.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Unsupported,
+                external_ds: ExternalDs::Email {
+                    verifies_sender: false,
+                    accepts_foreign_sender: true,
+                    validates: false,
+                },
+                tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+            },
+        );
+        let d = w
+            .purchase(worst, "victim", Tld::Com, Hosting::Owner, "owner@victim.com")
+            .unwrap();
+        w.owner_sign_zone(&d).unwrap();
+        let outcome = w
+            .upload_ds(
+                &d,
+                DsRdata {
+                    key_tag: 1,
+                    algorithm: 8,
+                    digest_type: 2,
+                    digest: vec![1; 32],
+                },
+                DsSubmission::Email {
+                    claimed_from: "whoever@wherever.org".into(),
+                    actual_from: "whoever@wherever.org".into(),
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome, UploadOutcome::Accepted);
+    }
+
+    #[test]
+    fn chat_channel_can_hit_wrong_domain() {
+        let mut w = small_world();
+        let chat = w.add_registrar(
+            "ChatReg",
+            name("chatreg.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Unsupported,
+                external_ds: ExternalDs::Chat { mistake_rate: 1.0 },
+                tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+            },
+        );
+        let victim = w
+            .purchase(chat, "victim", Tld::Com, Hosting::Owner, "v@x.com")
+            .unwrap();
+        let d = w
+            .purchase(chat, "mine", Tld::Com, Hosting::Owner, "m@x.com")
+            .unwrap();
+        let ds = w.owner_sign_zone(&d).unwrap();
+        let outcome = w.upload_ds(&d, ds, DsSubmission::Chat).unwrap();
+        assert_eq!(outcome, UploadOutcome::AcceptedOnWrongDomain(victim.clone()));
+        assert!(!w.registry(Tld::Com).ds_of(&victim).is_empty());
+        assert!(w.registry(Tld::Com).ds_of(&d).is_empty());
+        assert_eq!(w.events.count("ds_on_wrong_domain"), 1);
+    }
+
+    #[test]
+    fn fetch_dnskey_channel_derives_correct_ds() {
+        // The PCExtreme model: no user-supplied data at all.
+        let mut w = small_world();
+        let r = w.add_registrar(
+            "FetchReg",
+            name("fetchreg.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Unsupported,
+                external_ds: ExternalDs::FetchDnskey,
+                tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+            },
+        );
+        let d = w
+            .purchase(r, "self", Tld::Com, Hosting::Owner, "o@x.com")
+            .unwrap();
+        let real_ds = w.owner_sign_zone(&d).unwrap();
+        let bogus = DsRdata {
+            key_tag: 0,
+            algorithm: 0,
+            digest_type: 0,
+            digest: vec![],
+        };
+        assert_eq!(
+            w.upload_ds(&d, bogus, DsSubmission::FetchDnskey).unwrap(),
+            UploadOutcome::Accepted
+        );
+        assert_eq!(w.registry(Tld::Com).ds_of(&d), vec![real_ds]);
+    }
+
+    #[test]
+    fn unsupported_channel_is_reported() {
+        let mut w = small_world();
+        let r = add_no_dnssec_registrar(&mut w, "NoDs", "nods.net");
+        let d = w
+            .purchase(r, "self", Tld::Com, Hosting::Owner, "o@x.com")
+            .unwrap();
+        let ds = w.owner_sign_zone(&d).unwrap();
+        for via in [
+            DsSubmission::Web,
+            DsSubmission::Chat,
+            DsSubmission::Ticket,
+            DsSubmission::FetchDnskey,
+        ] {
+            assert_eq!(
+                w.upload_ds(&d, ds.clone(), via).unwrap(),
+                UploadOutcome::ChannelUnsupported
+            );
+        }
+    }
+
+    #[test]
+    fn reseller_routes_through_partner() {
+        let mut w = small_world();
+        let partner = add_full_registrar(&mut w, "PartnerReg", "partnerreg.net");
+        let reseller = w.add_registrar(
+            "ResellerCo",
+            name("resellerco.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Default,
+                external_ds: ExternalDs::Web { validates: false },
+                tlds: [(
+                    Tld::Com,
+                    TldPolicy::full(TldRole::ResellerVia("PartnerReg".into())),
+                )]
+                .into(),
+            },
+        );
+        let d = w
+            .purchase(reseller, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let dom = w.domain(&d).unwrap();
+        assert_eq!(dom.registrar, reseller);
+        assert_eq!(dom.sponsor, partner);
+        let obs = w.observation_of(&d);
+        assert_eq!(classify(&d, &obs, now(&w)), DeploymentStatus::FullyDeployed);
+    }
+
+    #[test]
+    fn third_party_flow_with_and_without_relay() {
+        let mut w = small_world();
+        let r = add_no_dnssec_registrar(&mut w, "Reg", "reg.net");
+        // Give the registrar a DS channel so relays can land.
+        w.set_external_ds(r, ExternalDs::Web { validates: false });
+        let cf = w.add_third_party(
+            "Cloudflare",
+            name("cloudflare-dns.sim"),
+            Some(SimDate::from_ymd(2015, 11, 11)),
+            0.0,
+            0.6,
+        );
+        let d = w
+            .purchase(r, "site", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        w.enroll_third_party(&d, cf).unwrap();
+        assert_eq!(
+            w.third_party_enable_dnssec(&d),
+            Err(ActionError::DnssecUnsupported)
+        );
+        w.advance_to(SimDate::from_ymd(2015, 11, 12));
+        let ds = w.third_party_enable_dnssec(&d).unwrap();
+        // Signed but no DS yet: the paper's 40% failure state.
+        let obs = w.observation_of(&d);
+        assert_eq!(
+            classify(&d, &obs, now(&w)),
+            DeploymentStatus::PartiallyDeployed
+        );
+        // The diligent 60% relay the DS via their registrar.
+        assert_eq!(
+            w.upload_ds(&d, ds, DsSubmission::Web).unwrap(),
+            UploadOutcome::Accepted
+        );
+        let obs = w.observation_of(&d);
+        assert_eq!(classify(&d, &obs, now(&w)), DeploymentStatus::FullyDeployed);
+    }
+
+    #[test]
+    fn population_optin_hazard_grows_adoption() {
+        let mut w = small_world();
+        let r = w.add_registrar(
+            "OVHlike",
+            name("ovhlike.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::OptIn { adoption_rate: 0.26 },
+                external_ds: ExternalDs::Web { validates: true },
+                tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+            },
+        );
+        for i in 0..40 {
+            w.purchase(
+                r,
+                &format!("c{i}"),
+                Tld::Com,
+                Hosting::Registrar { plan: Plan::Free },
+                "o@x.com",
+            )
+            .unwrap();
+        }
+        w.set_optin_hazard(r, 0.05);
+        for _ in 0..60 {
+            w.tick();
+        }
+        let signed = w.domains().filter(|d| d.is_signed()).count();
+        assert!(signed > 10, "expected substantial opt-in, got {signed}");
+        assert!(signed < 40, "not everyone opts in immediately");
+    }
+
+    #[test]
+    fn renewal_migration_enables_dnssec() {
+        // The Antagonist pattern: reseller switches partner; existing
+        // domains migrate (and get signed) at renewal.
+        let mut w = small_world();
+        let _old_partner = add_no_dnssec_registrar(&mut w, "DirectLike", "directlike.net");
+        let _new_partner = add_full_registrar(&mut w, "OpenProviderLike", "openproviderlike.net");
+        let reseller = w.add_registrar(
+            "AntagonistLike",
+            name("antagonistlike.net"),
+            RegistrarPolicy {
+                operator_dnssec: OperatorDnssec::Default,
+                external_ds: ExternalDs::Email {
+                    verifies_sender: true,
+                    accepts_foreign_sender: false,
+                    validates: false,
+                },
+                tlds: [(
+                    Tld::Com,
+                    TldPolicy::without_ds(TldRole::ResellerVia("DirectLike".into())),
+                )]
+                .into(),
+            },
+        );
+        let d = w
+            .purchase(reseller, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        // Signed (reseller signs by default) but no DS → partial.
+        let obs = w.observation_of(&d);
+        assert_eq!(
+            classify(&d, &obs, now(&w)),
+            DeploymentStatus::PartiallyDeployed
+        );
+
+        w.add_milestone(
+            reseller,
+            w.today.plus_days(30),
+            PolicyChange::SwitchPartner {
+                tld: Tld::Com,
+                new_partner: "OpenProviderLike".into(),
+                migrate_at_renewal: true,
+            },
+        );
+        // Advance past the renewal (365 days after purchase).
+        w.advance_to(w.today.plus_days(370));
+        let dom = w.domain(&d).unwrap();
+        assert_eq!(dom.sponsor, w.registrar_by_name("OpenProviderLike").unwrap());
+        let obs = w.observation_of(&d);
+        assert_eq!(classify(&d, &obs, now(&w)), DeploymentStatus::FullyDeployed);
+        assert_eq!(w.events.count("partner_migrated"), 1);
+    }
+
+    #[test]
+    fn incentive_audits_award_discounts() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "NlReg", "nlreg.net");
+        w.purchase(r, "goed", Tld::Nl, Hosting::Registrar { plan: Plan::Free }, "o@x.nl")
+            .unwrap();
+        for _ in 0..30 {
+            w.tick();
+        }
+        let registry = w.registry(Tld::Nl);
+        assert!(registry.discounts_cents.get(&r).copied().unwrap_or(0) > 0);
+        assert_eq!(registry.audit_failures.get(&r).copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn audits_count_failures_for_broken_domains() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "NlReg", "nlreg.net");
+        let d = w
+            .purchase(r, "kapot", Tld::Nl, Hosting::Registrar { plan: Plan::Free }, "o@x.nl")
+            .unwrap();
+        // Break the chain: replace the DS with garbage directly.
+        let sponsor = w.domain(&d).unwrap().sponsor;
+        w.registry_mut(Tld::Nl)
+            .set_ds(
+                sponsor,
+                &d,
+                &[DsRdata {
+                    key_tag: 1,
+                    algorithm: 8,
+                    digest_type: 2,
+                    digest: vec![9; 32],
+                }],
+            )
+            .unwrap();
+        for _ in 0..30 {
+            w.tick();
+        }
+        assert!(w.registry(Tld::Nl).audit_failures.get(&r).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn cds_scan_applies_key_rollover() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "CzLike", "czlike.net");
+        let d = w
+            .purchase(r, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        w.registry_mut(Tld::Com).supports_cds = true;
+        // Roll properly: publish a CDS for the new keys, signed by the old
+        // keys that are still chained from the current DS.
+        let new_keys = w.mismatched_keys_for(&d);
+        let signer = w.signer_config();
+        let op = w.registrar(r).operator;
+        let old_keys = w.domain(&d).unwrap().keys.clone().unwrap();
+        w.operator(op).publish_cds(
+            &d,
+            &old_keys,
+            new_keys.ds(dsec_crypto::DigestType::Sha256),
+            &signer,
+        );
+        w.tick();
+        assert_eq!(
+            w.registry(Tld::Com).ds_of(&d),
+            vec![new_keys.ds(dsec_crypto::DigestType::Sha256)]
+        );
+        assert!(w.events.count("cds_applied") >= 1);
+    }
+
+    #[test]
+    fn full_chain_resolves_securely_through_resolver() {
+        use dsec_resolver::{Resolver, Security};
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "shop", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let resolver = Resolver::new(w.network.clone(), w.trust_anchor());
+        let www = d.child("www").unwrap();
+        let answer = resolver
+            .resolve(&www, dsec_wire::RrType::A, now(&w))
+            .unwrap();
+        assert_eq!(answer.security, Security::Secure);
+        assert_eq!(answer.records.len(), 1);
+    }
+}

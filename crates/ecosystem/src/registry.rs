@@ -1,0 +1,625 @@
+//! TLD registries: the organizations that own the TLD zone file.
+//!
+//! A registry serves its (signed) TLD zone, accepts delegation and DS
+//! updates **only from accredited registrars** (the paper's key structural
+//! constraint), runs the daily DNSSEC compliance audits behind the .nl/.se
+//! discount programmes, and — when configured like `.cz` — scans child
+//! zones for CDS/CDNSKEY records.
+//!
+//! For scalability the TLD zone is signed *incrementally*: the apex RRsets
+//! once, and each delegation's DS RRset individually whenever a registrar
+//! updates it. (A full NSEC chain over a hundred-thousand-delegation zone
+//! would be re-signed wholesale otherwise; see DESIGN.md.)
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::RngCore;
+
+use dsec_authserver::Authority;
+use dsec_crypto::Algorithm;
+use dsec_dnssec::{sign_rrset, SignerConfig, ZoneKeys};
+use dsec_wire::{DsRdata, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
+
+use crate::tld::Tld;
+use crate::RegistrarId;
+
+/// TTLs used in registry zones.
+const DELEGATION_TTL: u32 = 172_800;
+const DS_TTL: u32 = 86_400;
+const APEX_TTL: u32 = 3_600;
+
+/// One TLD registry.
+pub struct Registry {
+    /// Which TLD this registry operates.
+    pub tld: Tld,
+    /// The registry's zone-signing keys.
+    keys: ZoneKeys,
+    /// The authority serving the TLD zone.
+    authority: Arc<Authority>,
+    /// Registrars allowed to touch the registry.
+    accredited: Vec<RegistrarId>,
+    /// Whether the registry scans children for CDS/CDNSKEY (RFC 7344/8078);
+    /// in the paper's time frame only `.cz` had announced this.
+    pub supports_cds: bool,
+    /// RFC 8078 §3 "accept after delay" bootstrapping: when set, a child
+    /// with **no** current DS whose CDS has been stably published (and
+    /// self-consistently signed) for this many days gets its DS installed
+    /// — the mechanism that heals partial deployments without any
+    /// registrar interaction.
+    pub cds_bootstrap_delay_days: Option<u32>,
+    /// Signer parameters for DS RRset signatures.
+    signer: SignerConfig,
+    /// Incentive bookkeeping: cents awarded per registrar.
+    pub discounts_cents: BTreeMap<RegistrarId, u64>,
+    /// Incentive bookkeeping: validation failures per registrar.
+    pub audit_failures: BTreeMap<RegistrarId, u64>,
+    /// Which registrar is responsible for each delegation (for audits).
+    sponsor: BTreeMap<Name, RegistrarId>,
+}
+
+impl Registry {
+    /// Creates the registry: generates keys, builds and signs the apex of
+    /// the TLD zone, and registers its nameserver on `authority`.
+    ///
+    /// `valid_until` is the epoch-seconds expiration used for every
+    /// signature the registry makes (set it past the simulation end).
+    pub fn new(
+        tld: Tld,
+        rng: &mut dyn RngCore,
+        valid_from: u32,
+        valid_until: u32,
+    ) -> Self {
+        let origin = tld.zone();
+        let keys = ZoneKeys::generate_default(rng, origin.clone(), Algorithm::RsaSha256)
+            .expect("RSA-SHA256 is supported");
+        let signer = SignerConfig {
+            inception: valid_from,
+            expiration: valid_until,
+            nsec: false,
+            nsec3: None,
+            dnskey_ttl: APEX_TTL,
+        };
+
+        let mut zone = Zone::new(origin.clone());
+        zone.add(Record::new(
+            origin.clone(),
+            APEX_TTL,
+            RData::Soa(SoaRdata {
+                mname: tld.registry_ns(),
+                rname: Name::parse(&format!("hostmaster.{}", tld.label())).unwrap(),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            }),
+        ))
+        .expect("apex SOA in zone");
+        zone.add(Record::new(
+            origin.clone(),
+            APEX_TTL,
+            RData::Ns(tld.registry_ns()),
+        ))
+        .expect("apex NS in zone");
+        for record in keys.dnskey_records(APEX_TTL) {
+            zone.add(record).expect("DNSKEYs in zone");
+        }
+        // Sign the three apex RRsets.
+        for rtype in [RrType::Soa, RrType::Ns, RrType::Dnskey] {
+            let rrset = zone.rrset(&origin, rtype).expect("apex RRset exists");
+            let sig = if rtype == RrType::Dnskey {
+                sign_rrset(&rrset, &keys.ksk, keys.ksk_tag(), &origin, &signer)
+            } else {
+                sign_rrset(&rrset, &keys.zsk, keys.zsk_tag(), &origin, &signer)
+            };
+            zone.add(sig).expect("apex RRSIG in zone");
+        }
+
+        let authority = Arc::new(Authority::new());
+        authority.upsert_zone(zone);
+
+        Registry {
+            tld,
+            keys,
+            authority,
+            accredited: Vec::new(),
+            supports_cds: false,
+            cds_bootstrap_delay_days: None,
+            signer,
+            discounts_cents: BTreeMap::new(),
+            audit_failures: BTreeMap::new(),
+            sponsor: BTreeMap::new(),
+        }
+    }
+
+    /// The authority serving this TLD zone (register it on the network
+    /// under [`Tld::registry_ns`]).
+    pub fn authority(&self) -> Arc<Authority> {
+        self.authority.clone()
+    }
+
+    /// The registry's own keys (the parent hands its DS up to the root).
+    pub fn keys(&self) -> &ZoneKeys {
+        &self.keys
+    }
+
+    /// Accredits a registrar (ICANN accreditation + registry certification).
+    pub fn accredit(&mut self, registrar: RegistrarId) {
+        if !self.accredited.contains(&registrar) {
+            self.accredited.push(registrar);
+        }
+    }
+
+    /// Whether `registrar` may update this registry.
+    pub fn is_accredited(&self, registrar: RegistrarId) -> bool {
+        self.accredited.contains(&registrar)
+    }
+
+    /// Registers a new delegation. Only accredited registrars may do this.
+    pub fn add_delegation(
+        &mut self,
+        registrar: RegistrarId,
+        domain: &Name,
+        ns_hosts: &[Name],
+    ) -> Result<(), RegistryError> {
+        self.check(registrar, domain)?;
+        if self.authority
+            .with_zone(&self.tld.zone(), |z| z.rrset(domain, RrType::Ns).is_some())
+            .unwrap_or(false)
+        {
+            return Err(RegistryError::AlreadyRegistered(domain.to_string()));
+        }
+        self.authority.with_zone_mut(&self.tld.zone(), |zone| {
+            for ns in ns_hosts {
+                zone.add(Record::new(
+                    domain.clone(),
+                    DELEGATION_TTL,
+                    RData::Ns(ns.clone()),
+                ))
+                .expect("delegation in zone");
+            }
+        });
+        self.sponsor.insert(domain.to_canonical(), registrar);
+        Ok(())
+    }
+
+    /// Replaces the NS set of an existing delegation (hosting change).
+    pub fn set_ns(
+        &mut self,
+        registrar: RegistrarId,
+        domain: &Name,
+        ns_hosts: &[Name],
+    ) -> Result<(), RegistryError> {
+        self.check_sponsor(registrar, domain)?;
+        self.authority.with_zone_mut(&self.tld.zone(), |zone| {
+            zone.remove_rrset(domain, RrType::Ns);
+            for ns in ns_hosts {
+                zone.add(Record::new(
+                    domain.clone(),
+                    DELEGATION_TTL,
+                    RData::Ns(ns.clone()),
+                ))
+                .expect("delegation in zone");
+            }
+        });
+        Ok(())
+    }
+
+    /// Installs (replacing) the DS RRset for a delegation and signs it.
+    /// **The registry performs no validation of the DS contents** — exactly
+    /// like real registries, it publishes whatever the registrar sends.
+    pub fn set_ds(
+        &mut self,
+        registrar: RegistrarId,
+        domain: &Name,
+        ds_set: &[DsRdata],
+    ) -> Result<(), RegistryError> {
+        self.check_sponsor(registrar, domain)?;
+        let keys = &self.keys;
+        let signer = &self.signer;
+        self.authority.with_zone_mut(&self.tld.zone(), |zone| {
+            zone.remove_rrset(domain, RrType::Ds);
+            remove_rrsig_covering(zone, domain, RrType::Ds);
+            if ds_set.is_empty() {
+                return;
+            }
+            for ds in ds_set {
+                zone.add(Record::new(domain.clone(), DS_TTL, RData::Ds(ds.clone())))
+                    .expect("DS in zone");
+            }
+            let rrset = zone.rrset(domain, RrType::Ds).expect("just added");
+            let sig = sign_rrset(&rrset, &keys.zsk, keys.zsk_tag(), &keys.zone, signer);
+            zone.add(sig).expect("DS RRSIG in zone");
+        });
+        Ok(())
+    }
+
+    /// Removes the DS RRset (and its signature).
+    pub fn remove_ds(&mut self, registrar: RegistrarId, domain: &Name) -> Result<(), RegistryError> {
+        self.set_ds(registrar, domain, &[])
+    }
+
+    /// Drops a delegation entirely.
+    pub fn remove_delegation(
+        &mut self,
+        registrar: RegistrarId,
+        domain: &Name,
+    ) -> Result<(), RegistryError> {
+        self.check_sponsor(registrar, domain)?;
+        self.authority.with_zone_mut(&self.tld.zone(), |zone| {
+            zone.remove_name(domain);
+        });
+        self.sponsor.remove(&domain.to_canonical());
+        Ok(())
+    }
+
+    /// Transfers sponsorship of a delegation to another accredited
+    /// registrar (reseller partner migration at renewal).
+    pub fn transfer(
+        &mut self,
+        from: RegistrarId,
+        to: RegistrarId,
+        domain: &Name,
+    ) -> Result<(), RegistryError> {
+        self.check_sponsor(from, domain)?;
+        if !self.is_accredited(to) {
+            return Err(RegistryError::NotAccredited(to));
+        }
+        self.sponsor.insert(domain.to_canonical(), to);
+        Ok(())
+    }
+
+    /// The DS records currently published for `domain`.
+    pub fn ds_of(&self, domain: &Name) -> Vec<DsRdata> {
+        self.authority
+            .with_zone(&self.tld.zone(), |zone| {
+                zone.rrset(domain, RrType::Ds)
+                    .map(|set| {
+                        set.records()
+                            .iter()
+                            .filter_map(|r| match &r.rdata {
+                                RData::Ds(ds) => Some(ds.clone()),
+                                _ => None,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The NS hostnames currently delegated for `domain`.
+    pub fn ns_of(&self, domain: &Name) -> Vec<Name> {
+        self.authority
+            .with_zone(&self.tld.zone(), |zone| {
+                zone.rrset(domain, RrType::Ns)
+                    .map(|set| {
+                        set.records()
+                            .iter()
+                            .filter_map(|r| match &r.rdata {
+                                RData::Ns(h) => Some(h.clone()),
+                                _ => None,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Every delegated second-level domain (the "zone file" the scanner
+    /// enumerates, as OpenINTEL does).
+    pub fn delegations(&self) -> Vec<Name> {
+        self.authority
+            .with_zone(&self.tld.zone(), |zone| {
+                let origin = self.tld.zone();
+                let mut names: Vec<Name> = zone
+                    .owner_names()
+                    .into_iter()
+                    .filter(|n| n != &origin && n.label_count() == origin.label_count() + 1)
+                    .collect();
+                names.dedup();
+                names
+            })
+            .unwrap_or_default()
+    }
+
+    /// The sponsoring registrar of `domain`.
+    pub fn sponsor_of(&self, domain: &Name) -> Option<RegistrarId> {
+        self.sponsor.get(&domain.to_canonical()).copied()
+    }
+
+    /// Records an audit outcome for incentive bookkeeping: a correctly
+    /// signed domain earns its sponsor the per-domain discount, a broken
+    /// one counts as a failure.
+    pub fn record_audit(&mut self, domain: &Name, passed: bool) {
+        let Some(&sponsor) = self.sponsor.get(&domain.to_canonical()) else {
+            return;
+        };
+        if passed {
+            if let Some(incentive) = self.tld.incentive() {
+                // Daily accrual of the yearly discount.
+                *self.discounts_cents.entry(sponsor).or_default() +=
+                    (incentive.discount_cents as u64).max(1) / 365 + 1;
+            }
+        } else {
+            *self.audit_failures.entry(sponsor).or_default() += 1;
+        }
+    }
+
+    fn check(&self, registrar: RegistrarId, _domain: &Name) -> Result<(), RegistryError> {
+        if !self.is_accredited(registrar) {
+            return Err(RegistryError::NotAccredited(registrar));
+        }
+        Ok(())
+    }
+
+    fn check_sponsor(&self, registrar: RegistrarId, domain: &Name) -> Result<(), RegistryError> {
+        self.check(registrar, domain)?;
+        match self.sponsor.get(&domain.to_canonical()) {
+            Some(&s) if s == registrar => Ok(()),
+            Some(_) => Err(RegistryError::NotSponsor {
+                registrar,
+                domain: domain.to_string(),
+            }),
+            None => Err(RegistryError::NotRegistered(domain.to_string())),
+        }
+    }
+}
+
+/// Removes RRSIG records at `owner` covering `rtype`, leaving others.
+fn remove_rrsig_covering(zone: &mut Zone, owner: &Name, rtype: RrType) {
+    if let Some(set) = zone.rrset(owner, RrType::Rrsig) {
+        let keep: Vec<Record> = set
+            .records()
+            .iter()
+            .filter(|r| !matches!(&r.rdata, RData::Rrsig(s) if s.type_covered == rtype))
+            .cloned()
+            .collect();
+        zone.remove_rrset(owner, RrType::Rrsig);
+        for record in keep {
+            zone.add(record).expect("kept RRSIG still in zone");
+        }
+    }
+}
+
+/// Validates the DS RRset signature of `domain` inside the registry zone
+/// (used by tests and the audit path).
+pub fn ds_rrset_of(registry: &Registry, domain: &Name) -> Option<RrSet> {
+    registry.authority.with_zone(&registry.tld.zone(), |zone| {
+        zone.rrset(domain, RrType::Ds)
+    })?
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The caller is not accredited at this registry.
+    NotAccredited(RegistrarId),
+    /// The caller does not sponsor this delegation.
+    NotSponsor {
+        /// Who tried.
+        registrar: RegistrarId,
+        /// Which domain.
+        domain: String,
+    },
+    /// The domain is not delegated here.
+    NotRegistered(String),
+    /// The domain is already delegated.
+    AlreadyRegistered(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::NotAccredited(r) => write!(f, "registrar #{} is not accredited", r.0),
+            RegistryError::NotSponsor { registrar, domain } => {
+                write!(f, "registrar #{} does not sponsor {domain}", registrar.0)
+            }
+            RegistryError::NotRegistered(d) => write!(f, "{d} is not registered"),
+            RegistryError::AlreadyRegistered(d) => write!(f, "{d} is already registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FROM: u32 = 1_420_070_400;
+    const UNTIL: u32 = FROM + 1000 * 86_400;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn registry() -> Registry {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = Registry::new(Tld::Com, &mut rng, FROM, UNTIL);
+        r.accredit(RegistrarId(1));
+        r
+    }
+
+    #[test]
+    fn apex_is_signed() {
+        let r = registry();
+        let auth = r.authority();
+        let q = dsec_wire::Message::query(1, name("com"), RrType::Dnskey, true);
+        let resp = auth.handle_query(&q);
+        assert_eq!(
+            resp.answers
+                .iter()
+                .filter(|rec| rec.rtype() == RrType::Dnskey)
+                .count(),
+            2
+        );
+        assert!(resp.answers.iter().any(|rec| rec.rtype() == RrType::Rrsig));
+    }
+
+    #[test]
+    fn only_accredited_registrars_may_register() {
+        let mut r = registry();
+        let err = r.add_delegation(RegistrarId(9), &name("x.com"), &[name("ns1.op.net")]);
+        assert_eq!(err, Err(RegistryError::NotAccredited(RegistrarId(9))));
+        assert!(r
+            .add_delegation(RegistrarId(1), &name("x.com"), &[name("ns1.op.net")])
+            .is_ok());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut r = registry();
+        r.add_delegation(RegistrarId(1), &name("x.com"), &[name("ns1.op.net")])
+            .unwrap();
+        assert!(matches!(
+            r.add_delegation(RegistrarId(1), &name("x.com"), &[name("ns1.op.net")]),
+            Err(RegistryError::AlreadyRegistered(_))
+        ));
+    }
+
+    #[test]
+    fn ds_lifecycle_with_signature() {
+        let mut r = registry();
+        let reg = RegistrarId(1);
+        r.add_delegation(reg, &name("x.com"), &[name("ns1.op.net")])
+            .unwrap();
+        assert!(r.ds_of(&name("x.com")).is_empty());
+        let ds = DsRdata {
+            key_tag: 1,
+            algorithm: 8,
+            digest_type: 2,
+            digest: vec![7; 32],
+        };
+        r.set_ds(reg, &name("x.com"), std::slice::from_ref(&ds)).unwrap();
+        assert_eq!(r.ds_of(&name("x.com")), vec![ds]);
+        // The DS RRset is signed by the registry.
+        let has_ds_sig = r
+            .authority()
+            .with_zone(&name("com"), |z| {
+                z.rrset(&name("x.com"), RrType::Rrsig)
+                    .map(|s| {
+                        s.records().iter().any(|rec| {
+                            matches!(&rec.rdata, RData::Rrsig(sig) if sig.type_covered == RrType::Ds)
+                        })
+                    })
+                    .unwrap_or(false)
+            })
+            .unwrap();
+        assert!(has_ds_sig);
+        r.remove_ds(reg, &name("x.com")).unwrap();
+        assert!(r.ds_of(&name("x.com")).is_empty());
+    }
+
+    #[test]
+    fn registry_publishes_garbage_ds_verbatim() {
+        // Real registries do not validate DS contents; neither does ours.
+        let mut r = registry();
+        let reg = RegistrarId(1);
+        r.add_delegation(reg, &name("x.com"), &[name("ns1.op.net")])
+            .unwrap();
+        let garbage = DsRdata {
+            key_tag: 0,
+            algorithm: 99,
+            digest_type: 99,
+            digest: b"not a digest".to_vec(),
+        };
+        r.set_ds(reg, &name("x.com"), &[garbage.clone()]).unwrap();
+        assert_eq!(r.ds_of(&name("x.com")), vec![garbage]);
+    }
+
+    #[test]
+    fn sponsorship_is_enforced() {
+        let mut r = registry();
+        r.accredit(RegistrarId(2));
+        r.add_delegation(RegistrarId(1), &name("x.com"), &[name("ns1.op.net")])
+            .unwrap();
+        let ds = DsRdata {
+            key_tag: 1,
+            algorithm: 8,
+            digest_type: 2,
+            digest: vec![1; 32],
+        };
+        assert!(matches!(
+            r.set_ds(RegistrarId(2), &name("x.com"), &[ds]),
+            Err(RegistryError::NotSponsor { .. })
+        ));
+        assert!(matches!(
+            r.set_ns(RegistrarId(2), &name("x.com"), &[name("ns2.op.net")]),
+            Err(RegistryError::NotSponsor { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_changes_sponsor() {
+        let mut r = registry();
+        r.accredit(RegistrarId(2));
+        r.add_delegation(RegistrarId(1), &name("x.com"), &[name("ns1.op.net")])
+            .unwrap();
+        r.transfer(RegistrarId(1), RegistrarId(2), &name("x.com"))
+            .unwrap();
+        assert_eq!(r.sponsor_of(&name("x.com")), Some(RegistrarId(2)));
+        // New sponsor can now update.
+        assert!(r
+            .set_ns(RegistrarId(2), &name("x.com"), &[name("ns9.op.net")])
+            .is_ok());
+        assert_eq!(r.ns_of(&name("x.com")), vec![name("ns9.op.net")]);
+    }
+
+    #[test]
+    fn transfer_requires_accredited_recipient() {
+        let mut r = registry();
+        r.add_delegation(RegistrarId(1), &name("x.com"), &[name("ns1.op.net")])
+            .unwrap();
+        assert_eq!(
+            r.transfer(RegistrarId(1), RegistrarId(5), &name("x.com")),
+            Err(RegistryError::NotAccredited(RegistrarId(5)))
+        );
+    }
+
+    #[test]
+    fn delegations_enumerates_slds_only() {
+        let mut r = registry();
+        r.add_delegation(RegistrarId(1), &name("a.com"), &[name("ns1.op.net")])
+            .unwrap();
+        r.add_delegation(RegistrarId(1), &name("b.com"), &[name("ns1.op.net")])
+            .unwrap();
+        let mut d = r.delegations();
+        d.sort();
+        assert_eq!(d, vec![name("a.com"), name("b.com")]);
+    }
+
+    #[test]
+    fn removal_cleans_up() {
+        let mut r = registry();
+        r.add_delegation(RegistrarId(1), &name("x.com"), &[name("ns1.op.net")])
+            .unwrap();
+        r.remove_delegation(RegistrarId(1), &name("x.com")).unwrap();
+        assert!(r.delegations().is_empty());
+        assert_eq!(r.sponsor_of(&name("x.com")), None);
+    }
+
+    #[test]
+    fn audit_bookkeeping() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = Registry::new(Tld::Nl, &mut rng, FROM, UNTIL);
+        r.accredit(RegistrarId(1));
+        r.add_delegation(RegistrarId(1), &name("x.nl"), &[name("ns1.op.net")])
+            .unwrap();
+        r.record_audit(&name("x.nl"), true);
+        r.record_audit(&name("x.nl"), false);
+        assert!(r.discounts_cents[&RegistrarId(1)] > 0);
+        assert_eq!(r.audit_failures[&RegistrarId(1)], 1);
+        // gTLDs award nothing.
+        let mut com = Registry::new(Tld::Com, &mut rng, FROM, UNTIL);
+        com.accredit(RegistrarId(1));
+        com.add_delegation(RegistrarId(1), &name("x.com"), &[name("ns1.op.net")])
+            .unwrap();
+        com.record_audit(&name("x.com"), true);
+        assert!(com.discounts_cents.get(&RegistrarId(1)).is_none());
+    }
+}

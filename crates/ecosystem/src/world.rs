@@ -1,0 +1,1616 @@
+//! The world: all registries, registrars, operators, and domains, plus the
+//! customer-visible actions (purchase, enable DNSSEC, switch hosting,
+//! convey a DS record over each channel) and the daily simulation tick.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use dsec_authserver::{Authority, Network};
+use dsec_crypto::{Algorithm, DigestType};
+use dsec_dnssec::{
+    classify, ds_matches, sign_zone, DeploymentStatus, Observation, SignerConfig,
+    ZoneKeys,
+};
+use dsec_wire::{DsRdata, Message, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
+
+use crate::clock::SimDate;
+use crate::domain::{Domain, Hosting};
+use crate::events::{Event, EventLog};
+use crate::operator::{Operator, OperatorId};
+use crate::policy::{ExternalDs, OperatorDnssec, TldRole};
+use crate::registrar::{Milestone, PolicyChange, Registrar};
+use crate::registry::Registry;
+use crate::tld::{Tld, ALL_TLDS};
+use crate::RegistrarId;
+
+/// World construction parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// First simulated day.
+    pub start: SimDate,
+    /// Last simulated day (signature validity extends past it).
+    pub end: SimDate,
+    /// RNG seed (the whole simulation is deterministic).
+    pub seed: u64,
+    /// Size of the shared key pool (operators draw customer keys from a
+    /// pool instead of generating RSA keys per domain; see DESIGN.md).
+    pub key_pool: usize,
+    /// How often registries with incentives audit signed domains, days.
+    pub audit_interval_days: u32,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            start: SimDate::from_ymd(2015, 3, 1),
+            end: SimDate::from_ymd(2016, 12, 31),
+            seed: 0xD5EC,
+            key_pool: 4,
+            audit_interval_days: 7,
+        }
+    }
+}
+
+/// A third-party DNS operator profile (§7).
+pub struct ThirdParty {
+    /// The underlying operator.
+    pub operator: OperatorId,
+    /// When (if ever) it launches DNSSEC support (Cloudflare: 2015-11-11;
+    /// DNSPod: never in the window).
+    pub dnssec_launch: Option<SimDate>,
+    /// Per-day probability that an unsigned hosted domain opts in after
+    /// launch.
+    pub daily_optin_hazard: f64,
+    /// Probability the owner successfully relays the DS to the registrar
+    /// (the paper measures ≈ 60%).
+    pub relay_success: f64,
+}
+
+/// How a customer conveys a DS record to the registrar.
+#[derive(Debug, Clone)]
+pub enum DsSubmission {
+    /// The registrar's web form.
+    Web,
+    /// Email. `claimed_from` is the From: header (forgeable); `actual_from`
+    /// is who really controls the sending mailbox.
+    Email {
+        /// The (forgeable) From: header.
+        claimed_from: String,
+        /// The mailbox the sender actually controls.
+        actual_from: String,
+    },
+    /// Live web chat with a support agent.
+    Chat,
+    /// A support ticket.
+    Ticket,
+    /// Ask the registrar to fetch the DNSKEY and derive the DS itself.
+    FetchDnskey,
+}
+
+/// Outcome of a DS conveyance attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UploadOutcome {
+    /// Installed at the registry for the intended domain.
+    Accepted,
+    /// SECURITY: the agent installed it on someone else's domain.
+    AcceptedOnWrongDomain(Name),
+    /// Rejected: the registrar validated the DS and it did not match the
+    /// served DNSKEY.
+    RejectedInvalid,
+    /// Rejected: this channel does not exist at this registrar.
+    ChannelUnsupported,
+    /// Rejected: the email could not be authenticated.
+    EmailNotVerified,
+    /// Rejected: DNSSEC is not supported for this TLD / this registrar.
+    DnssecUnsupported,
+}
+
+/// Errors from customer actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionError {
+    /// The registrar does not sell this TLD.
+    TldNotSold,
+    /// The domain name is already registered.
+    NameTaken,
+    /// No such domain.
+    NoSuchDomain,
+    /// The registrar cannot do DNSSEC in this hosting arrangement.
+    DnssecUnsupported,
+    /// DNSSEC is available but costs money (GoDaddy's $35/yr premium).
+    RequiresPayment {
+        /// Yearly price in US cents.
+        cents_per_year: u32,
+    },
+    /// The action does not apply to the domain's hosting arrangement.
+    WrongHosting,
+    /// A registry-level failure.
+    Registry(String),
+}
+
+/// Internal queue entry for a mass-signing milestone in progress.
+struct MassSignTask {
+    registrar: RegistrarId,
+    remaining: Vec<Name>,
+    per_day: usize,
+}
+
+/// The simulated world.
+pub struct World {
+    /// Today's date.
+    pub today: SimDate,
+    /// Construction parameters.
+    pub config: WorldConfig,
+    /// The network all queries flow over.
+    pub network: Arc<Network>,
+    root_keys: ZoneKeys,
+    registries: BTreeMap<Tld, Registry>,
+    registrars: Vec<Registrar>,
+    operators: Vec<Operator>,
+    third_parties: Vec<ThirdParty>,
+    domains: BTreeMap<Name, Domain>,
+    /// Shared authority for all owner-hosted zones.
+    owner_authority: Arc<Authority>,
+    key_pool: Vec<ZoneKeys>,
+    mass_sign_queue: Vec<MassSignTask>,
+    /// RFC 8078 bootstrap observation: first day a DS-less domain was seen
+    /// publishing a self-consistent CDS.
+    cds_first_seen: BTreeMap<Name, SimDate>,
+    /// Two-phase key rollovers in progress (new keys awaiting the DS).
+    pending_rollover: BTreeMap<Name, ZoneKeys>,
+    /// Event log.
+    pub events: EventLog,
+    /// Whether a purchase from a default-signing registrar is signed
+    /// immediately. Population builders turn this off so the initial
+    /// signed fraction is controlled by the calibration data instead of
+    /// the (later-arriving) policy.
+    pub auto_sign_on_purchase: bool,
+    rng: StdRng,
+}
+
+impl World {
+    /// Builds the world: root + five TLD registries, all signed, with the
+    /// chain root → TLD established (TLD DS in the root zone).
+    pub fn new(config: WorldConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let valid_from = config.start.epoch_seconds().saturating_sub(86_400);
+        let valid_until = config.end.plus_days(400).epoch_seconds();
+
+        let network = Arc::new(Network::new());
+
+        // Registries.
+        let mut registries = BTreeMap::new();
+        for tld in ALL_TLDS {
+            let registry = Registry::new(tld, &mut rng, valid_from, valid_until);
+            network.register(tld.registry_ns(), registry.authority());
+            registries.insert(tld, registry);
+        }
+
+        // Root zone with TLD delegations + DS.
+        let root_keys = ZoneKeys::generate_default(&mut rng, Name::root(), Algorithm::RsaSha256)
+            .expect("RSA-SHA256 supported");
+        let root_ns = Name::parse("a.root-servers.sim").unwrap();
+        let mut root_zone = Zone::new(Name::root());
+        root_zone
+            .add(Record::new(
+                Name::root(),
+                3600,
+                RData::Soa(SoaRdata {
+                    mname: root_ns.clone(),
+                    rname: Name::parse("hostmaster.root-servers.sim").unwrap(),
+                    serial: 1,
+                    refresh: 7200,
+                    retry: 3600,
+                    expire: 1_209_600,
+                    minimum: 300,
+                }),
+            ))
+            .unwrap();
+        root_zone
+            .add(Record::new(Name::root(), 3600, RData::Ns(root_ns.clone())))
+            .unwrap();
+        for (tld, registry) in &registries {
+            root_zone
+                .add(Record::new(
+                    tld.zone(),
+                    172_800,
+                    RData::Ns(tld.registry_ns()),
+                ))
+                .unwrap();
+            root_zone
+                .add(Record::new(
+                    tld.zone(),
+                    86_400,
+                    RData::Ds(registry.keys().ds(DigestType::Sha256)),
+                ))
+                .unwrap();
+        }
+        let signer = SignerConfig {
+            inception: valid_from,
+            expiration: valid_until,
+            nsec: true,
+            nsec3: None,
+            dnskey_ttl: 3600,
+        };
+        sign_zone(&mut root_zone, &root_keys, &signer).expect("root zone signs");
+        let root_auth = Arc::new(Authority::new());
+        root_auth.upsert_zone(root_zone);
+        network.register(root_ns.clone(), root_auth);
+        network.set_root_hints(vec![root_ns]);
+
+        // Shared key pool for customer zones.
+        let pool_template = Name::parse("pool.invalid").unwrap();
+        let key_pool: Vec<ZoneKeys> = (0..config.key_pool.max(1))
+            .map(|_| {
+                ZoneKeys::generate_default(&mut rng, pool_template.clone(), Algorithm::RsaSha256)
+                    .expect("RSA-SHA256 supported")
+            })
+            .collect();
+
+        World {
+            today: config.start,
+            config,
+            network,
+            root_keys,
+            registries,
+            registrars: Vec::new(),
+            operators: Vec::new(),
+            third_parties: Vec::new(),
+            domains: BTreeMap::new(),
+            owner_authority: Arc::new(Authority::new()),
+            key_pool,
+            mass_sign_queue: Vec::new(),
+            cds_first_seen: BTreeMap::new(),
+            pending_rollover: BTreeMap::new(),
+            events: EventLog::new(),
+            auto_sign_on_purchase: true,
+            rng,
+        }
+    }
+
+    // ------------------------------------------------------------ setup --
+
+    /// The trust anchor a validating resolver should use for this world.
+    pub fn trust_anchor(&self) -> Vec<DsRdata> {
+        vec![self.root_keys.ds(DigestType::Sha256)]
+    }
+
+    /// Adds a standalone DNS operator with `host_count` nameservers under
+    /// `ns_domain` and wires its hostnames into the network.
+    pub fn add_operator(
+        &mut self,
+        name: impl Into<String>,
+        ns_domain: Name,
+        host_count: usize,
+    ) -> OperatorId {
+        let id = OperatorId(self.operators.len() as u32);
+        let operator = Operator::new(id, name, ns_domain, host_count);
+        for host in &operator.ns_hosts {
+            self.network.register(host.clone(), operator.authority());
+        }
+        self.operators.push(operator);
+        id
+    }
+
+    /// Adds a registrar (creating its hosting operator) and accredits it
+    /// at every registry where its policy says `TldRole::Registrar`.
+    pub fn add_registrar(
+        &mut self,
+        name: impl Into<String>,
+        ns_domain: Name,
+        policy: crate::policy::RegistrarPolicy,
+    ) -> RegistrarId {
+        let name = name.into();
+        let operator = self.add_operator(name.clone(), ns_domain, 2);
+        let id = RegistrarId(self.registrars.len() as u32);
+        for (tld, tld_policy) in &policy.tlds {
+            if tld_policy.role == TldRole::Registrar {
+                self.registries
+                    .get_mut(tld)
+                    .expect("all TLDs present")
+                    .accredit(id);
+            }
+        }
+        self.registrars.push(Registrar {
+            id,
+            name,
+            policy,
+            operator,
+            milestones: Vec::new(),
+            daily_optin_hazard: 0.0,
+        });
+        id
+    }
+
+    /// Adds a third-party DNS operator (Cloudflare / DNSPod model).
+    pub fn add_third_party(
+        &mut self,
+        name: impl Into<String>,
+        ns_domain: Name,
+        dnssec_launch: Option<SimDate>,
+        daily_optin_hazard: f64,
+        relay_success: f64,
+    ) -> OperatorId {
+        let operator = self.add_operator(name, ns_domain, 2);
+        self.third_parties.push(ThirdParty {
+            operator,
+            dnssec_launch,
+            daily_optin_hazard,
+            relay_success,
+        });
+        operator
+    }
+
+    /// Schedules a policy milestone for a registrar.
+    pub fn add_milestone(&mut self, registrar: RegistrarId, on: SimDate, change: PolicyChange) {
+        self.registrars[registrar.0 as usize]
+            .milestones
+            .push(Milestone { on, change });
+    }
+
+    /// Sets a registrar's opt-in hazard (population adoption speed).
+    pub fn set_optin_hazard(&mut self, registrar: RegistrarId, hazard: f64) {
+        self.registrars[registrar.0 as usize].daily_optin_hazard = hazard;
+    }
+
+    /// Changes a registrar's external-DS channel immediately (milestones
+    /// do the same on a schedule).
+    pub fn set_external_ds(&mut self, registrar: RegistrarId, channel: ExternalDs) {
+        self.registrars[registrar.0 as usize].policy.external_ds = channel;
+    }
+
+    /// Overrides a domain's next renewal date (population builders stagger
+    /// renewals so pre-existing registrations don't all renew at once).
+    pub fn set_expiry(&mut self, domain: &Name, expires: SimDate) {
+        if let Some(d) = self.domains.get_mut(&domain.to_canonical()) {
+            d.expires = expires;
+        }
+    }
+
+    // --------------------------------------------------------- accessors --
+
+    /// Looks up a registrar by display name.
+    pub fn registrar_by_name(&self, name: &str) -> Option<RegistrarId> {
+        self.registrars
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.id)
+    }
+
+    /// Registrar profile access.
+    pub fn registrar(&self, id: RegistrarId) -> &Registrar {
+        &self.registrars[id.0 as usize]
+    }
+
+    /// Number of registrars.
+    pub fn registrar_count(&self) -> usize {
+        self.registrars.len()
+    }
+
+    /// Operator access.
+    pub fn operator(&self, id: OperatorId) -> &Operator {
+        &self.operators[id.0 as usize]
+    }
+
+    /// Registry access.
+    pub fn registry(&self, tld: Tld) -> &Registry {
+        &self.registries[&tld]
+    }
+
+    /// Domain access.
+    pub fn domain(&self, name: &Name) -> Option<&Domain> {
+        self.domains.get(&name.to_canonical())
+    }
+
+    /// Iterates all domains.
+    pub fn domains(&self) -> impl Iterator<Item = &Domain> {
+        self.domains.values()
+    }
+
+    /// Number of registered domains.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    // ----------------------------------------------------------- actions --
+
+    /// Buys `label`.`tld` from `registrar` with the given hosting.
+    pub fn purchase(
+        &mut self,
+        registrar: RegistrarId,
+        label: &str,
+        tld: Tld,
+        hosting: Hosting,
+        registrant_email: impl Into<String>,
+    ) -> Result<Name, ActionError> {
+        let name = tld
+            .zone()
+            .child(label)
+            .map_err(|_| ActionError::NameTaken)?;
+        if self.domains.contains_key(&name.to_canonical()) {
+            return Err(ActionError::NameTaken);
+        }
+        let sponsor = self.resolve_sponsor(registrar, tld)?;
+        let ns_hosts = self.ns_hosts_for(&name, registrar, &hosting);
+        self.registries
+            .get_mut(&tld)
+            .expect("all TLDs present")
+            .add_delegation(sponsor, &name, &ns_hosts)
+            .map_err(|e| ActionError::Registry(e.to_string()))?;
+
+        // Owner hosting: serve a plain zone from the shared owner authority.
+        if hosting == Hosting::Owner {
+            self.host_owner_zone(&name, None);
+        }
+
+        let domain = Domain {
+            name: name.clone(),
+            tld,
+            registrar,
+            sponsor,
+            hosting: hosting.clone(),
+            keys: None,
+            created: self.today,
+            expires: self.today.plus_days(365),
+            pending_partner_migration: false,
+            registrant_email: registrant_email.into(),
+        };
+        self.domains.insert(name.to_canonical(), domain);
+        self.events.record(
+            self.today,
+            Event::Purchased {
+                domain: name.clone(),
+                registrar,
+            },
+        );
+
+        // Default signing when the registrar hosts and signs by default.
+        if let Hosting::Registrar { plan } = hosting {
+            let signs = self.auto_sign_on_purchase
+                && self.registrars[registrar.0 as usize]
+                    .policy
+                    .operator_dnssec
+                    .signs_by_default(plan);
+            if signs {
+                self.sign_hosted(&name)?;
+            }
+        }
+        Ok(name)
+    }
+
+    /// Customer opts in to registrar-operated DNSSEC (OVH model), or
+    /// enables it where it is supported but not default.
+    pub fn enable_dnssec(&mut self, domain: &Name) -> Result<(), ActionError> {
+        let d = self
+            .domains
+            .get(&domain.to_canonical())
+            .ok_or(ActionError::NoSuchDomain)?;
+        let Hosting::Registrar { .. } = d.hosting else {
+            return Err(ActionError::WrongHosting);
+        };
+        match &self.registrars[d.registrar.0 as usize].policy.operator_dnssec {
+            OperatorDnssec::Unsupported => Err(ActionError::DnssecUnsupported),
+            OperatorDnssec::Paid { cents_per_year, .. } => Err(ActionError::RequiresPayment {
+                cents_per_year: *cents_per_year,
+            }),
+            _ => self.sign_hosted(domain),
+        }
+    }
+
+    /// Pays for and enables DNSSEC on a paid plan (GoDaddy model).
+    pub fn enable_dnssec_paid(&mut self, domain: &Name) -> Result<(), ActionError> {
+        let d = self
+            .domains
+            .get(&domain.to_canonical())
+            .ok_or(ActionError::NoSuchDomain)?;
+        let Hosting::Registrar { .. } = d.hosting else {
+            return Err(ActionError::WrongHosting);
+        };
+        match &self.registrars[d.registrar.0 as usize].policy.operator_dnssec {
+            OperatorDnssec::Unsupported => Err(ActionError::DnssecUnsupported),
+            _ => self.sign_hosted(domain),
+        }
+    }
+
+    /// Switches a domain to owner-run nameservers (`ns1.<domain>`); the
+    /// previous hosting zone is dropped and the registry NS set updated.
+    pub fn switch_to_owner_hosting(&mut self, domain: &Name) -> Result<Name, ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        let (sponsor, tld, old_hosting, registrar) =
+            (d.sponsor, d.tld, d.hosting.clone(), d.registrar);
+        // Drop old zone.
+        match old_hosting {
+            Hosting::Registrar { .. } => {
+                let op = self.registrars[registrar.0 as usize].operator;
+                self.operators[op.0 as usize].drop_zone(domain);
+            }
+            Hosting::ThirdParty { operator } => {
+                self.operators[operator.0 as usize].drop_zone(domain);
+            }
+            Hosting::Owner => {}
+        }
+        let ns_host = self.host_owner_zone(domain, None);
+        let registry = self.registries.get_mut(&tld).expect("all TLDs present");
+        registry
+            .set_ns(sponsor, domain, std::slice::from_ref(&ns_host))
+            .map_err(|e| ActionError::Registry(e.to_string()))?;
+        // Leaving registrar hosting tears down its DNSSEC state: any DS
+        // the registrar had uploaded is withdrawn along with the keys.
+        registry
+            .remove_ds(sponsor, domain)
+            .map_err(|e| ActionError::Registry(e.to_string()))?;
+        let d = self.domains.get_mut(&key).expect("checked above");
+        d.hosting = Hosting::Owner;
+        d.keys = None;
+        Ok(ns_host)
+    }
+
+    /// The owner signs their self-hosted zone; returns the DS record that
+    /// must now be conveyed to the registrar.
+    pub fn owner_sign_zone(&mut self, domain: &Name) -> Result<DsRdata, ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        if d.hosting != Hosting::Owner {
+            return Err(ActionError::WrongHosting);
+        }
+        let keys = self.pool_keys_salted(domain, 1);
+        self.host_owner_zone(domain, Some(&keys));
+        let ds = keys.ds(DigestType::Sha256);
+        self.domains.get_mut(&key).expect("checked").keys = Some(keys);
+        self.events.record(
+            self.today,
+            Event::Signed {
+                domain: domain.clone(),
+            },
+        );
+        Ok(ds)
+    }
+
+    /// Conveys a DS record to the registrar over `via`. This is the crux
+    /// of §5.3/§6.1: which channels exist, whether they validate, and
+    /// whether they authenticate the sender.
+    pub fn upload_ds(
+        &mut self,
+        domain: &Name,
+        ds: DsRdata,
+        via: DsSubmission,
+    ) -> Result<UploadOutcome, ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        let registrar = d.registrar;
+        let tld = d.tld;
+        let sponsor = d.sponsor;
+        let registrant_email = d.registrant_email.clone();
+        let policy = self.registrars[registrar.0 as usize].policy.clone();
+        // Note: the per-TLD `publishes_ds` flag gates only the *automatic*
+        // upload for registrar-hosted signing. The paper found that even
+        // home-TLD-only registrars (Loopia, KPN) would upload a DS for an
+        // externally hosted domain when explicitly asked (§6.3), so the
+        // customer channel works for every TLD the registrar sells.
+        let Some(channel_check) = self.channel_matches(&policy.external_ds, &via) else {
+            return Ok(UploadOutcome::ChannelUnsupported);
+        };
+
+        // Channel-specific authentication.
+        match (&policy.external_ds, &via) {
+            (
+                ExternalDs::Email {
+                    verifies_sender,
+                    accepts_foreign_sender,
+                    ..
+                },
+                DsSubmission::Email {
+                    claimed_from,
+                    actual_from,
+                },
+            ) => {
+                let authentic = actual_from == &registrant_email;
+                let header_ok = claimed_from == &registrant_email;
+                let accepted = if *verifies_sender {
+                    authentic
+                } else if *accepts_foreign_sender {
+                    true
+                } else {
+                    header_ok // forgeable!
+                };
+                if !accepted {
+                    return Ok(UploadOutcome::EmailNotVerified);
+                }
+                if !authentic {
+                    self.events.record(
+                        self.today,
+                        Event::ForgedEmailAccepted {
+                            domain: domain.clone(),
+                            claimed_from: claimed_from.clone(),
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+
+        // FetchDnskey derives the DS itself from the served DNSKEY.
+        let effective_ds = if matches!(policy.external_ds, ExternalDs::FetchDnskey)
+            && matches!(via, DsSubmission::FetchDnskey)
+        {
+            let served = self.served_dnskeys(domain);
+            let Some(ksk) = served.iter().find(|k| k.is_ksk()).or(served.first()) else {
+                return Ok(UploadOutcome::RejectedInvalid);
+            };
+            dsec_dnssec::make_ds(domain, ksk, DigestType::Sha256)
+                .expect("sha256 supported")
+        } else {
+            ds
+        };
+
+        // Validation (only OVH/DreamHost-style channels do this).
+        if channel_check {
+            let served = self.served_dnskeys(domain);
+            let matches_any = served
+                .iter()
+                .any(|k| ds_matches(domain, k, &effective_ds) == Some(true));
+            if !matches_any {
+                self.events.record(
+                    self.today,
+                    Event::DsRejected {
+                        domain: domain.clone(),
+                        reason: "DS does not match served DNSKEY".into(),
+                    },
+                );
+                return Ok(UploadOutcome::RejectedInvalid);
+            }
+        }
+
+        // Chat channel: agent may paste onto the wrong domain.
+        if let (ExternalDs::Chat { mistake_rate }, DsSubmission::Chat) =
+            (&policy.external_ds, &via)
+        {
+            if self.rng.random::<f64>() < *mistake_rate {
+                if let Some(victim) = self.random_other_domain(registrar, domain) {
+                    let victim_sponsor = self.domains[&victim.to_canonical()].sponsor;
+                    let victim_tld = self.domains[&victim.to_canonical()].tld;
+                    let _ = self
+                        .registries
+                        .get_mut(&victim_tld)
+                        .expect("all TLDs present")
+                        .set_ds(victim_sponsor, &victim, std::slice::from_ref(&effective_ds));
+                    self.events.record(
+                        self.today,
+                        Event::DsOnWrongDomain {
+                            intended: domain.clone(),
+                            victim: victim.clone(),
+                        },
+                    );
+                    return Ok(UploadOutcome::AcceptedOnWrongDomain(victim));
+                }
+            }
+        }
+
+        self.registries
+            .get_mut(&tld)
+            .expect("all TLDs present")
+            .set_ds(sponsor, domain, &[effective_ds])
+            .map_err(|e| ActionError::Registry(e.to_string()))?;
+        self.events.record(
+            self.today,
+            Event::DsPublished {
+                domain: domain.clone(),
+            },
+        );
+        Ok(UploadOutcome::Accepted)
+    }
+
+    /// Moves a domain onto a third-party DNS operator. Like any hosting
+    /// change, the previous host's zone (and any DS the previous
+    /// arrangement chained to) is torn down.
+    pub fn enroll_third_party(
+        &mut self,
+        domain: &Name,
+        operator: OperatorId,
+    ) -> Result<(), ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        let (sponsor, tld, old_hosting, registrar) =
+            (d.sponsor, d.tld, d.hosting.clone(), d.registrar);
+        match old_hosting {
+            Hosting::Registrar { .. } => {
+                let op = self.registrars[registrar.0 as usize].operator;
+                self.operators[op.0 as usize].drop_zone(domain);
+            }
+            Hosting::ThirdParty { operator: old_op } => {
+                self.operators[old_op.0 as usize].drop_zone(domain);
+            }
+            Hosting::Owner => {}
+        }
+        let ns_hosts = self.operators[operator.0 as usize].ns_hosts.clone();
+        let registry = self.registries.get_mut(&tld).expect("all TLDs present");
+        registry
+            .set_ns(sponsor, domain, &ns_hosts)
+            .map_err(|e| ActionError::Registry(e.to_string()))?;
+        registry
+            .remove_ds(sponsor, domain)
+            .map_err(|e| ActionError::Registry(e.to_string()))?;
+        let d = self.domains.get_mut(&key).expect("checked");
+        d.hosting = Hosting::ThirdParty { operator };
+        d.keys = None;
+        Ok(())
+    }
+
+    /// The third-party operator enables DNSSEC for a hosted domain and
+    /// hands the DS back to the owner (it cannot upload it itself).
+    pub fn third_party_enable_dnssec(&mut self, domain: &Name) -> Result<DsRdata, ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        let Hosting::ThirdParty { operator } = d.hosting else {
+            return Err(ActionError::WrongHosting);
+        };
+        let tp = self
+            .third_parties
+            .iter()
+            .find(|t| t.operator == operator)
+            .ok_or(ActionError::DnssecUnsupported)?;
+        match tp.dnssec_launch {
+            Some(launch) if launch <= self.today => {}
+            _ => return Err(ActionError::DnssecUnsupported),
+        }
+        let keys = self.pool_keys_salted(domain, 2);
+        let signer = self.signer_config();
+        self.operators[operator.0 as usize].host_signed(domain, &keys, &signer);
+        let ds = keys.ds(DigestType::Sha256);
+        self.domains.get_mut(&key).expect("checked").keys = Some(keys);
+        self.events.record(
+            self.today,
+            Event::Signed {
+                domain: domain.clone(),
+            },
+        );
+        Ok(ds)
+    }
+
+    // -------------------------------------------------------------- tick --
+
+    /// Advances one day: apply milestones, drain mass-sign queues, run
+    /// population adoption, renewals, audits, and CDS scans.
+    pub fn tick(&mut self) {
+        self.today = self.today.plus_days(1);
+        self.apply_milestones();
+        self.drain_mass_sign();
+        self.population_adoption();
+        self.third_party_adoption();
+        self.process_renewals();
+        if self.today.days_since(self.config.start) % self.config.audit_interval_days.max(1) == 0 {
+            self.run_audits();
+        }
+        self.run_cds_scans();
+    }
+
+    /// Advances until `date` (inclusive of its tick).
+    pub fn advance_to(&mut self, date: SimDate) {
+        while self.today < date {
+            self.tick();
+        }
+    }
+
+    fn apply_milestones(&mut self) {
+        let today = self.today;
+        for idx in 0..self.registrars.len() {
+            let due: Vec<PolicyChange> = self.registrars[idx]
+                .milestones
+                .iter()
+                .filter(|m| m.on == today)
+                .map(|m| m.change.clone())
+                .collect();
+            for change in due {
+                self.apply_change(RegistrarId(idx as u32), change);
+            }
+        }
+    }
+
+    fn apply_change(&mut self, id: RegistrarId, change: PolicyChange) {
+        match change {
+            PolicyChange::SetOperatorDnssec(p) => {
+                self.registrars[id.0 as usize].policy.operator_dnssec = p;
+            }
+            PolicyChange::SetExternalDs(p) => {
+                self.registrars[id.0 as usize].policy.external_ds = p;
+            }
+            PolicyChange::SetPublishesDs(tld, v) => {
+                if let Some(tp) = self.registrars[id.0 as usize].policy.tlds.get_mut(&tld) {
+                    tp.publishes_ds = v;
+                }
+            }
+            PolicyChange::SetOptInHazard(h) => {
+                self.registrars[id.0 as usize].daily_optin_hazard = h;
+            }
+            PolicyChange::SwitchPartner {
+                tld,
+                new_partner,
+                migrate_at_renewal,
+            } => {
+                if let Some(partner) = self.registrar_by_name(&new_partner) {
+                    if let Some(tp) = self.registrars[id.0 as usize].policy.tlds.get_mut(&tld) {
+                        tp.role = TldRole::ResellerVia(new_partner);
+                        tp.publishes_ds = true;
+                    }
+                    if migrate_at_renewal {
+                        for d in self.domains.values_mut() {
+                            if d.registrar == id && d.tld == tld && d.sponsor != partner {
+                                d.pending_partner_migration = true;
+                            }
+                        }
+                    }
+                }
+            }
+            PolicyChange::MassSignHosted { tlds, over_days } => {
+                let targets: Vec<Name> = self
+                    .domains
+                    .values()
+                    .filter(|d| {
+                        d.registrar == id
+                            && tlds.contains(&d.tld)
+                            && matches!(d.hosting, Hosting::Registrar { .. })
+                            && d.keys.is_none()
+                    })
+                    .map(|d| d.name.clone())
+                    .collect();
+                let per_day = targets.len().div_ceil(over_days.max(1) as usize).max(1);
+                self.mass_sign_queue.push(MassSignTask {
+                    registrar: id,
+                    remaining: targets,
+                    per_day,
+                });
+            }
+        }
+    }
+
+    fn drain_mass_sign(&mut self) {
+        let mut queue = std::mem::take(&mut self.mass_sign_queue);
+        for task in &mut queue {
+            let take = task.per_day.min(task.remaining.len());
+            let batch: Vec<Name> = task.remaining.drain(..take).collect();
+            for domain in batch {
+                // Domain may have changed hosting since the milestone.
+                if self
+                    .domains
+                    .get(&domain.to_canonical())
+                    .map(|d| d.registrar == task.registrar && d.keys.is_none())
+                    .unwrap_or(false)
+                {
+                    let _ = self.sign_hosted(&domain);
+                }
+            }
+        }
+        queue.retain(|t| !t.remaining.is_empty());
+        self.mass_sign_queue = queue;
+    }
+
+    fn population_adoption(&mut self) {
+        // Collect candidates (immutable pass), then roll and sign.
+        let candidates: Vec<(Name, f64)> = self
+            .domains
+            .values()
+            .filter(|d| d.keys.is_none() && matches!(d.hosting, Hosting::Registrar { .. }))
+            .filter_map(|d| {
+                let registrar = &self.registrars[d.registrar.0 as usize];
+                let hazard = registrar.daily_optin_hazard;
+                (hazard > 0.0 && registrar.policy.operator_dnssec.supported())
+                    .then(|| (d.name.clone(), hazard))
+            })
+            .collect();
+        for (name, hazard) in candidates {
+            if self.rng.random::<f64>() < hazard {
+                let _ = self.sign_hosted(&name);
+            }
+        }
+    }
+
+    fn third_party_adoption(&mut self) {
+        let profiles: Vec<(OperatorId, SimDate, f64, f64)> = self
+            .third_parties
+            .iter()
+            .filter_map(|tp| {
+                tp.dnssec_launch
+                    .map(|l| (tp.operator, l, tp.daily_optin_hazard, tp.relay_success))
+            })
+            .collect();
+        for (op, launch, hazard, relay) in profiles {
+            if self.today < launch || hazard <= 0.0 {
+                continue;
+            }
+            let candidates: Vec<Name> = self
+                .domains
+                .values()
+                .filter(|d| d.keys.is_none() && d.hosting == (Hosting::ThirdParty { operator: op }))
+                .map(|d| d.name.clone())
+                .collect();
+            for domain in candidates {
+                if self.rng.random::<f64>() >= hazard {
+                    continue;
+                }
+                let Ok(ds) = self.third_party_enable_dnssec(&domain) else {
+                    continue;
+                };
+                // The owner must relay the DS to the registrar; 40% never do.
+                if self.rng.random::<f64>() < relay {
+                    let (sponsor, tld) = {
+                        let d = &self.domains[&domain.to_canonical()];
+                        (d.sponsor, d.tld)
+                    };
+                    let _ = self
+                        .registries
+                        .get_mut(&tld)
+                        .expect("all TLDs present")
+                        .set_ds(sponsor, &domain, &[ds]);
+                    self.events.record(
+                        self.today,
+                        Event::DsPublished {
+                            domain: domain.clone(),
+                        },
+                    );
+                } else {
+                    self.events
+                        .record(self.today, Event::RelayDropped { domain });
+                }
+            }
+        }
+    }
+
+    fn process_renewals(&mut self) {
+        let today = self.today;
+        let due: Vec<Name> = self
+            .domains
+            .values()
+            .filter(|d| d.expires == today)
+            .map(|d| d.name.clone())
+            .collect();
+        for name in due {
+            let key = name.to_canonical();
+            // Renew for another year.
+            {
+                let d = self.domains.get_mut(&key).expect("due domain exists");
+                d.expires = today.plus_days(365);
+            }
+            let (registrar, tld, migrate, old_sponsor) = {
+                let d = &self.domains[&key];
+                (d.registrar, d.tld, d.pending_partner_migration, d.sponsor)
+            };
+            if !migrate {
+                continue;
+            }
+            // Resolve the (new) sponsor and transfer at the registry.
+            let Ok(new_sponsor) = self.resolve_sponsor(registrar, tld) else {
+                continue;
+            };
+            if new_sponsor != old_sponsor {
+                let transferred = self
+                    .registries
+                    .get_mut(&tld)
+                    .expect("all TLDs present")
+                    .transfer(old_sponsor, new_sponsor, &name)
+                    .is_ok();
+                if !transferred {
+                    continue;
+                }
+                let d = self.domains.get_mut(&key).expect("due domain exists");
+                d.sponsor = new_sponsor;
+                d.pending_partner_migration = false;
+                self.events.record(
+                    today,
+                    Event::PartnerMigrated {
+                        domain: name.clone(),
+                        new_sponsor,
+                    },
+                );
+                // With a DNSSEC-capable partner, the reseller can now sign
+                // hosted domains and publish DS (including for domains it
+                // had already signed but could not complete).
+                let d = &self.domains[&key];
+                if matches!(d.hosting, Hosting::Registrar { .. }) {
+                    let policy = &self.registrars[registrar.0 as usize].policy;
+                    if policy.operator_dnssec.supported() && policy.tld(tld).publishes_ds {
+                        let _ = self.sign_hosted(&name);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_audits(&mut self) {
+        let now = self.today.epoch_seconds();
+        for tld in ALL_TLDS {
+            if tld.incentive().is_none() {
+                continue;
+            }
+            let audited: Vec<(Name, bool)> = {
+                let registry = &self.registries[&tld];
+                registry
+                    .delegations()
+                    .into_iter()
+                    .filter(|d| !registry.ds_of(d).is_empty())
+                    .map(|d| {
+                        let obs = self.observation_of(&d);
+                        let passed = classify(&d, &obs, now) == DeploymentStatus::FullyDeployed;
+                        (d, passed)
+                    })
+                    .collect()
+            };
+            let registry = self.registries.get_mut(&tld).expect("all TLDs present");
+            for (domain, passed) in audited {
+                registry.record_audit(&domain, passed);
+            }
+        }
+    }
+
+    fn run_cds_scans(&mut self) {
+        // Only registries with CDS support scan (an extension experiment;
+        // none of the five paper TLDs had it in-window).
+        let now = self.today.epoch_seconds();
+        let scans: Vec<(Tld, Name, Vec<DsRdata>)> = self
+            .registries
+            .iter()
+            .filter(|(_, r)| r.supports_cds)
+            .flat_map(|(tld, registry)| {
+                registry
+                    .delegations()
+                    .into_iter()
+                    .filter_map(|domain| {
+                        let action = self.scan_child_cds(&domain, registry, now)?;
+                        Some((*tld, domain, action))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (tld, domain, ds_set) in scans {
+            let sponsor = self.registries[&tld].sponsor_of(&domain);
+            if let Some(sponsor) = sponsor {
+                let _ = self
+                    .registries
+                    .get_mut(&tld)
+                    .expect("all TLDs present")
+                    .set_ds(sponsor, &domain, &ds_set);
+                self.events.record(self.today, Event::CdsApplied { domain });
+            }
+        }
+        self.run_cds_bootstrap(now);
+    }
+
+    /// RFC 8078 §3 "accept after delay": a DS-less child that has stably
+    /// published a self-consistent CDS for the configured delay gets its
+    /// DS installed without any registrar involvement — healing exactly
+    /// the partial deployments the paper laments.
+    fn run_cds_bootstrap(&mut self, now: u32) {
+        let candidates: Vec<(Tld, Name, u32)> = self
+            .registries
+            .iter()
+            .filter_map(|(tld, r)| r.cds_bootstrap_delay_days.map(|d| (*tld, d)))
+            .flat_map(|(tld, delay)| {
+                self.registries[&tld]
+                    .delegations()
+                    .into_iter()
+                    .filter(|d| self.registries[&tld].ds_of(d).is_empty())
+                    .map(move |d| (tld, d, delay))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut to_install: Vec<(Tld, Name, Vec<DsRdata>)> = Vec::new();
+        for (tld, domain, delay) in candidates {
+            match self.consistent_cds_of(&domain, now) {
+                Some(ds_set) => {
+                    let first = *self
+                        .cds_first_seen
+                        .entry(domain.to_canonical())
+                        .or_insert(self.today);
+                    if self.today.days_since(first) >= delay {
+                        to_install.push((tld, domain, ds_set));
+                    }
+                }
+                None => {
+                    self.cds_first_seen.remove(&domain.to_canonical());
+                }
+            }
+        }
+        for (tld, domain, ds_set) in to_install {
+            let Some(sponsor) = self.registries[&tld].sponsor_of(&domain) else {
+                continue;
+            };
+            let _ = self
+                .registries
+                .get_mut(&tld)
+                .expect("all TLDs present")
+                .set_ds(sponsor, &domain, &ds_set);
+            self.cds_first_seen.remove(&domain.to_canonical());
+            self.events.record(self.today, Event::CdsApplied { domain });
+        }
+    }
+
+    /// The CDS set of `domain` if it is published and correctly signed by
+    /// the zone's own served DNSKEYs (the RFC 8078 self-consistency bar).
+    fn consistent_cds_of(&self, domain: &Name, now: u32) -> Option<Vec<DsRdata>> {
+        let resp = self.query_domain(domain, RrType::Cds)?;
+        let cds_records: Vec<Record> = resp
+            .answers
+            .iter()
+            .filter(|r| r.rtype() == RrType::Cds)
+            .cloned()
+            .collect();
+        if cds_records.is_empty() {
+            return None;
+        }
+        let cds_rrset = RrSet::new(cds_records).ok()?;
+        let rrsigs: Vec<_> = resp
+            .answers
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Rrsig(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        let served = self.served_dnskeys(domain);
+        let scan = dsec_dnssec::CdsScan {
+            cds: Some(cds_rrset),
+            cdnskey: None,
+            rrsigs,
+            trusted_keys: served,
+        };
+        match dsec_dnssec::process_scan(domain, &scan, now) {
+            Ok(dsec_dnssec::CdsAction::ReplaceDs(ds)) => Some(ds),
+            _ => None,
+        }
+    }
+
+    /// Scans one child for an authenticated CDS change; returns the new DS
+    /// set if one should be applied.
+    fn scan_child_cds(
+        &self,
+        domain: &Name,
+        registry: &Registry,
+        now: u32,
+    ) -> Option<Vec<DsRdata>> {
+        let current_ds = registry.ds_of(domain);
+        if current_ds.is_empty() {
+            return None; // RFC 7344 trust bootstrap from current chain only
+        }
+        let resp = self.query_domain(domain, RrType::Cds)?;
+        let cds_records: Vec<Record> = resp
+            .answers
+            .iter()
+            .filter(|r| r.rtype() == RrType::Cds)
+            .cloned()
+            .collect();
+        if cds_records.is_empty() {
+            return None;
+        }
+        let cds_rrset = RrSet::new(cds_records).ok()?;
+        let rrsigs: Vec<_> = resp
+            .answers
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Rrsig(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        // Trusted keys: DNSKEYs chained from the current DS.
+        let obs = self.observation_of(domain);
+        let dnskey_rrset = obs.dnskey_rrset?;
+        let trusted = dsec_dnssec::authenticate_dnskeys(
+            domain,
+            &dnskey_rrset,
+            &obs.dnskey_rrsigs,
+            &current_ds,
+            now,
+        )
+        .ok()?;
+        let scan = dsec_dnssec::CdsScan {
+            cds: Some(cds_rrset),
+            cdnskey: None,
+            rrsigs,
+            trusted_keys: trusted,
+        };
+        match dsec_dnssec::process_scan(domain, &scan, now) {
+            Ok(dsec_dnssec::CdsAction::ReplaceDs(ds)) => Some(ds),
+            Ok(dsec_dnssec::CdsAction::DeleteDs) => Some(Vec::new()),
+            _ => None,
+        }
+    }
+
+    // ----------------------------------------------------- observations --
+
+    /// Builds the paper-style observation of one domain: served DNSKEY
+    /// RRset + RRSIGs (via a real DO-bit query to the domain's
+    /// nameservers) and the DS set in the registry.
+    pub fn observation_of(&self, domain: &Name) -> Observation {
+        let mut obs = Observation::default();
+        if let Some(tld) = Tld::of_domain(domain) {
+            obs.ds_set = self.registries[&tld].ds_of(domain);
+        }
+        if let Some(resp) = self.query_domain(domain, RrType::Dnskey) {
+            let keys: Vec<Record> = resp
+                .answers
+                .iter()
+                .filter(|r| r.rtype() == RrType::Dnskey)
+                .cloned()
+                .collect();
+            if !keys.is_empty() {
+                obs.dnskey_rrset = RrSet::new(keys).ok();
+                obs.dnskey_rrsigs = resp
+                    .answers
+                    .iter()
+                    .filter_map(|r| match &r.rdata {
+                        RData::Rrsig(s) if s.type_covered == RrType::Dnskey => Some(s.clone()),
+                        _ => None,
+                    })
+                    .collect();
+            }
+        }
+        obs
+    }
+
+    /// Sends one DNSSEC-OK query to the domain's delegated nameservers.
+    pub fn query_domain(&self, domain: &Name, rtype: RrType) -> Option<Message> {
+        let tld = Tld::of_domain(domain)?;
+        let ns_hosts = self.registries[&tld].ns_of(domain);
+        let query = Message::query(0, domain.clone(), rtype, true);
+        ns_hosts
+            .iter()
+            .find_map(|ns| self.network.query(ns, &query))
+    }
+
+    /// Publishes a CDS record (for the zone's current KSK) in a signed
+    /// domain's zone — what RFC 7344 asks operators to do so the parent
+    /// can pick the DS up in-band.
+    pub fn publish_cds_for(&mut self, domain: &Name) -> Result<(), ActionError> {
+        let d = self
+            .domains
+            .get(&domain.to_canonical())
+            .ok_or(ActionError::NoSuchDomain)?;
+        let keys = d.keys.clone().ok_or(ActionError::DnssecUnsupported)?;
+        let ds = keys.ds(DigestType::Sha256);
+        self.publish_cds_record(domain, &keys, ds)
+    }
+
+    /// Publishes CDS records for every signed, registrar-hosted domain of
+    /// `registrar` — turning its partial deployments into bootstrap
+    /// candidates once a registry enables RFC 8078 scanning.
+    pub fn enable_cds_publication(&mut self, registrar: RegistrarId) -> usize {
+        let targets: Vec<Name> = self
+            .domains
+            .values()
+            .filter(|d| d.registrar == registrar && d.keys.is_some())
+            .map(|d| d.name.clone())
+            .collect();
+        let mut published = 0;
+        for domain in targets {
+            if self.publish_cds_for(&domain).is_ok() {
+                published += 1;
+            }
+        }
+        published
+    }
+
+    /// Phase 1 of a proper key rollover: generate new keys, publish a CDS
+    /// for them **signed by the still-chained old keys**, and remember the
+    /// new keys. The chain stays valid throughout.
+    pub fn prepare_rollover(&mut self, domain: &Name) -> Result<DsRdata, ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        let old_keys = d.keys.clone().ok_or(ActionError::DnssecUnsupported)?;
+        let new_keys = self.keys_differing_from(domain, old_keys.ksk_tag());
+        let new_ds = new_keys.ds(DigestType::Sha256);
+        self.publish_cds_record(domain, &old_keys, new_ds.clone())?;
+        self.pending_rollover.insert(key, new_keys);
+        Ok(new_ds)
+    }
+
+    /// Phase 2: once the parent's DS points at the new keys, re-sign the
+    /// zone with them. Completing before the DS update makes the domain
+    /// bogus — the rollover failure mode.
+    pub fn complete_rollover(&mut self, domain: &Name) -> Result<(), ActionError> {
+        let key = domain.to_canonical();
+        let new_keys = self
+            .pending_rollover
+            .remove(&key)
+            .ok_or(ActionError::DnssecUnsupported)?;
+        self.resign_with(domain, &new_keys)?;
+        self.domains.get_mut(&key).expect("checked").keys = Some(new_keys);
+        Ok(())
+    }
+
+    /// An abrupt (incorrect) rollover: replace the zone keys outright
+    /// without updating the parent DS. Validating resolvers SERVFAIL
+    /// until someone fixes the DS.
+    pub fn roll_keys_abrupt(&mut self, domain: &Name) -> Result<DsRdata, ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        let current = d.keys.clone().ok_or(ActionError::DnssecUnsupported)?;
+        let new_keys = self.keys_differing_from(domain, current.ksk_tag());
+        let new_ds = new_keys.ds(DigestType::Sha256);
+        self.resign_with(domain, &new_keys)?;
+        self.domains.get_mut(&key).expect("checked").keys = Some(new_keys);
+        Ok(new_ds)
+    }
+
+    /// Re-signs a domain's zone with `keys` wherever it is hosted.
+    fn resign_with(&mut self, domain: &Name, keys: &ZoneKeys) -> Result<(), ActionError> {
+        let d = self
+            .domains
+            .get(&domain.to_canonical())
+            .ok_or(ActionError::NoSuchDomain)?;
+        let signer = self.signer_config();
+        match d.hosting.clone() {
+            Hosting::Registrar { .. } => {
+                let op = self.registrars[d.registrar.0 as usize].operator;
+                self.operators[op.0 as usize].host_signed(domain, keys, &signer);
+            }
+            Hosting::ThirdParty { operator } => {
+                self.operators[operator.0 as usize].host_signed(domain, keys, &signer);
+            }
+            Hosting::Owner => {
+                self.host_owner_zone(domain, Some(keys));
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a signed CDS record to the domain's served zone.
+    fn publish_cds_record(
+        &mut self,
+        domain: &Name,
+        signing_keys: &ZoneKeys,
+        ds: DsRdata,
+    ) -> Result<(), ActionError> {
+        let d = self
+            .domains
+            .get(&domain.to_canonical())
+            .ok_or(ActionError::NoSuchDomain)?;
+        let signer = self.signer_config();
+        match d.hosting.clone() {
+            Hosting::Registrar { .. } => {
+                let op = self.registrars[d.registrar.0 as usize].operator;
+                self.operators[op.0 as usize].publish_cds(domain, signing_keys, ds, &signer);
+            }
+            Hosting::ThirdParty { operator } => {
+                self.operators[operator.0 as usize].publish_cds(domain, signing_keys, ds, &signer);
+            }
+            Hosting::Owner => {
+                let zone_host = self.owner_authority.clone();
+                zone_host.with_zone_mut(domain, |zone| {
+                    zone.add(Record::new(domain.clone(), 3600, RData::Cds(ds)))
+                        .expect("CDS fits");
+                    let rrset = zone.rrset(domain, RrType::Cds).expect("just added");
+                    let sig = dsec_dnssec::sign_rrset(
+                        &rrset,
+                        &signing_keys.zsk,
+                        signing_keys.zsk_tag(),
+                        domain,
+                        &signer,
+                    );
+                    zone.add(sig).expect("CDS RRSIG fits");
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ helpers --
+
+    /// The effective sponsor for `registrar` selling `tld`.
+    pub fn resolve_sponsor(
+        &self,
+        registrar: RegistrarId,
+        tld: Tld,
+    ) -> Result<RegistrarId, ActionError> {
+        match &self.registrars[registrar.0 as usize].policy.tld(tld).role {
+            TldRole::Registrar => Ok(registrar),
+            TldRole::ResellerVia(partner) => self
+                .registrar_by_name(partner)
+                .ok_or(ActionError::TldNotSold),
+            TldRole::NoSupport => Err(ActionError::TldNotSold),
+        }
+    }
+
+    fn ns_hosts_for(&self, domain: &Name, registrar: RegistrarId, hosting: &Hosting) -> Vec<Name> {
+        match hosting {
+            Hosting::Registrar { .. } => {
+                let op = self.registrars[registrar.0 as usize].operator;
+                self.operators[op.0 as usize].ns_hosts.clone()
+            }
+            Hosting::Owner => vec![domain.child("ns1").expect("ns1 fits")],
+            Hosting::ThirdParty { operator } => {
+                self.operators[operator.0 as usize].ns_hosts.clone()
+            }
+        }
+    }
+
+    /// Deterministically picks pool keys for a domain and rebinds them to
+    /// the domain's name. `salt` varies per hosting arrangement so a
+    /// domain that changes operators gets different key material — as it
+    /// would in reality.
+    fn pool_keys_salted(&self, domain: &Name, salt: u64) -> ZoneKeys {
+        let mut h: u64 = 0xcbf29ce484222325 ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        for b in domain.to_canonical_wire() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let idx = (h % self.key_pool.len() as u64) as usize;
+        let mut keys = self.key_pool[idx].clone();
+        keys.zone = domain.clone();
+        keys
+    }
+
+    fn pool_keys_for(&self, domain: &Name) -> ZoneKeys {
+        self.pool_keys_salted(domain, 0)
+    }
+
+    /// A key pair whose KSK tag differs from `current_tag` (rollovers).
+    fn keys_differing_from(&self, domain: &Name, current_tag: u16) -> ZoneKeys {
+        let mut keys = self
+            .key_pool
+            .iter()
+            .find(|k| {
+                let mut c = (*k).clone();
+                c.zone = domain.clone();
+                c.ksk_tag() != current_tag
+            })
+            .unwrap_or(&self.key_pool[0])
+            .clone();
+        keys.zone = domain.clone();
+        keys
+    }
+
+    /// A second, different key pair for a domain (for wrong-DS tests).
+    pub fn mismatched_keys_for(&self, domain: &Name) -> ZoneKeys {
+        let base = self.pool_keys_for(domain);
+        let mut keys = self
+            .key_pool
+            .iter()
+            .find(|k| k.ksk_tag() != base.ksk_tag())
+            .unwrap_or(&self.key_pool[0])
+            .clone();
+        keys.zone = domain.clone();
+        keys
+    }
+
+    /// Signer parameters: valid from yesterday until past the sim end.
+    pub fn signer_config(&self) -> SignerConfig {
+        SignerConfig {
+            inception: self.today.epoch_seconds().saturating_sub(86_400),
+            expiration: self.config.end.plus_days(400).epoch_seconds(),
+            nsec: true,
+            nsec3: None,
+            dnskey_ttl: 3600,
+        }
+    }
+
+    /// Signs a registrar-hosted domain and uploads its DS when the
+    /// registrar's per-TLD policy says so.
+    pub fn sign_hosted(&mut self, domain: &Name) -> Result<(), ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        let Hosting::Registrar { .. } = d.hosting else {
+            return Err(ActionError::WrongHosting);
+        };
+        let (registrar, sponsor, tld) = (d.registrar, d.sponsor, d.tld);
+        let keys = self.pool_keys_for(domain);
+        let signer = self.signer_config();
+        let op = self.registrars[registrar.0 as usize].operator;
+        self.operators[op.0 as usize].host_signed(domain, &keys, &signer);
+        let ds = keys.ds(DigestType::Sha256);
+        self.domains.get_mut(&key).expect("checked").keys = Some(keys);
+        self.events.record(
+            self.today,
+            Event::Signed {
+                domain: domain.clone(),
+            },
+        );
+        if self.registrars[registrar.0 as usize]
+            .policy
+            .tld(tld)
+            .publishes_ds
+        {
+            self.registries
+                .get_mut(&tld)
+                .expect("all TLDs present")
+                .set_ds(sponsor, domain, &[ds])
+                .map_err(|e| ActionError::Registry(e.to_string()))?;
+            self.events.record(
+                self.today,
+                Event::DsPublished {
+                    domain: domain.clone(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Builds (or re-signs) an owner-hosted zone and registers its
+    /// nameserver hostname; returns that hostname.
+    fn host_owner_zone(&mut self, domain: &Name, keys: Option<&ZoneKeys>) -> Name {
+        let ns_host = domain.child("ns1").expect("ns1 fits");
+        let mut zone = Zone::new(domain.clone());
+        zone.add(Record::new(
+            domain.clone(),
+            3600,
+            RData::Soa(SoaRdata {
+                mname: ns_host.clone(),
+                rname: Name::parse("hostmaster.invalid").unwrap(),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            }),
+        ))
+        .expect("SOA fits");
+        zone.add(Record::new(domain.clone(), 3600, RData::Ns(ns_host.clone())))
+            .expect("NS fits");
+        zone.add(Record::new(
+            domain.child("www").expect("www fits"),
+            300,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ))
+        .expect("A fits");
+        if let Some(keys) = keys {
+            let signer = self.signer_config();
+            sign_zone(&mut zone, keys, &signer).expect("owner keys match zone");
+        }
+        self.owner_authority.upsert_zone(zone);
+        self.network
+            .register(ns_host.clone(), self.owner_authority.clone());
+        ns_host
+    }
+
+    /// The DNSKEYs currently served for `domain` by whoever hosts it.
+    pub fn served_dnskeys(&self, domain: &Name) -> Vec<dsec_wire::DnskeyRdata> {
+        self.query_domain(domain, RrType::Dnskey)
+            .map(|resp| {
+                resp.answers
+                    .iter()
+                    .filter_map(|r| match &r.rdata {
+                        RData::Dnskey(k) => Some(k.clone()),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Whether (policy channel, submission) line up; `Some(validates)`.
+    fn channel_matches(&self, channel: &ExternalDs, via: &DsSubmission) -> Option<bool> {
+        match (channel, via) {
+            (ExternalDs::Web { validates }, DsSubmission::Web) => Some(*validates),
+            (ExternalDs::Email { validates, .. }, DsSubmission::Email { .. }) => Some(*validates),
+            (ExternalDs::Chat { .. }, DsSubmission::Chat) => Some(false),
+            (ExternalDs::Ticket, DsSubmission::Ticket) => Some(false),
+            (ExternalDs::FetchDnskey, DsSubmission::FetchDnskey) => Some(true),
+            _ => None,
+        }
+    }
+
+    fn random_other_domain(&mut self, registrar: RegistrarId, not: &Name) -> Option<Name> {
+        let candidates: Vec<Name> = self
+            .domains
+            .values()
+            .filter(|d| d.registrar == registrar && &d.name != not)
+            .map(|d| d.name.clone())
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let idx = self.rng.random_range(0..candidates.len());
+        Some(candidates[idx].clone())
+    }
+
+    /// A mutable handle to the registry (extension experiments flip CDS
+    /// support on).
+    pub fn registry_mut(&mut self, tld: Tld) -> &mut Registry {
+        self.registries.get_mut(&tld).expect("all TLDs present")
+    }
+
+    /// Draws from the world RNG (workload generation shares determinism).
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,17 @@
+//! # dsec-reports — tables, figures, and paper-vs-measured records
+//!
+//! - [`table`]: a monospace table builder;
+//! - [`render`]: one renderer per paper artifact (Tables 1–4, Figures
+//!   3–8) taking scanner snapshots / stores and probe reports;
+//! - [`paper`]: checkpoint records comparing measured values against the
+//!   paper's published numbers (the source of EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod render;
+pub mod table;
+
+pub use paper::{Checkpoint, ExperimentResult};
+pub use render::{figure3, figure8, figure_series, table1, table2, table3, table4, GTLDS};
+pub use table::Table;

@@ -1,0 +1,175 @@
+//! Paper-vs-measured comparisons: each experiment produces a set of
+//! checkpoints (the numbers the paper reports), and the harness records
+//! what the reproduction measured next to them. EXPERIMENTS.md is
+//! generated from these.
+
+use std::fmt;
+
+/// One checkpoint: a quantity the paper reports for a table/figure.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// What is being measured ("% of .com with DNSKEY").
+    pub metric: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Acceptable relative deviation for the *shape* to count as
+    /// reproduced (absolute tolerance for values near zero).
+    pub tolerance: f64,
+}
+
+impl Checkpoint {
+    /// Builds a checkpoint with a relative tolerance.
+    pub fn new(metric: impl Into<String>, paper: f64, measured: f64, tolerance: f64) -> Self {
+        Checkpoint {
+            metric: metric.into(),
+            paper,
+            measured,
+            tolerance,
+        }
+    }
+
+    /// Whether the measured value is within tolerance of the paper's.
+    pub fn holds(&self) -> bool {
+        let scale = self.paper.abs().max(1e-9);
+        let rel = (self.measured - self.paper).abs() / scale;
+        // Near-zero paper values use the tolerance absolutely.
+        if self.paper.abs() < 1e-6 {
+            return self.measured.abs() <= self.tolerance;
+        }
+        rel <= self.tolerance
+    }
+}
+
+/// One experiment's comparison record.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id (DESIGN.md's index: "E-T1", "E-F3", …).
+    pub id: &'static str,
+    /// Human title ("Table 1: dataset overview").
+    pub title: &'static str,
+    /// Checkpoints.
+    pub checkpoints: Vec<Checkpoint>,
+    /// The rendered artifact (table/series text).
+    pub artifact: String,
+}
+
+impl ExperimentResult {
+    /// A new empty result.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        ExperimentResult {
+            id,
+            title,
+            checkpoints: Vec::new(),
+            artifact: String::new(),
+        }
+    }
+
+    /// Adds a checkpoint.
+    pub fn check(
+        &mut self,
+        metric: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        tolerance: f64,
+    ) -> &mut Self {
+        self.checkpoints
+            .push(Checkpoint::new(metric, paper, measured, tolerance));
+        self
+    }
+
+    /// All checkpoints within tolerance?
+    pub fn reproduced(&self) -> bool {
+        self.checkpoints.iter().all(Checkpoint::holds)
+    }
+
+    /// Markdown block for EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        out.push_str("| metric | paper | measured | within tol. |\n");
+        out.push_str("|---|---:|---:|:--:|\n");
+        for c in &self.checkpoints {
+            out.push_str(&format!(
+                "| {} | {:.4} | {:.4} | {} |\n",
+                c.metric,
+                c.paper,
+                c.measured,
+                if c.holds() { "yes" } else { "NO" }
+            ));
+        }
+        if !self.artifact.is_empty() {
+            out.push_str("\n```text\n");
+            out.push_str(&self.artifact);
+            if !self.artifact.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str("```\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} — {}/{} checkpoints hold",
+            self.id,
+            self.title,
+            self.checkpoints.iter().filter(|c| c.holds()).count(),
+            self.checkpoints.len()
+        )?;
+        for c in &self.checkpoints {
+            writeln!(
+                f,
+                "  {:<52} paper {:>10.3}  measured {:>10.3}  {}",
+                c.metric,
+                c.paper,
+                c.measured,
+                if c.holds() { "ok" } else { "DEVIATES" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_tolerance() {
+        assert!(Checkpoint::new("x", 100.0, 110.0, 0.15).holds());
+        assert!(!Checkpoint::new("x", 100.0, 150.0, 0.15).holds());
+        assert!(Checkpoint::new("x", 0.7, 0.75, 0.10).holds());
+    }
+
+    #[test]
+    fn absolute_tolerance_near_zero() {
+        assert!(Checkpoint::new("x", 0.0, 0.005, 0.01).holds());
+        assert!(!Checkpoint::new("x", 0.0, 0.02, 0.01).holds());
+    }
+
+    #[test]
+    fn result_aggregation_and_markdown() {
+        let mut r = ExperimentResult::new("E-T1", "Table 1");
+        r.check("com dnskey %", 0.7, 0.68, 0.25);
+        r.check("nl dnskey %", 51.6, 49.0, 0.15);
+        assert!(r.reproduced());
+        let md = r.to_markdown();
+        assert!(md.contains("## E-T1"));
+        assert!(md.contains("| com dnskey % |"));
+        let text = r.to_string();
+        assert!(text.contains("2/2 checkpoints hold"));
+    }
+
+    #[test]
+    fn failing_checkpoint_flagged() {
+        let mut r = ExperimentResult::new("E-X", "X");
+        r.check("off", 10.0, 99.0, 0.1);
+        assert!(!r.reproduced());
+        assert!(r.to_markdown().contains("NO"));
+        assert!(r.to_string().contains("DEVIATES"));
+    }
+}

@@ -1,0 +1,366 @@
+//! Renderers that reproduce each of the paper's tables and figures from
+//! measurement outputs (snapshots, longitudinal stores, probe reports).
+
+use dsec_ecosystem::{Tld, World, ALL_TLDS};
+use dsec_probe::{DsChannel, Finding, ProbeReport};
+use dsec_scanner::{coverage_curve, LongitudinalStore, Metric, Snapshot};
+
+use crate::table::Table;
+
+/// The gTLD subset used throughout the paper's Figures 3–8.
+pub const GTLDS: [Tld; 3] = [Tld::Com, Tld::Net, Tld::Org];
+
+/// Table 1: dataset overview — per-TLD domain counts and % with DNSKEY.
+pub fn table1(snapshot: &Snapshot, scale: u64) -> String {
+    let mut t = Table::new(&["TLD", "Domains (scaled)", "Domains (x scale)", "with DNSKEY"]);
+    for tld in ALL_TLDS {
+        let stats = snapshot.tld_totals(tld);
+        let pct = if stats.domains > 0 {
+            100.0 * stats.with_dnskey as f64 / stats.domains as f64
+        } else {
+            0.0
+        };
+        t.row(&[
+            tld.to_string(),
+            stats.domains.to_string(),
+            (stats.domains * scale).to_string(),
+            format!("{pct:.1}%"),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 2: the probe matrix for the popular registrars.
+pub fn table2(reports: &[ProbeReport], snapshot: Option<&Snapshot>) -> String {
+    let mut t = Table::new(&[
+        "Registrar",
+        "NS domain",
+        "Domains",
+        "w/DNSKEY",
+        "default",
+        "opt-in",
+        "paid",
+        "support",
+        "DS web",
+        "DS email",
+        "DS other",
+        "val DNSKEY",
+        "val email",
+    ]);
+    for report in reports {
+        let (domains, with_dnskey) = snapshot
+            .map(|s| {
+                let op = format!("{}.", report.ns_domain.trim_end_matches('.'));
+                let stats = s.operator_totals(&op, &ALL_TLDS);
+                (stats.domains.to_string(), stats.with_dnskey.to_string())
+            })
+            .unwrap_or_default();
+        let chan = |want: DsChannel| {
+            if report.ds_channel == Some(want) {
+                Finding::Yes.glyph()
+            } else if report.ds_channel.is_some() {
+                Finding::NotApplicable.glyph()
+            } else {
+                Finding::No.glyph()
+            }
+        };
+        let other = match report.ds_channel {
+            Some(DsChannel::Chat) => "chat",
+            Some(DsChannel::Ticket) => "ticket",
+            Some(DsChannel::FetchDnskey) => "fetch",
+            _ => Finding::NotApplicable.glyph(),
+        };
+        t.row(&[
+            report.registrar.clone(),
+            report.ns_domain.clone(),
+            domains,
+            with_dnskey,
+            report.dnssec_default.glyph().into(),
+            report.dnssec_optin.glyph().into(),
+            report
+                .dnssec_paid_cents
+                .map(|c| format!("${}.{:02}/yr", c / 100, c % 100))
+                .unwrap_or_else(|| Finding::No.glyph().into()),
+            report.operator_support.glyph().into(),
+            chan(DsChannel::Web).into(),
+            chan(DsChannel::Email).into(),
+            other.into(),
+            report.validates_ds.glyph().into(),
+            report.verifies_email.glyph().into(),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 3: the DNSSEC-heavy registrars, with per-TLD DS publication.
+pub fn table3(reports: &[ProbeReport], snapshot: Option<&Snapshot>) -> String {
+    let mut t = Table::new(&[
+        "Registrar",
+        "NS domain",
+        "w/DNSKEY (gTLD)",
+        "default",
+        "publish DNSKEY",
+        "publish DS",
+        "ext support",
+        "DS channel",
+        "val DNSKEY",
+        "val email",
+    ]);
+    for report in reports {
+        let with_dnskey = snapshot
+            .map(|s| {
+                let op = format!("{}.", report.ns_domain.trim_end_matches('.'));
+                s.operator_totals(&op, &GTLDS).with_dnskey.to_string()
+            })
+            .unwrap_or_default();
+        // DS publication mark: ● everywhere, ▲ some TLDs, ✗ none.
+        let published: Vec<bool> = report.publishes_ds.values().copied().collect();
+        let ds_mark = if published.is_empty() {
+            Finding::NotApplicable
+        } else if published.iter().all(|&v| v) {
+            Finding::Yes
+        } else if published.iter().any(|&v| v) {
+            Finding::Partial
+        } else {
+            Finding::No
+        };
+        let channel = match report.ds_channel {
+            Some(DsChannel::Web) => "web",
+            Some(DsChannel::Email) => "email",
+            Some(DsChannel::Chat) => "chat",
+            Some(DsChannel::Ticket) => "ticket",
+            Some(DsChannel::FetchDnskey) => "fetch",
+            None => Finding::No.glyph(),
+        };
+        t.row(&[
+            report.registrar.clone(),
+            report.ns_domain.clone(),
+            with_dnskey,
+            report.dnssec_default.glyph().into(),
+            report.operator_support.glyph().into(),
+            ds_mark.glyph().into(),
+            report.external_support.glyph().into(),
+            channel.into(),
+            report.validates_ds.glyph().into(),
+            report.verifies_email.glyph().into(),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 4: registrar-vs-reseller roles per TLD for the given registrars.
+pub fn table4(world: &World, names: &[&str]) -> String {
+    let mut header = vec!["DNS operator", "Registrar"];
+    let tld_labels: Vec<String> = ALL_TLDS.iter().map(|t| t.to_string()).collect();
+    header.extend(tld_labels.iter().map(String::as_str));
+    let mut t = Table::new(&header);
+    for name in names {
+        let Some(id) = world.registrar_by_name(name) else {
+            continue;
+        };
+        let registrar = world.registrar(id);
+        let ns = world.operator(registrar.operator).ns_domain.to_string();
+        let mut cells = vec![ns, registrar.name.clone()];
+        for tld in ALL_TLDS {
+            use dsec_ecosystem::TldRole;
+            cells.push(match registrar.policy.tld(tld).role {
+                TldRole::Registrar => name.to_string(),
+                TldRole::ResellerVia(partner) => partner,
+                TldRole::NoSupport => "No support".into(),
+            });
+        }
+        t.row(&cells);
+    }
+    t.render()
+}
+
+/// Figure 3: the cumulative distribution of domains over DNS operators for
+/// all / partially deployed / fully deployed domains, plus the paper's
+/// headline coverage statistics.
+pub fn figure3(snapshot: &Snapshot) -> String {
+    let mut out = String::from(
+        "Figure 3: CDF of .com/.net/.org domains by DNS operator\n\
+         rank  all      partial  full\n",
+    );
+    let all = coverage_curve(snapshot, &GTLDS, Metric::All);
+    let partial = coverage_curve(snapshot, &GTLDS, Metric::Partial);
+    let full = coverage_curve(snapshot, &GTLDS, Metric::Full);
+    let max_len = all.len().max(partial.len()).max(full.len());
+    let mut rank = 1usize;
+    while rank <= max_len {
+        let v = |curve: &[f64]| {
+            curve
+                .get((rank - 1).min(curve.len().saturating_sub(1)))
+                .copied()
+                .map(|x| format!("{:>6.1}%", 100.0 * x))
+                .unwrap_or_else(|| "      -".into())
+        };
+        out.push_str(&format!(
+            "{rank:>5} {} {} {}\n",
+            v(&all),
+            v(&partial),
+            v(&full)
+        ));
+        // Log-ish rank spacing like the paper's log x-axis.
+        rank = if rank < 10 { rank + 1 } else { rank * 2 };
+    }
+    out
+}
+
+/// A time-series figure (Figures 4–7): per snapshot, the % of an
+/// operator's domains that are fully deployed (DNSKEY + DS), per TLD
+/// group.
+pub fn figure_series(
+    store: &LongitudinalStore,
+    title: &str,
+    operator: &str,
+    groups: &[(&str, Vec<Tld>)],
+) -> String {
+    let mut out = format!("{title}\ndate");
+    for (label, _) in groups {
+        out.push_str(&format!(",{label}"));
+    }
+    out.push('\n');
+    let series_per_group: Vec<Vec<dsec_scanner::SeriesPoint>> = groups
+        .iter()
+        .map(|(_, tlds)| store.series(operator, tlds))
+        .collect();
+    if let Some(first) = series_per_group.first() {
+        for (i, point) in first.iter().enumerate() {
+            out.push_str(&point.date.to_string());
+            for series in &series_per_group {
+                out.push_str(&format!(",{:.1}", 100.0 * series[i].full_fraction()));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Figure 8: Cloudflare — % of hosted domains with DNSKEY, and of those,
+/// % with a DS at the registry.
+pub fn figure8(store: &LongitudinalStore, operator: &str) -> String {
+    let mut out = String::from("Figure 8\ndate,pct_with_dnskey,pct_ds_given_dnskey\n");
+    for point in store.series(operator, &GTLDS) {
+        out.push_str(&format!(
+            "{},{:.2},{:.1}\n",
+            point.date,
+            100.0 * point.dnskey_fraction(),
+            100.0 * point.ds_given_dnskey()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsec_scanner::OperatorStats;
+    use std::collections::BTreeMap;
+
+    fn snapshot() -> Snapshot {
+        let mut cells = BTreeMap::new();
+        cells.insert(
+            ("ovh.net.".to_string(), Tld::Com),
+            OperatorStats {
+                domains: 100,
+                with_dnskey: 26,
+                with_ds: 26,
+                fully_deployed: 26,
+                partially_deployed: 0,
+                misconfigured: 0,
+            },
+        );
+        cells.insert(
+            ("loopia.se.".to_string(), Tld::Com),
+            OperatorStats {
+                domains: 50,
+                with_dnskey: 50,
+                with_ds: 0,
+                fully_deployed: 0,
+                partially_deployed: 50,
+                misconfigured: 0,
+            },
+        );
+        cells.insert(
+            ("nl-zone.x.".to_string(), Tld::Nl),
+            OperatorStats {
+                domains: 40,
+                with_dnskey: 20,
+                with_ds: 20,
+                fully_deployed: 20,
+                partially_deployed: 0,
+                misconfigured: 0,
+            },
+        );
+        Snapshot {
+            date: dsec_ecosystem::SimDate(0),
+            cells,
+        }
+    }
+
+    #[test]
+    fn table1_shows_percentages() {
+        let out = table1(&snapshot(), 2000);
+        assert!(out.contains(".com"));
+        assert!(out.contains("50.7%")); // 76/150
+        assert!(out.contains("50.0%")); // nl 20/40
+        assert!(out.contains("300000")); // 150 × 2000
+    }
+
+    #[test]
+    fn table2_renders_reports() {
+        let mut report = ProbeReport::new("OVH", "ovh.net");
+        report.dnssec_optin = Finding::Yes;
+        report.operator_support = Finding::Yes;
+        report.ds_channel = Some(DsChannel::Web);
+        report.validates_ds = Finding::Yes;
+        let out = table2(&[report], Some(&snapshot()));
+        assert!(out.contains("OVH"));
+        assert!(out.contains("●"));
+        assert!(out.contains("100")); // operator totals joined in
+    }
+
+    #[test]
+    fn table3_ds_publication_marks() {
+        let mut report = ProbeReport::new("Loopia", "loopia.se");
+        report.operator_support = Finding::Yes;
+        report.publishes_ds.insert(Tld::Se, true);
+        report.publishes_ds.insert(Tld::Com, false);
+        let out = table3(&[report], None);
+        assert!(out.contains("▲"), "partial DS publication mark: {out}");
+    }
+
+    #[test]
+    fn figure3_curves_cover_both_populations() {
+        let out = figure3(&snapshot());
+        assert!(out.starts_with("Figure 3"));
+        // Two gTLD operators → two ranks.
+        assert!(out.contains("\n    1 "));
+        assert!(out.contains("100.0%"));
+    }
+
+    #[test]
+    fn figure8_emits_csv() {
+        let mut store = LongitudinalStore::new();
+        store.record(snapshot());
+        let out = figure8(&store, "ovh.net.");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].starts_with("2015-01-01,26.00,100.0"));
+    }
+
+    #[test]
+    fn figure_series_shapes() {
+        let mut store = LongitudinalStore::new();
+        store.record(snapshot());
+        let out = figure_series(
+            &store,
+            "Figure 4 (OVH)",
+            "ovh.net.",
+            &[("gTLD", GTLDS.to_vec()), (".nl", vec![Tld::Nl])],
+        );
+        assert!(out.contains("Figure 4"));
+        assert!(out.contains("2015-01-01,26.0,0.0"));
+    }
+}

@@ -1,0 +1,118 @@
+//! A minimal monospace table builder for terminal reports.
+
+/// A left-aligned monospace table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends one row of string slices.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with a header separator line.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| display_width(h)).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(display_width(cell));
+            }
+        }
+        let mut out = String::new();
+        render_row(&mut out, &self.header, &widths);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(&mut out, &sep, &widths);
+        for row in &self.rows {
+            render_row(&mut out, row, &widths);
+        }
+        out
+    }
+}
+
+fn render_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, width) in widths.iter().enumerate() {
+        let cell = cells.get(i).map(String::as_str).unwrap_or("");
+        out.push_str(cell);
+        let pad = width.saturating_sub(display_width(cell));
+        out.extend(std::iter::repeat(' ').take(pad));
+        if i + 1 != widths.len() {
+            out.push_str("  ");
+        }
+    }
+    // Trim trailing spaces for clean diffs.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Character count (the glyphs used are single-width).
+fn display_width(s: &str) -> usize {
+    s.chars().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "count"]);
+        t.row_str(&["a", "1"]);
+        t.row_str(&["longer-name", "23"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        // All data lines align the second column.
+        let col = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find("23").unwrap(), col);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row_str(&["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let out = t.render();
+        assert!(out.lines().count() == 3);
+    }
+
+    #[test]
+    fn unicode_glyphs_count_once() {
+        assert_eq!(display_width("●▲✗"), 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! A positive answer cache keyed by (qname, qtype) with TTL-based expiry.
+//!
+//! TTLs count in the same seconds as the simulation clock, so cached
+//! entries age naturally as the simulated days advance.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use dsec_wire::{Name, RrType};
+
+use crate::Answer;
+
+/// Default cap on a cached entry's lifetime, seconds (RFC 8767 spirit).
+const MAX_TTL: u32 = 86_400;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    answer: Answer,
+    expires_at: u32,
+}
+
+/// A thread-safe positive cache.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: RwLock<HashMap<(Name, u16), Entry>>,
+}
+
+impl Cache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a live entry.
+    pub fn get(&self, qname: &Name, qtype: RrType, now: u32) -> Option<Answer> {
+        let key = (qname.to_canonical(), qtype.number());
+        let entries = self.entries.read();
+        let entry = entries.get(&key)?;
+        if entry.expires_at <= now {
+            return None;
+        }
+        Some(entry.answer.clone())
+    }
+
+    /// Stores an answer; lifetime is the minimum record TTL, capped at one
+    /// day. Negative and empty answers are cached for 60 seconds.
+    pub fn put(&self, qname: &Name, qtype: RrType, answer: &Answer, now: u32) {
+        let ttl = answer
+            .records
+            .iter()
+            .map(|r| r.ttl)
+            .min()
+            .unwrap_or(60)
+            .min(MAX_TTL)
+            .max(1);
+        let key = (qname.to_canonical(), qtype.number());
+        self.entries.write().insert(
+            key,
+            Entry {
+                answer: answer.clone(),
+                expires_at: now.saturating_add(ttl),
+            },
+        );
+    }
+
+    /// Drops expired entries; returns how many were evicted.
+    pub fn evict_expired(&self, now: u32) -> usize {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|_, e| e.expires_at > now);
+        before - entries.len()
+    }
+
+    /// Number of entries (live or not-yet-evicted).
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Removes everything.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Security;
+    use dsec_wire::{RData, Rcode, Record};
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn answer(ttl: u32) -> Answer {
+        Answer {
+            records: vec![Record::new(
+                name("www.example.com"),
+                ttl,
+                RData::A("192.0.2.1".parse().unwrap()),
+            )],
+            rcode: Rcode::NoError,
+            security: Security::Insecure,
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let cache = Cache::new();
+        cache.put(&name("www.example.com"), RrType::A, &answer(300), 1000);
+        assert!(cache.get(&name("www.example.com"), RrType::A, 1299).is_some());
+        assert!(cache.get(&name("www.example.com"), RrType::A, 1300).is_none());
+    }
+
+    #[test]
+    fn key_includes_qtype_and_is_case_insensitive() {
+        let cache = Cache::new();
+        cache.put(&name("www.example.com"), RrType::A, &answer(300), 0);
+        assert!(cache.get(&name("WWW.EXAMPLE.COM"), RrType::A, 10).is_some());
+        assert!(cache.get(&name("www.example.com"), RrType::Aaaa, 10).is_none());
+    }
+
+    #[test]
+    fn empty_answers_get_short_ttl() {
+        let cache = Cache::new();
+        let empty = Answer {
+            records: Vec::new(),
+            rcode: Rcode::NxDomain,
+            security: Security::Insecure,
+            chain: Vec::new(),
+        };
+        cache.put(&name("gone.example.com"), RrType::A, &empty, 0);
+        assert!(cache.get(&name("gone.example.com"), RrType::A, 59).is_some());
+        assert!(cache.get(&name("gone.example.com"), RrType::A, 61).is_none());
+    }
+
+    #[test]
+    fn ttl_is_capped() {
+        let cache = Cache::new();
+        cache.put(&name("www.example.com"), RrType::A, &answer(10_000_000), 0);
+        assert!(cache.get(&name("www.example.com"), RrType::A, 86_399).is_some());
+        assert!(cache.get(&name("www.example.com"), RrType::A, 86_401).is_none());
+    }
+
+    #[test]
+    fn eviction_and_clear() {
+        let cache = Cache::new();
+        cache.put(&name("a.example.com"), RrType::A, &answer(100), 0);
+        cache.put(&name("b.example.com"), RrType::A, &answer(10_000), 0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evict_expired(5000), 1);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

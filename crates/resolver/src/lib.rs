@@ -1,0 +1,811 @@
+//! # dsec-resolver — a validating iterative resolver
+//!
+//! Walks the delegation tree from the configured root hints over a
+//! [`dsec_authserver::Network`], maintaining the DNSSEC chain of trust from
+//! a configured trust anchor (the root KSK's DS). Every zone cut is either
+//! *securely delegated* (signed DS that chains to the child's DNSKEYs),
+//! *insecurely delegated* (provably no DS), or *bogus* (broken link).
+//!
+//! Like production validators, a bogus chain yields SERVFAIL unless the
+//! query sets the CD (checking disabled) bit. This is exactly the failure
+//! mode the paper warns partial deployments cause once a DS exists but the
+//! zone data cannot be validated.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod diagnose;
+
+use dsec_authserver::Network;
+use dsec_crypto::DigestType;
+use dsec_dnssec::validate::ValidationError;
+use dsec_dnssec::{authenticate_dnskeys, validate_rrset};
+use dsec_wire::{
+    group_rrsets, DnskeyRdata, DsRdata, Message, Name, RData, Rcode, Record, RrSet, RrType,
+};
+
+pub use cache::Cache;
+pub use diagnose::{diagnose, Diagnosis, DsLink, SignatureState, ZoneDiagnosis};
+
+/// The RFC 4035 security state of a resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Security {
+    /// Every link from the trust anchor validated.
+    Secure,
+    /// The chain was cleanly broken by an unsigned delegation (or no trust
+    /// anchor is configured) — ordinary unsigned DNS.
+    Insecure,
+    /// A link exists but does not validate; the answer must not be trusted.
+    Bogus(ValidationError),
+}
+
+impl Security {
+    /// True for [`Security::Secure`].
+    pub fn is_secure(&self) -> bool {
+        matches!(self, Security::Secure)
+    }
+}
+
+/// The outcome of one resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// Answer-section records (empty on negative answers and SERVFAIL).
+    pub records: Vec<Record>,
+    /// Final response code seen (or synthesized SERVFAIL on bogus).
+    pub rcode: Rcode,
+    /// Chain security for the answer.
+    pub security: Security,
+    /// Referral chain walked, outermost first (for diagnostics).
+    pub chain: Vec<Name>,
+}
+
+/// Errors that abort resolution before any answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No root hints configured.
+    NoRootHints,
+    /// Every candidate nameserver for some zone was unreachable.
+    AllServersUnreachable(String),
+    /// The referral/CNAME walk exceeded the step budget (loop suspected).
+    TooManySteps,
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::NoRootHints => write!(f, "no root hints configured"),
+            ResolveError::AllServersUnreachable(zone) => {
+                write!(f, "all nameservers unreachable for {zone}")
+            }
+            ResolveError::TooManySteps => write!(f, "resolution exceeded step budget"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+use std::sync::Arc;
+
+/// A validating iterative resolver bound to a network.
+pub struct Resolver {
+    network: Arc<Network>,
+    /// Trust anchor: DS records for the root KSK. Empty → no validation.
+    trust_anchor: Vec<DsRdata>,
+    /// Checking-disabled: return bogus data instead of SERVFAIL.
+    pub checking_disabled: bool,
+    /// Step budget for referrals + CNAME chases.
+    max_steps: usize,
+    cache: Cache,
+    next_id: std::sync::atomic::AtomicU16,
+}
+
+impl Resolver {
+    /// A resolver with a trust anchor (pass an empty vec for a
+    /// non-validating resolver).
+    pub fn new(network: Arc<Network>, trust_anchor: Vec<DsRdata>) -> Self {
+        Resolver {
+            network,
+            trust_anchor,
+            checking_disabled: false,
+            max_steps: 48,
+            cache: Cache::new(),
+            next_id: std::sync::atomic::AtomicU16::new(1),
+        }
+    }
+
+    /// Access to the positive cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Resolves with the positive cache consulted first.
+    pub fn resolve_cached(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        now: u32,
+    ) -> Result<Answer, ResolveError> {
+        if let Some(hit) = self.cache.get(qname, qtype, now) {
+            return Ok(hit);
+        }
+        let answer = self.resolve(qname, qtype, now)?;
+        self.cache.put(qname, qtype, &answer, now);
+        Ok(answer)
+    }
+
+    /// Resolves (qname, qtype) from the roots, validating along the way.
+    pub fn resolve(&self, qname: &Name, qtype: RrType, now: u32) -> Result<Answer, ResolveError> {
+        let mut chain = Vec::new();
+        let mut cname_budget = 8;
+        let mut current_qname = qname.clone();
+        let mut all_records = Vec::new();
+        loop {
+            let (mut answer, target) =
+                self.resolve_no_cname(&current_qname, qtype, now, &mut chain)?;
+            all_records.append(&mut answer.records);
+            match target {
+                Some(next) if cname_budget > 0 && !matches!(answer.security, Security::Bogus(_)) => {
+                    cname_budget -= 1;
+                    current_qname = next;
+                }
+                _ => return Ok(self.finish(answer, all_records, chain)),
+            }
+        }
+    }
+
+    fn finish(&self, answer: Answer, records: Vec<Record>, chain: Vec<Name>) -> Answer {
+        let mut a = answer;
+        a.chain = chain;
+        if matches!(a.security, Security::Bogus(_)) && !self.checking_disabled {
+            a.records = Vec::new();
+            a.rcode = Rcode::ServFail;
+            return a;
+        }
+        a.records = records;
+        a
+    }
+
+    /// One full root-to-answer walk without CNAME chasing. Returns the
+    /// answer and, if the answer is a CNAME for another qtype, the target.
+    fn resolve_no_cname(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        now: u32,
+        chain: &mut Vec<Name>,
+    ) -> Result<(Answer, Option<Name>), ResolveError> {
+        let mut servers = self.network.root_hints();
+        if servers.is_empty() {
+            return Err(ResolveError::NoRootHints);
+        }
+        let mut zone = Name::root();
+        // Trusted DNSKEYs of `zone`, or the reason the chain is not secure.
+        let mut zone_keys: Result<Vec<DnskeyRdata>, Security> = if self.trust_anchor.is_empty() {
+            Err(Security::Insecure)
+        } else {
+            self.chain_to_zone(&Name::root(), &servers, &self.trust_anchor, now)
+        };
+
+        for _ in 0..self.max_steps {
+            chain.push(zone.clone());
+            let resp = self
+                .query_any(&servers, qname, qtype)
+                .ok_or_else(|| ResolveError::AllServersUnreachable(zone.to_string()))?;
+
+            // Referral?
+            let ns_records: Vec<&Record> = resp
+                .authorities
+                .iter()
+                .filter(|r| r.rtype() == RrType::Ns)
+                .collect();
+            let is_referral =
+                resp.answers.is_empty() && !resp.flags.authoritative && !ns_records.is_empty();
+            if is_referral {
+                let cut = ns_records[0].name.clone();
+                let ds_records: Vec<DsRdata> = resp
+                    .authorities
+                    .iter()
+                    .filter_map(|r| match &r.rdata {
+                        RData::Ds(ds) if r.name == cut => Some(ds.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let next_servers: Vec<Name> = ns_records
+                    .iter()
+                    .filter_map(|r| match &r.rdata {
+                        RData::Ns(host) => Some(host.clone()),
+                        _ => None,
+                    })
+                    .collect();
+
+                // Advance the trust chain.
+                zone_keys = match zone_keys {
+                    Ok(parent_keys) => {
+                        if ds_records.is_empty() {
+                            // Unsigned delegation → insecure subtree.
+                            Err(Security::Insecure)
+                        } else {
+                            // Validate the DS RRset signature with parent keys.
+                            let ds_rrset = RrSet::new(
+                                resp.authorities
+                                    .iter()
+                                    .filter(|r| r.rtype() == RrType::Ds && r.name == cut)
+                                    .cloned()
+                                    .collect(),
+                            )
+                            .expect("non-empty DS set");
+                            let ds_sigs: Vec<_> = resp
+                                .authorities
+                                .iter()
+                                .filter_map(|r| match &r.rdata {
+                                    RData::Rrsig(s)
+                                        if s.type_covered == RrType::Ds && r.name == cut =>
+                                    {
+                                        Some(s.clone())
+                                    }
+                                    _ => None,
+                                })
+                                .collect();
+                            match validate_rrset(&ds_rrset, &ds_sigs, &parent_keys, &zone, now) {
+                                Ok(()) => {
+                                    self.chain_to_zone(&cut, &next_servers, &ds_records, now)
+                                }
+                                Err(e) => Err(Security::Bogus(e)),
+                            }
+                        }
+                    }
+                    Err(state) => Err(state),
+                };
+
+                zone = cut;
+                servers = next_servers;
+                if servers.is_empty() {
+                    return Err(ResolveError::AllServersUnreachable(zone.to_string()));
+                }
+                // A bogus delegation can never be repaired further down,
+                // but resolution continues so CD-mode callers still get
+                // the (untrusted) data.
+                continue;
+            }
+
+            // Terminal answer.
+            let security = self.validate_answer(&resp, &zone, &zone_keys, now);
+            let cname_target = resp.answers.iter().find_map(|r| match &r.rdata {
+                RData::Cname(t) if qtype != RrType::Cname => Some(t.clone()),
+                _ => None,
+            });
+            let has_direct_answer = resp.answers.iter().any(|r| r.rtype() == qtype);
+            let records = resp
+                .answers
+                .iter()
+                .filter(|r| r.rtype() != RrType::Rrsig)
+                .cloned()
+                .collect();
+            return Ok((
+                Answer {
+                    records,
+                    rcode: resp.rcode,
+                    security,
+                    chain: Vec::new(),
+                },
+                if has_direct_answer { None } else { cname_target },
+            ));
+        }
+        Err(ResolveError::TooManySteps)
+    }
+
+    /// Fetches `zone`'s DNSKEY RRset from its servers and authenticates it
+    /// against `ds_records`.
+    fn chain_to_zone(
+        &self,
+        zone: &Name,
+        servers: &[Name],
+        ds_records: &[DsRdata],
+        now: u32,
+    ) -> Result<Vec<DnskeyRdata>, Security> {
+        let Some(resp) = self.query_any(servers, zone, RrType::Dnskey) else {
+            return Err(Security::Bogus(ValidationError::MissingDnskey));
+        };
+        let dnskey_records: Vec<Record> = resp
+            .answers
+            .iter()
+            .filter(|r| r.rtype() == RrType::Dnskey)
+            .cloned()
+            .collect();
+        if dnskey_records.is_empty() {
+            return Err(Security::Bogus(ValidationError::MissingDnskey));
+        }
+        let dnskey_rrset = RrSet::new(dnskey_records).expect("uniform DNSKEY set");
+        let sigs: Vec<_> = resp
+            .answers
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Rrsig(s) if s.type_covered == RrType::Dnskey => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        match authenticate_dnskeys(zone, &dnskey_rrset, &sigs, ds_records, now) {
+            Ok(keys) => Ok(keys),
+            Err(ValidationError::UnsupportedAlgorithm(_)) => Err(Security::Insecure),
+            Err(e) => Err(Security::Bogus(e)),
+        }
+    }
+
+    /// Validates the answer (or negative-answer) sections with the current
+    /// zone keys.
+    fn validate_answer(
+        &self,
+        resp: &Message,
+        zone: &Name,
+        zone_keys: &Result<Vec<DnskeyRdata>, Security>,
+        now: u32,
+    ) -> Security {
+        let keys = match zone_keys {
+            Ok(keys) => keys,
+            Err(state) => return state.clone(),
+        };
+        // Validate every non-RRSIG RRset in the answer section; negative
+        // answers validate the authority section (SOA/NSEC).
+        let section = if resp.answers.is_empty() {
+            &resp.authorities
+        } else {
+            &resp.answers
+        };
+        let sigs: Vec<_> = section
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Rrsig(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        for rrset in group_rrsets(section) {
+            if rrset.rtype() == RrType::Rrsig {
+                continue;
+            }
+            if let Err(e) = validate_rrset(&rrset, &sigs, keys, zone, now) {
+                return Security::Bogus(e);
+            }
+        }
+        Security::Secure
+    }
+
+    fn query_any(&self, servers: &[Name], qname: &Name, qtype: RrType) -> Option<Message> {
+        let id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let query = Message::query(id, qname.clone(), qtype, true);
+        servers.iter().find_map(|ns| self.network.query(ns, &query))
+    }
+}
+
+/// The trust anchor (root KSK DS) for a root zone signed with `root_keys`.
+pub fn trust_anchor_for(root_keys: &dsec_dnssec::ZoneKeys) -> Vec<DsRdata> {
+    vec![root_keys.ds(DigestType::Sha256)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsec_authserver::Authority;
+    use dsec_crypto::Algorithm;
+    use dsec_dnssec::{sign_zone, SignerConfig, ZoneKeys};
+    use dsec_wire::{SoaRdata, Zone};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    const NOW: u32 = 1_450_000_000;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn soa(zone: &str) -> Record {
+        let owner = if zone == "." { Name::root() } else { name(zone) };
+        Record::new(
+            owner,
+            3600,
+            RData::Soa(SoaRdata {
+                mname: name("ns1.invalid"),
+                rname: name("hostmaster.invalid"),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        )
+    }
+
+    /// A three-level signed hierarchy: . → com → example.com.
+    struct World {
+        network: Arc<Network>,
+        root_keys: ZoneKeys,
+        example_auth: Arc<Authority>,
+    }
+
+    fn build_world(sign_example: bool, upload_example_ds: bool) -> World {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let cfg = SignerConfig::valid_from(NOW - 100, 90 * 86400);
+
+        let root_keys =
+            ZoneKeys::generate_default(&mut rng, Name::root(), Algorithm::RsaSha256).unwrap();
+        let com_keys =
+            ZoneKeys::generate_default(&mut rng, name("com"), Algorithm::RsaSha256).unwrap();
+        let example_keys =
+            ZoneKeys::generate_default(&mut rng, name("example.com"), Algorithm::RsaSha256)
+                .unwrap();
+
+        // example.com zone.
+        let mut example = Zone::new(name("example.com"));
+        example.add(soa("example.com")).unwrap();
+        example
+            .add(Record::new(
+                name("example.com"),
+                3600,
+                RData::Ns(name("ns1.operator.net")),
+            ))
+            .unwrap();
+        example
+            .add(Record::new(
+                name("www.example.com"),
+                300,
+                RData::A("192.0.2.80".parse().unwrap()),
+            ))
+            .unwrap();
+        example
+            .add(Record::new(
+                name("alias.example.com"),
+                300,
+                RData::Cname(name("www.example.com")),
+            ))
+            .unwrap();
+        if sign_example {
+            sign_zone(&mut example, &example_keys, &cfg).unwrap();
+        }
+
+        // com zone: delegation (+DS if uploaded).
+        let mut com = Zone::new(name("com"));
+        com.add(soa("com")).unwrap();
+        com.add(Record::new(
+            name("com"),
+            3600,
+            RData::Ns(name("a.gtld-servers.net")),
+        ))
+        .unwrap();
+        com.add(Record::new(
+            name("example.com"),
+            172800,
+            RData::Ns(name("ns1.operator.net")),
+        ))
+        .unwrap();
+        if upload_example_ds {
+            com.add(Record::new(
+                name("example.com"),
+                86400,
+                RData::Ds(example_keys.ds(DigestType::Sha256)),
+            ))
+            .unwrap();
+        }
+        sign_zone(&mut com, &com_keys, &cfg).unwrap();
+
+        // root zone.
+        let mut root = Zone::new(Name::root());
+        root.add(soa(".")).unwrap();
+        root.add(Record::new(
+            Name::root(),
+            3600,
+            RData::Ns(name("a.root-servers.net")),
+        ))
+        .unwrap();
+        root.add(Record::new(
+            name("com"),
+            172800,
+            RData::Ns(name("a.gtld-servers.net")),
+        ))
+        .unwrap();
+        root.add(Record::new(
+            name("com"),
+            86400,
+            RData::Ds(com_keys.ds(DigestType::Sha256)),
+        ))
+        .unwrap();
+        sign_zone(&mut root, &root_keys, &cfg).unwrap();
+
+        let network = Arc::new(Network::new());
+        let root_auth = Authority::new();
+        root_auth.upsert_zone(root);
+        network.register(name("a.root-servers.net"), Arc::new(root_auth));
+        let com_auth = Authority::new();
+        com_auth.upsert_zone(com);
+        network.register(name("a.gtld-servers.net"), Arc::new(com_auth));
+        let example_auth = Arc::new(Authority::new());
+        example_auth.upsert_zone(example);
+        network.register(name("ns1.operator.net"), example_auth.clone());
+        network.set_root_hints(vec![name("a.root-servers.net")]);
+
+        World {
+            network,
+            root_keys,
+            example_auth,
+        }
+    }
+
+    #[test]
+    fn secure_resolution_end_to_end() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.rcode, Rcode::NoError);
+        assert_eq!(answer.security, Security::Secure);
+        assert_eq!(answer.records.len(), 1);
+        assert_eq!(
+            answer.chain,
+            vec![Name::root(), name("com"), name("example.com")]
+        );
+    }
+
+    #[test]
+    fn unsigned_leaf_is_insecure() {
+        let w = build_world(false, false);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.security, Security::Insecure);
+        assert_eq!(answer.records.len(), 1, "insecure data still resolves");
+    }
+
+    #[test]
+    fn partial_deployment_resolves_but_is_insecure() {
+        // The paper's "partially deployed": signed zone, no DS uploaded.
+        let w = build_world(true, false);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.security, Security::Insecure);
+        assert_eq!(answer.records.len(), 1);
+    }
+
+    #[test]
+    fn ds_without_signatures_is_bogus_servfail() {
+        // DS uploaded but the child zone was never signed: a validating
+        // resolver must SERVFAIL — the domain goes dark for DNSSEC users.
+        let w = build_world(false, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.rcode, Rcode::ServFail);
+        assert!(matches!(answer.security, Security::Bogus(_)));
+        assert!(answer.records.is_empty());
+    }
+
+    #[test]
+    fn checking_disabled_returns_bogus_data() {
+        let w = build_world(false, true);
+        let mut resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        resolver.checking_disabled = true;
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert!(matches!(answer.security, Security::Bogus(_)));
+        assert_eq!(answer.records.len(), 1, "CD returns data despite bogus");
+    }
+
+    #[test]
+    fn no_trust_anchor_means_insecure() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), Vec::new());
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.security, Security::Insecure);
+    }
+
+    #[test]
+    fn wrong_trust_anchor_is_bogus() {
+        let w = build_world(true, true);
+        let mut rng = StdRng::seed_from_u64(4242);
+        let fake_root =
+            ZoneKeys::generate_default(&mut rng, Name::root(), Algorithm::RsaSha256).unwrap();
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&fake_root));
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn cname_is_chased_securely() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let answer = resolver
+            .resolve(&name("alias.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.security, Security::Secure);
+        assert!(answer.records.iter().any(|r| r.rtype() == RrType::Cname));
+        assert!(answer.records.iter().any(|r| r.rtype() == RrType::A));
+    }
+
+    #[test]
+    fn nxdomain_propagates() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let answer = resolver
+            .resolve(&name("missing.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.rcode, Rcode::NxDomain);
+        assert!(answer.records.is_empty());
+    }
+
+    #[test]
+    fn expired_signatures_turn_bogus() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let after_expiry = NOW + 120 * 86400;
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, after_expiry)
+            .unwrap();
+        assert_eq!(answer.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn tampered_zone_data_detected() {
+        // Overwrite the A record *after* signing: the RRSIG no longer
+        // matches → bogus.
+        let w = build_world(true, true);
+        w.example_auth.with_zone_mut(&name("example.com"), |z| {
+            z.remove_rrset(&name("www.example.com"), RrType::A);
+            z.add(Record::new(
+                name("www.example.com"),
+                300,
+                RData::A("203.0.113.66".parse().unwrap()), // hijack
+            ))
+            .unwrap();
+        });
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(
+            answer.rcode,
+            Rcode::ServFail,
+            "hijacked data must not validate"
+        );
+    }
+
+    #[test]
+    fn unreachable_nameserver_reported() {
+        let w = build_world(true, true);
+        w.network.deregister(&name("ns1.operator.net"));
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let err = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::AllServersUnreachable(_)));
+    }
+
+    #[test]
+    fn missing_root_hints_reported() {
+        let w = build_world(true, true);
+        w.network.set_root_hints(Vec::new());
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        assert_eq!(
+            resolver.resolve(&name("www.example.com"), RrType::A, NOW),
+            Err(ResolveError::NoRootHints)
+        );
+    }
+
+    #[test]
+    fn diagnose_healthy_chain() {
+        let w = build_world(true, true);
+        let report = crate::diagnose::diagnose(
+            &w.network,
+            &trust_anchor_for(&w.root_keys),
+            &name("example.com"),
+            NOW,
+        );
+        assert!(report.is_secure(), "{report}");
+        assert_eq!(report.zones.len(), 3);
+        assert!(report.zones.iter().all(|z| z.link_ok));
+        assert!(report.advice.is_empty());
+        let text = report.to_string();
+        assert!(text.contains("verdict: Secure"));
+    }
+
+    #[test]
+    fn diagnose_partial_deployment() {
+        let w = build_world(true, false);
+        let report = crate::diagnose::diagnose(
+            &w.network,
+            &trust_anchor_for(&w.root_keys),
+            &name("example.com"),
+            NOW,
+        );
+        assert_eq!(report.verdict, Security::Insecure);
+        let leaf = report.zones.last().unwrap();
+        assert_eq!(leaf.ds_link, crate::diagnose::DsLink::Absent);
+        assert!(matches!(
+            leaf.signatures,
+            crate::diagnose::SignatureState::Valid { .. }
+        ));
+        assert!(report.advice.iter().any(|a| a.contains("partially")));
+    }
+
+    #[test]
+    fn diagnose_unsigned_domain() {
+        let w = build_world(false, false);
+        let report = crate::diagnose::diagnose(
+            &w.network,
+            &trust_anchor_for(&w.root_keys),
+            &name("example.com"),
+            NOW,
+        );
+        assert_eq!(report.verdict, Security::Insecure);
+        let leaf = report.zones.last().unwrap();
+        assert!(leaf.keys.is_empty());
+        assert_eq!(leaf.signatures, crate::diagnose::SignatureState::Unsigned);
+    }
+
+    #[test]
+    fn diagnose_ds_mismatch() {
+        let w = build_world(false, true); // DS uploaded, zone unsigned
+        let report = crate::diagnose::diagnose(
+            &w.network,
+            &trust_anchor_for(&w.root_keys),
+            &name("example.com"),
+            NOW,
+        );
+        assert!(matches!(report.verdict, Security::Bogus(_)));
+        assert!(report
+            .advice
+            .iter()
+            .any(|a| a.contains("SERVFAIL") || a.contains("unsigned")));
+    }
+
+    #[test]
+    fn diagnose_expired_signatures() {
+        let w = build_world(true, true);
+        let later = NOW + 120 * 86_400;
+        let report = crate::diagnose::diagnose(
+            &w.network,
+            &trust_anchor_for(&w.root_keys),
+            &name("example.com"),
+            later,
+        );
+        assert!(matches!(report.verdict, Security::Bogus(_)));
+        assert!(report
+            .zones
+            .iter()
+            .any(|z| z.signatures == crate::diagnose::SignatureState::Expired));
+        assert!(report.advice.iter().any(|a| a.contains("re-sign")));
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let a1 = resolver
+            .resolve_cached(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        let queries_after_first = w.network.query_count();
+        let a2 = resolver
+            .resolve_cached(&name("www.example.com"), RrType::A, NOW + 10)
+            .unwrap();
+        assert_eq!(a1.records, a2.records);
+        assert_eq!(
+            w.network.query_count(),
+            queries_after_first,
+            "second hit from cache"
+        );
+        // After TTL expiry the network is consulted again.
+        let _ = resolver
+            .resolve_cached(&name("www.example.com"), RrType::A, NOW + 10_000)
+            .unwrap();
+        assert!(w.network.query_count() > queries_after_first);
+    }
+}

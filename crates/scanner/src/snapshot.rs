@@ -1,0 +1,353 @@
+//! One day's scan: for every delegated SLD in every studied TLD, read the
+//! NS and DS sets from the TLD zone (as OpenINTEL does from zone files)
+//! and fetch the DNSKEY RRset + RRSIGs with a real DO-bit query; classify
+//! and aggregate per (operator, TLD).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use dsec_dnssec::{classify, DeploymentStatus};
+use dsec_ecosystem::{SimDate, Tld, World, ALL_TLDS};
+use dsec_wire::Name;
+
+use crate::operator_id::operator_of;
+
+/// Aggregate DNSSEC state of one (operator, TLD) cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorStats {
+    /// Delegated domains.
+    pub domains: u64,
+    /// Domains publishing at least one DNSKEY.
+    pub with_dnskey: u64,
+    /// Domains with a DS in the TLD zone.
+    pub with_ds: u64,
+    /// Fully deployed (complete, validating chain).
+    pub fully_deployed: u64,
+    /// Partially deployed (DNSKEY+RRSIG, no DS).
+    pub partially_deployed: u64,
+    /// Records present but the chain fails validation.
+    pub misconfigured: u64,
+}
+
+impl OperatorStats {
+    fn absorb(&mut self, other: &OperatorStats) {
+        self.domains += other.domains;
+        self.with_dnskey += other.with_dnskey;
+        self.with_ds += other.with_ds;
+        self.fully_deployed += other.fully_deployed;
+        self.partially_deployed += other.partially_deployed;
+        self.misconfigured += other.misconfigured;
+    }
+}
+
+/// One day's aggregated scan.
+///
+/// (Kept as plain data; the longitudinal store serializes to CSV, which is
+/// what the paper's plotting pipeline consumed.)
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Scan date.
+    pub date: SimDate,
+    /// Per (operator key, TLD) aggregates. The operator key is the
+    /// canonical SLD of the NS records (String form for serialization).
+    pub cells: BTreeMap<(String, Tld), OperatorStats>,
+}
+
+impl Snapshot {
+    /// Scans every delegation in every studied TLD.
+    pub fn take(world: &World) -> Snapshot {
+        Self::take_filtered(world, &ALL_TLDS)
+    }
+
+    /// Scans only the given TLDs (per-figure focused worlds).
+    pub fn take_filtered(world: &World, tlds: &[Tld]) -> Snapshot {
+        Self::take_with_threads(world, tlds, 1)
+    }
+
+    /// Parallel scan: the per-TLD delegation lists are partitioned across
+    /// `threads` workers (OpenINTEL's scanner is similarly fanned out).
+    /// Every worker issues real queries against the shared authorities;
+    /// results are merged into one snapshot. `threads == 1` scans inline.
+    pub fn take_with_threads(world: &World, tlds: &[Tld], threads: usize) -> Snapshot {
+        let now = world.today.epoch_seconds();
+        // Work list: (domain, operator key, tld).
+        let work: Vec<(Name, String, Tld)> = tlds
+            .iter()
+            .flat_map(|&tld| {
+                let registry = world.registry(tld);
+                registry
+                    .delegations()
+                    .into_iter()
+                    .map(move |domain| {
+                        let ns = registry.ns_of(&domain);
+                        let operator = operator_of(&ns)
+                            .map(|n| n.to_string())
+                            .unwrap_or_else(|| "(no-ns)".into());
+                        (domain, operator, tld)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let threads = threads.max(1).min(work.len().max(1));
+        let mut cells: BTreeMap<(String, Tld), OperatorStats> = BTreeMap::new();
+        if threads == 1 {
+            for (domain, operator, tld) in work {
+                let stats = scan_domain(world, &domain, now);
+                cells.entry((operator, tld)).or_default().absorb(&stats);
+            }
+        } else {
+            let chunk = work.len().div_ceil(threads);
+            let partials = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            let mut local: BTreeMap<(String, Tld), OperatorStats> =
+                                BTreeMap::new();
+                            for (domain, operator, tld) in part {
+                                let stats = scan_domain(world, domain, now);
+                                local
+                                    .entry((operator.clone(), *tld))
+                                    .or_default()
+                                    .absorb(&stats);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan worker does not panic"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("scan scope completes");
+            for partial in partials {
+                for (key, stats) in partial {
+                    cells.entry(key).or_default().absorb(&stats);
+                }
+            }
+        }
+        Snapshot {
+            date: world.today,
+            cells,
+        }
+    }
+
+    /// Aggregates over all operators for one TLD.
+    pub fn tld_totals(&self, tld: Tld) -> OperatorStats {
+        let mut total = OperatorStats::default();
+        for ((_, t), stats) in &self.cells {
+            if *t == tld {
+                total.absorb(stats);
+            }
+        }
+        total
+    }
+
+    /// Aggregates one operator across the given TLDs.
+    pub fn operator_totals(&self, operator: &str, tlds: &[Tld]) -> OperatorStats {
+        let mut total = OperatorStats::default();
+        for ((op, t), stats) in &self.cells {
+            if op == operator && tlds.contains(t) {
+                total.absorb(stats);
+            }
+        }
+        total
+    }
+
+    /// Per-operator totals across the given TLDs, descending by `metric`.
+    pub fn operators_ranked(
+        &self,
+        tlds: &[Tld],
+        metric: Metric,
+    ) -> Vec<(String, OperatorStats)> {
+        let mut agg: BTreeMap<&str, OperatorStats> = BTreeMap::new();
+        for ((op, t), stats) in &self.cells {
+            if tlds.contains(t) {
+                agg.entry(op.as_str()).or_default().absorb(stats);
+            }
+        }
+        let mut out: Vec<(String, OperatorStats)> = agg
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        out.sort_by(|a, b| metric.of(&b.1).cmp(&metric.of(&a.1)).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Which population a CDF/ranking counts (Figure 3's three curves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// All registered domains.
+    All,
+    /// Partially deployed domains.
+    Partial,
+    /// Fully deployed domains.
+    Full,
+    /// Domains with a DNSKEY (Table 3's ordering).
+    WithDnskey,
+}
+
+impl Metric {
+    /// Extracts the counted quantity.
+    pub fn of(self, stats: &OperatorStats) -> u64 {
+        match self {
+            Metric::All => stats.domains,
+            Metric::Partial => stats.partially_deployed,
+            Metric::Full => stats.fully_deployed,
+            Metric::WithDnskey => stats.with_dnskey,
+        }
+    }
+}
+
+/// Scans one domain into a single-domain stats cell.
+fn scan_domain(world: &World, domain: &Name, now: u32) -> OperatorStats {
+    let obs = world.observation_of(domain);
+    let mut stats = OperatorStats {
+        domains: 1,
+        ..Default::default()
+    };
+    if obs.has_dnskey() {
+        stats.with_dnskey = 1;
+    }
+    if obs.has_ds() {
+        stats.with_ds = 1;
+    }
+    match classify(domain, &obs, now) {
+        DeploymentStatus::FullyDeployed => stats.fully_deployed = 1,
+        DeploymentStatus::PartiallyDeployed => stats.partially_deployed = 1,
+        DeploymentStatus::Misconfigured(_) => stats.misconfigured = 1,
+        DeploymentStatus::NotDeployed | DeploymentStatus::InsecureUnsupported => {}
+    }
+    stats
+}
+
+/// The cumulative-coverage curve of Figure 3: for each operator rank k
+/// (descending size), the fraction of the metric covered by the top k.
+pub fn coverage_curve(snapshot: &Snapshot, tlds: &[Tld], metric: Metric) -> Vec<f64> {
+    let ranked = snapshot.operators_ranked(tlds, metric);
+    let total: u64 = ranked.iter().map(|(_, s)| metric.of(s)).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut acc = 0u64;
+    ranked
+        .iter()
+        .map(|(_, s)| {
+            acc += metric.of(s);
+            acc as f64 / total as f64
+        })
+        .collect()
+}
+
+/// How many operators (by rank) are needed to cover `fraction` of the
+/// metric — the paper's "26 operators for 50% of all domains, 2 for 54%
+/// of fully deployed" statistic.
+pub fn operators_to_cover(snapshot: &Snapshot, tlds: &[Tld], metric: Metric, fraction: f64) -> usize {
+    coverage_curve(snapshot, tlds, metric)
+        .iter()
+        .position(|&c| c >= fraction)
+        .map(|p| p + 1)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(domains: u64, dnskey: u64, ds: u64, full: u64, partial: u64) -> OperatorStats {
+        OperatorStats {
+            domains,
+            with_dnskey: dnskey,
+            with_ds: ds,
+            fully_deployed: full,
+            partially_deployed: partial,
+            misconfigured: 0,
+        }
+    }
+
+    fn synthetic_snapshot() -> Snapshot {
+        let mut cells = BTreeMap::new();
+        cells.insert(("big.net".into(), Tld::Com), cell(100, 2, 2, 2, 0));
+        cells.insert(("big.net".into(), Tld::Net), cell(50, 1, 1, 1, 0));
+        cells.insert(("mid.net".into(), Tld::Com), cell(40, 30, 0, 0, 30));
+        cells.insert(("small.net".into(), Tld::Com), cell(10, 10, 10, 10, 0));
+        Snapshot {
+            date: SimDate(0),
+            cells,
+        }
+    }
+
+    #[test]
+    fn tld_totals_aggregate() {
+        let s = synthetic_snapshot();
+        let com = s.tld_totals(Tld::Com);
+        assert_eq!(com.domains, 150);
+        assert_eq!(com.with_dnskey, 42);
+        let net = s.tld_totals(Tld::Net);
+        assert_eq!(net.domains, 50);
+        assert_eq!(s.tld_totals(Tld::Se).domains, 0);
+    }
+
+    #[test]
+    fn operator_totals_span_tlds() {
+        let s = synthetic_snapshot();
+        let big = s.operator_totals("big.net", &[Tld::Com, Tld::Net]);
+        assert_eq!(big.domains, 150);
+        let com_only = s.operator_totals("big.net", &[Tld::Com]);
+        assert_eq!(com_only.domains, 100);
+    }
+
+    #[test]
+    fn ranking_orders_by_metric() {
+        let s = synthetic_snapshot();
+        let by_all = s.operators_ranked(&[Tld::Com, Tld::Net], Metric::All);
+        assert_eq!(by_all[0].0, "big.net");
+        let by_partial = s.operators_ranked(&[Tld::Com, Tld::Net], Metric::Partial);
+        assert_eq!(by_partial[0].0, "mid.net");
+        let by_full = s.operators_ranked(&[Tld::Com, Tld::Net], Metric::Full);
+        assert_eq!(by_full[0].0, "small.net");
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_to_one() {
+        let s = synthetic_snapshot();
+        let curve = coverage_curve(&s, &[Tld::Com, Tld::Net], Metric::All);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+        assert!((curve.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operators_to_cover_finds_rank() {
+        let s = synthetic_snapshot();
+        // All: 150/40/10 → top1 = 75%, so covering 50% needs 1 operator.
+        assert_eq!(
+            operators_to_cover(&s, &[Tld::Com, Tld::Net], Metric::All, 0.5),
+            1
+        );
+        // Full: 10 (small) + 3 (big) → small covers 10/13 = 77%.
+        assert_eq!(
+            operators_to_cover(&s, &[Tld::Com, Tld::Net], Metric::Full, 0.5),
+            1
+        );
+        assert_eq!(
+            operators_to_cover(&s, &[Tld::Com, Tld::Net], Metric::Full, 0.9),
+            2
+        );
+        // Empty metric yields rank 0.
+        assert_eq!(operators_to_cover(&s, &[Tld::Se], Metric::All, 0.5), 0);
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let c = cell(10, 5, 4, 3, 2);
+        assert_eq!(Metric::All.of(&c), 10);
+        assert_eq!(Metric::WithDnskey.of(&c), 5);
+        assert_eq!(Metric::Full.of(&c), 3);
+        assert_eq!(Metric::Partial.of(&c), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! The longitudinal store: a sequence of daily (or weekly) snapshots with
+//! per-registrar time-series extraction and CSV export — the substrate for
+//! Figures 4–8.
+
+use dsec_ecosystem::{SimDate, Tld};
+
+use crate::snapshot::{OperatorStats, Snapshot};
+
+/// A point on a time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Date of the snapshot.
+    pub date: SimDate,
+    /// Aggregate at that date.
+    pub stats: OperatorStats,
+}
+
+impl SeriesPoint {
+    /// Fraction of domains with a DNSKEY.
+    pub fn dnskey_fraction(&self) -> f64 {
+        ratio(self.stats.with_dnskey, self.stats.domains)
+    }
+
+    /// Fraction of domains fully deployed (DNSKEY **and** matching DS) —
+    /// the y-axis of Figures 4–7.
+    pub fn full_fraction(&self) -> f64 {
+        ratio(self.stats.fully_deployed, self.stats.domains)
+    }
+
+    /// Of the domains with DNSKEY, the fraction that also have a DS — the
+    /// top panel of Figure 8.
+    pub fn ds_given_dnskey(&self) -> f64 {
+        ratio(self.stats.with_ds, self.stats.with_dnskey)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// An append-only sequence of snapshots.
+#[derive(Debug, Default)]
+pub struct LongitudinalStore {
+    snapshots: Vec<Snapshot>,
+}
+
+impl LongitudinalStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a snapshot (dates must be non-decreasing).
+    pub fn record(&mut self, snapshot: Snapshot) {
+        if let Some(last) = self.snapshots.last() {
+            assert!(
+                last.date <= snapshot.date,
+                "snapshots must be appended in date order"
+            );
+        }
+        self.snapshots.push(snapshot);
+    }
+
+    /// All snapshots, oldest first.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// The most recent snapshot.
+    pub fn latest(&self) -> Option<&Snapshot> {
+        self.snapshots.last()
+    }
+
+    /// The time series of one operator over the given TLDs.
+    pub fn series(&self, operator: &str, tlds: &[Tld]) -> Vec<SeriesPoint> {
+        self.snapshots
+            .iter()
+            .map(|s| SeriesPoint {
+                date: s.date,
+                stats: s.operator_totals(operator, tlds),
+            })
+            .collect()
+    }
+
+    /// The per-TLD aggregate series (Table 1 over time).
+    pub fn tld_series(&self, tld: Tld) -> Vec<SeriesPoint> {
+        self.snapshots
+            .iter()
+            .map(|s| SeriesPoint {
+                date: s.date,
+                stats: s.tld_totals(tld),
+            })
+            .collect()
+    }
+
+    /// CSV of one operator's series, one row per (snapshot, TLD):
+    /// `date,operator,tld,domains,with_dnskey,with_ds,full,partial,misconfigured`.
+    pub fn to_csv(&self, operator: &str) -> String {
+        let mut out = String::from(
+            "date,operator,tld,domains,with_dnskey,with_ds,fully_deployed,partially_deployed,misconfigured\n",
+        );
+        for snapshot in &self.snapshots {
+            for ((op, tld), stats) in &snapshot.cells {
+                if op == operator {
+                    out.push_str(&format!(
+                        "{},{},{},{},{},{},{},{},{}\n",
+                        snapshot.date,
+                        op,
+                        tld.label(),
+                        stats.domains,
+                        stats.with_dnskey,
+                        stats.with_ds,
+                        stats.fully_deployed,
+                        stats.partially_deployed,
+                        stats.misconfigured,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn snapshot(day: u32, dnskey: u64, ds: u64) -> Snapshot {
+        let mut cells = BTreeMap::new();
+        cells.insert(
+            ("op.net".to_string(), Tld::Com),
+            OperatorStats {
+                domains: 100,
+                with_dnskey: dnskey,
+                with_ds: ds,
+                fully_deployed: ds,
+                partially_deployed: dnskey - ds,
+                misconfigured: 0,
+            },
+        );
+        Snapshot {
+            date: SimDate(day),
+            cells,
+        }
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut store = LongitudinalStore::new();
+        store.record(snapshot(0, 10, 5));
+        store.record(snapshot(7, 20, 10));
+        let series = store.series("op.net", &[Tld::Com]);
+        assert_eq!(series.len(), 2);
+        assert!((series[0].dnskey_fraction() - 0.10).abs() < 1e-9);
+        assert!((series[1].dnskey_fraction() - 0.20).abs() < 1e-9);
+        assert!((series[1].ds_given_dnskey() - 0.50).abs() < 1e-9);
+        assert!((series[1].full_fraction() - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_operator_yields_zero_points() {
+        let mut store = LongitudinalStore::new();
+        store.record(snapshot(0, 10, 5));
+        let series = store.series("ghost.net", &[Tld::Com]);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].stats.domains, 0);
+        assert_eq!(series[0].dnskey_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "date order")]
+    fn out_of_order_snapshots_rejected() {
+        let mut store = LongitudinalStore::new();
+        store.record(snapshot(7, 1, 1));
+        store.record(snapshot(0, 1, 1));
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let mut store = LongitudinalStore::new();
+        store.record(snapshot(0, 10, 5));
+        let csv = store.to_csv("op.net");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("date,operator,tld"));
+        assert_eq!(lines[1], "2015-01-01,op.net,com,100,10,5,5,5,0");
+    }
+
+    #[test]
+    fn latest_and_tld_series() {
+        let mut store = LongitudinalStore::new();
+        assert!(store.latest().is_none());
+        store.record(snapshot(0, 10, 5));
+        store.record(snapshot(1, 12, 6));
+        assert_eq!(store.latest().unwrap().date, SimDate(1));
+        let tld_series = store.tld_series(Tld::Com);
+        assert_eq!(tld_series.len(), 2);
+        assert_eq!(tld_series[1].stats.with_dnskey, 12);
+    }
+}

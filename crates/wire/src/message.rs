@@ -1,0 +1,486 @@
+//! DNS messages (RFC 1035 §4) with EDNS(0) (RFC 6891) and the DNSSEC header
+//! bits (RFC 4035 §3): DO, AD, and CD.
+
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::record::Record;
+use crate::rrtype::{RrClass, RrType};
+use crate::wire::{WireReader, WireWriter};
+use crate::WireError;
+
+/// Response codes (RCODE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error (0).
+    NoError,
+    /// Format error (1).
+    FormErr,
+    /// Server failure (2) — what a validating resolver returns for bogus data.
+    ServFail,
+    /// Name does not exist (3).
+    NxDomain,
+    /// Not implemented (4).
+    NotImp,
+    /// Refused (5).
+    Refused,
+    /// Anything else.
+    Unknown(u8),
+}
+
+impl Rcode {
+    /// Numeric RCODE value (low 4 bits of the header field).
+    pub fn number(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Unknown(n) => n,
+        }
+    }
+
+    /// Maps a numeric value.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Unknown(other),
+        }
+    }
+}
+
+/// Operation codes (OPCODE). Only QUERY is used in this study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Standard query (0).
+    Query,
+    /// Anything else.
+    Unknown(u8),
+}
+
+impl Opcode {
+    /// Numeric opcode.
+    pub fn number(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Unknown(n) => n,
+        }
+    }
+
+    /// Maps a numeric value.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            0 => Opcode::Query,
+            other => Opcode::Unknown(other),
+        }
+    }
+}
+
+/// Header flag bits (excluding opcode/rcode, carried separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// QR: this is a response.
+    pub response: bool,
+    /// AA: authoritative answer.
+    pub authoritative: bool,
+    /// TC: truncated.
+    pub truncated: bool,
+    /// RD: recursion desired.
+    pub recursion_desired: bool,
+    /// RA: recursion available.
+    pub recursion_available: bool,
+    /// AD: authentic data (RFC 4035 §3.2.3).
+    pub authentic_data: bool,
+    /// CD: checking disabled (RFC 4035 §3.2.2).
+    pub checking_disabled: bool,
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub qtype: RrType,
+    /// Queried class.
+    pub qclass: RrClass,
+}
+
+impl Question {
+    /// Convenience constructor for class-IN questions.
+    pub fn new(name: Name, qtype: RrType) -> Self {
+        Question {
+            name,
+            qtype,
+            qclass: RrClass::In,
+        }
+    }
+}
+
+/// A complete DNS message.
+///
+/// EDNS(0) is modeled explicitly: `edns` carries the DO bit and advertised
+/// UDP size, and is serialized as an OPT pseudo-record in the additional
+/// section. OPT records never appear in `additional` itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Message ID.
+    pub id: u16,
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Header flags.
+    pub flags: Flags,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section (excluding OPT).
+    pub additionals: Vec<Record>,
+    /// EDNS(0) options, if present.
+    pub edns: Option<Edns>,
+}
+
+/// EDNS(0) parameters (RFC 6891).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edns {
+    /// Advertised maximum UDP payload size.
+    pub udp_payload_size: u16,
+    /// DO bit: the querier wants DNSSEC records (RFC 3225).
+    pub dnssec_ok: bool,
+}
+
+impl Default for Edns {
+    fn default() -> Self {
+        Edns {
+            udp_payload_size: 4096,
+            dnssec_ok: true,
+        }
+    }
+}
+
+impl Message {
+    /// A fresh query for (name, type) with RD clear (iterative) and, when
+    /// `dnssec_ok`, an EDNS OPT with the DO bit.
+    pub fn query(id: u16, name: Name, qtype: RrType, dnssec_ok: bool) -> Self {
+        Message {
+            id,
+            opcode: Opcode::Query,
+            flags: Flags::default(),
+            rcode: Rcode::NoError,
+            questions: vec![Question::new(name, qtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: dnssec_ok.then(Edns::default),
+        }
+    }
+
+    /// A response skeleton echoing this query's id, question, and EDNS.
+    pub fn response_to(&self) -> Message {
+        Message {
+            id: self.id,
+            opcode: self.opcode,
+            flags: Flags {
+                response: true,
+                recursion_desired: self.flags.recursion_desired,
+                checking_disabled: self.flags.checking_disabled,
+                ..Flags::default()
+            },
+            rcode: Rcode::NoError,
+            questions: self.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: self.edns,
+        }
+    }
+
+    /// True when the querier asked for DNSSEC records.
+    pub fn dnssec_ok(&self) -> bool {
+        self.edns.map_or(false, |e| e.dnssec_ok)
+    }
+
+    /// Serializes to wire format with name compression.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u16(self.id);
+        let mut flags1: u8 = 0;
+        if self.flags.response {
+            flags1 |= 0x80;
+        }
+        flags1 |= (self.opcode.number() & 0x0F) << 3;
+        if self.flags.authoritative {
+            flags1 |= 0x04;
+        }
+        if self.flags.truncated {
+            flags1 |= 0x02;
+        }
+        if self.flags.recursion_desired {
+            flags1 |= 0x01;
+        }
+        let mut flags2: u8 = 0;
+        if self.flags.recursion_available {
+            flags2 |= 0x80;
+        }
+        if self.flags.authentic_data {
+            flags2 |= 0x20;
+        }
+        if self.flags.checking_disabled {
+            flags2 |= 0x10;
+        }
+        flags2 |= self.rcode.number() & 0x0F;
+        w.put_u8(flags1);
+        w.put_u8(flags2);
+        w.put_u16(self.questions.len() as u16);
+        w.put_u16(self.answers.len() as u16);
+        w.put_u16(self.authorities.len() as u16);
+        let arcount = self.additionals.len() + usize::from(self.edns.is_some());
+        w.put_u16(arcount as u16);
+        for q in &self.questions {
+            w.put_name(&q.name);
+            w.put_u16(q.qtype.number());
+            w.put_u16(q.qclass.number());
+        }
+        for section in [&self.answers, &self.authorities, &self.additionals] {
+            for record in section {
+                record.encode(&mut w);
+            }
+        }
+        if let Some(edns) = &self.edns {
+            // OPT pseudo-RR: root owner, CLASS = payload size,
+            // TTL = ext-rcode/version/flags (DO is bit 15 of the low 16).
+            let ttl: u32 = if edns.dnssec_ok { 0x0000_8000 } else { 0 };
+            let opt = Record {
+                name: Name::root(),
+                class: RrClass::Unknown(edns.udp_payload_size),
+                ttl,
+                rdata: RData::Unknown {
+                    rtype: RrType::Opt,
+                    data: Vec::new(),
+                },
+            };
+            opt.encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a wire-format message.
+    pub fn from_wire(data: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(data);
+        let id = r.get_u16()?;
+        let flags1 = r.get_u8()?;
+        let flags2 = r.get_u8()?;
+        let qdcount = r.get_u16()?;
+        let ancount = r.get_u16()?;
+        let nscount = r.get_u16()?;
+        let arcount = r.get_u16()?;
+        let mut msg = Message {
+            id,
+            opcode: Opcode::from_number((flags1 >> 3) & 0x0F),
+            flags: Flags {
+                response: flags1 & 0x80 != 0,
+                authoritative: flags1 & 0x04 != 0,
+                truncated: flags1 & 0x02 != 0,
+                recursion_desired: flags1 & 0x01 != 0,
+                recursion_available: flags2 & 0x80 != 0,
+                authentic_data: flags2 & 0x20 != 0,
+                checking_disabled: flags2 & 0x10 != 0,
+            },
+            rcode: Rcode::from_number(flags2 & 0x0F),
+            questions: Vec::with_capacity(qdcount as usize),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: None,
+        };
+        for _ in 0..qdcount {
+            msg.questions.push(Question {
+                name: r.get_name()?,
+                qtype: RrType::from_number(r.get_u16()?),
+                qclass: RrClass::from_number(r.get_u16()?),
+            });
+        }
+        for _ in 0..ancount {
+            msg.answers.push(Record::decode(&mut r)?);
+        }
+        for _ in 0..nscount {
+            msg.authorities.push(Record::decode(&mut r)?);
+        }
+        for _ in 0..arcount {
+            let record = Record::decode(&mut r)?;
+            if record.rtype() == RrType::Opt {
+                if msg.edns.is_some() {
+                    return Err(WireError::DuplicateOpt);
+                }
+                msg.edns = Some(Edns {
+                    udp_payload_size: record.class.number(),
+                    dnssec_ok: record.ttl & 0x0000_8000 != 0,
+                });
+            } else {
+                msg.additionals.push(record);
+            }
+        }
+        if !r.is_at_end() {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Message::query(0x1234, name("example.com"), RrType::A, true);
+        let wire = q.to_wire();
+        let back = Message::from_wire(&wire).unwrap();
+        assert_eq!(back, q);
+        assert!(back.dnssec_ok());
+        assert_eq!(back.edns.unwrap().udp_payload_size, 4096);
+    }
+
+    #[test]
+    fn query_without_edns() {
+        let q = Message::query(1, name("example.com"), RrType::A, false);
+        let back = Message::from_wire(&q.to_wire()).unwrap();
+        assert!(back.edns.is_none());
+        assert!(!back.dnssec_ok());
+    }
+
+    #[test]
+    fn response_round_trip_with_all_sections() {
+        let q = Message::query(7, name("example.com"), RrType::Ns, true);
+        let mut resp = q.response_to();
+        resp.flags.authoritative = true;
+        resp.answers.push(Record::new(
+            name("example.com"),
+            300,
+            RData::Ns(name("ns1.example.com")),
+        ));
+        resp.authorities.push(Record::new(
+            name("example.com"),
+            300,
+            RData::Ns(name("ns2.example.com")),
+        ));
+        resp.additionals.push(Record::new(
+            name("ns1.example.com"),
+            300,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ));
+        let back = Message::from_wire(&resp.to_wire()).unwrap();
+        assert_eq!(back, resp);
+        assert!(back.flags.response);
+        assert!(back.flags.authoritative);
+    }
+
+    #[test]
+    fn all_flags_round_trip() {
+        let mut m = Message::query(1, name("x"), RrType::A, true);
+        m.flags = Flags {
+            response: true,
+            authoritative: true,
+            truncated: true,
+            recursion_desired: true,
+            recursion_available: true,
+            authentic_data: true,
+            checking_disabled: true,
+        };
+        m.rcode = Rcode::NxDomain;
+        let back = Message::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(back.flags, m.flags);
+        assert_eq!(back.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn rcode_round_trip() {
+        for n in 0..16u8 {
+            assert_eq!(Rcode::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut wire = Message::query(1, name("x"), RrType::A, false).to_wire();
+        wire.push(0);
+        assert!(matches!(
+            Message::from_wire(&wire),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        assert!(Message::from_wire(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_opt() {
+        let mut m = Message::query(1, name("x"), RrType::A, true);
+        // Manually produce a message with two OPTs by serializing and
+        // appending another OPT record.
+        let mut wire = m.to_wire();
+        // Bump ARCOUNT from 1 to 2.
+        wire[11] = 2;
+        let opt = Record {
+            name: Name::root(),
+            class: RrClass::Unknown(512),
+            ttl: 0,
+            rdata: RData::Unknown {
+                rtype: RrType::Opt,
+                data: Vec::new(),
+            },
+        };
+        let mut w = WireWriter::uncompressed();
+        opt.encode(&mut w);
+        wire.extend_from_slice(&w.into_bytes());
+        assert!(matches!(
+            Message::from_wire(&wire),
+            Err(WireError::DuplicateOpt)
+        ));
+        m.edns = None; // silence unused-mut lint paths
+    }
+
+    #[test]
+    fn do_bit_encoding() {
+        let with = Message::query(1, name("x"), RrType::A, true).to_wire();
+        let parsed = Message::from_wire(&with).unwrap();
+        assert!(parsed.edns.unwrap().dnssec_ok);
+        let mut m = Message::query(1, name("x"), RrType::A, true);
+        m.edns = Some(Edns {
+            udp_payload_size: 1232,
+            dnssec_ok: false,
+        });
+        let parsed = Message::from_wire(&m.to_wire()).unwrap();
+        let e = parsed.edns.unwrap();
+        assert!(!e.dnssec_ok);
+        assert_eq!(e.udp_payload_size, 1232);
+    }
+
+    #[test]
+    fn response_skeleton_echoes_query() {
+        let mut q = Message::query(9, name("example.com"), RrType::Ds, true);
+        q.flags.checking_disabled = true;
+        let r = q.response_to();
+        assert_eq!(r.id, 9);
+        assert!(r.flags.response);
+        assert!(r.flags.checking_disabled);
+        assert_eq!(r.questions, q.questions);
+        assert_eq!(r.edns, q.edns);
+    }
+}

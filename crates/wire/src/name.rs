@@ -1,0 +1,465 @@
+//! Domain names (RFC 1035 §3.1) with DNSSEC canonical ordering (RFC 4034 §6.1).
+//!
+//! A [`Name`] is always *absolute* (rooted). Labels preserve the case they
+//! were created with, but equality, hashing, and ordering are ASCII
+//! case-insensitive, as the DNS requires. The canonical form used for
+//! signing lowercases every label.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::WireError;
+
+/// Maximum length of a domain name in wire octets (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum length of a single label in octets.
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// One label of a domain name: 1–63 arbitrary octets.
+///
+/// Arbitrary octets are legal in DNS labels; the text form escapes
+/// non-printable bytes as `\DDD` and literal dots as `\.`.
+#[derive(Debug, Clone, Eq)]
+pub struct Label(Vec<u8>);
+
+impl Label {
+    /// Creates a label from raw octets.
+    pub fn new(octets: impl Into<Vec<u8>>) -> Result<Self, WireError> {
+        let octets = octets.into();
+        if octets.is_empty() {
+            return Err(WireError::EmptyLabel);
+        }
+        if octets.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(octets.len()));
+        }
+        Ok(Label(octets))
+    }
+
+    /// Raw octets of the label.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in octets.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Labels are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// A copy with every ASCII letter lowercased (DNSSEC canonical form).
+    pub fn to_lowercase(&self) -> Label {
+        Label(self.0.iter().map(|b| b.to_ascii_lowercase()).collect())
+    }
+
+    fn canonical_cmp(&self, other: &Label) -> Ordering {
+        // Case-insensitive byte-wise comparison per RFC 4034 §6.1.
+        let a = self.0.iter().map(|b| b.to_ascii_lowercase());
+        let b = other.0.iter().map(|b| b.to_ascii_lowercase());
+        a.cmp(b)
+    }
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(a, b)| a.to_ascii_lowercase() == b.to_ascii_lowercase())
+    }
+}
+
+impl Hash for Label {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for b in &self.0 {
+            state.write_u8(b.to_ascii_lowercase());
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    /// Presentation format with `\.`, `\\`, and `\DDD` escaping.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            match b {
+                b'.' => write!(f, "\\.")?,
+                b'\\' => write!(f, "\\\\")?,
+                0x21..=0x7e => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\{b:03}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An absolute domain name: a sequence of labels, most-specific first.
+///
+/// `Name::root()` is the empty sequence. Equality/ordering are
+/// case-insensitive; [`Name::canonical_cmp`] implements the RFC 4034 §6.1
+/// canonical ordering (by reversed label sequence), which differs from the
+/// derived lexicographic order and is what `Ord` delegates to so that
+/// sorted collections of names agree with DNSSEC.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Name {
+    labels: Vec<Label>,
+}
+
+impl Name {
+    /// The DNS root (`.`).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parses a presentation-format name. A trailing dot is optional; the
+    /// result is always absolute. `"."` and `""` both give the root.
+    ///
+    /// Supports `\.`, `\\`, and `\DDD` escapes.
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        if s.is_empty() || s == "." {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        let mut current = Vec::new();
+        let mut chars = s.bytes().peekable();
+        while let Some(b) = chars.next() {
+            match b {
+                b'.' => {
+                    if current.is_empty() {
+                        return Err(WireError::EmptyLabel);
+                    }
+                    labels.push(Label::new(std::mem::take(&mut current))?);
+                }
+                b'\\' => {
+                    let next = chars.next().ok_or(WireError::BadEscape)?;
+                    if next.is_ascii_digit() {
+                        let d2 = chars.next().ok_or(WireError::BadEscape)?;
+                        let d3 = chars.next().ok_or(WireError::BadEscape)?;
+                        if !d2.is_ascii_digit() || !d3.is_ascii_digit() {
+                            return Err(WireError::BadEscape);
+                        }
+                        let v = (next - b'0') as u32 * 100
+                            + (d2 - b'0') as u32 * 10
+                            + (d3 - b'0') as u32;
+                        if v > 255 {
+                            return Err(WireError::BadEscape);
+                        }
+                        current.push(v as u8);
+                    } else {
+                        current.push(next);
+                    }
+                }
+                other => current.push(other),
+            }
+        }
+        if !current.is_empty() {
+            labels.push(Label::new(current)?);
+        }
+        let name = Name { labels };
+        name.check_len()?;
+        Ok(name)
+    }
+
+    /// Builds a name from labels (most-specific first).
+    pub fn from_labels(labels: Vec<Label>) -> Result<Self, WireError> {
+        let name = Name { labels };
+        name.check_len()?;
+        Ok(name)
+    }
+
+    fn check_len(&self) -> Result<(), WireError> {
+        if self.wire_len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(self.wire_len()));
+        }
+        Ok(())
+    }
+
+    /// Labels, most-specific first.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Length in wire-format octets (including the terminating zero).
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// The parent zone cut (`example.com.` → `com.`); `None` for the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepends a label (`www` + `example.com.` → `www.example.com.`).
+    pub fn child(&self, label: &str) -> Result<Name, WireError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(Label::new(label.as_bytes().to_vec())?);
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// True if `self` equals `other` or is underneath it
+    /// (`www.example.com.` is a subdomain of `example.com.` and of `.`).
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(&other.labels)
+            .all(|(a, b)| a == b)
+    }
+
+    /// True if `self` is *strictly* underneath `other`.
+    pub fn is_strict_subdomain_of(&self, other: &Name) -> bool {
+        self.labels.len() > other.labels.len() && self.is_subdomain_of(other)
+    }
+
+    /// Second-level-domain view: for `ns1.foo.example.com.` returns
+    /// `example.com.`; identity for names with ≤ 2 labels.
+    ///
+    /// This is the grouping key the paper (§4.2) uses to identify the DNS
+    /// operator from NS records.
+    pub fn second_level(&self) -> Name {
+        if self.labels.len() <= 2 {
+            return self.clone();
+        }
+        Name {
+            labels: self.labels[self.labels.len() - 2..].to_vec(),
+        }
+    }
+
+    /// RFC 4034 §6.1 canonical ordering: compare label sequences starting
+    /// from the root (i.e., reversed), case-insensitively, shorter
+    /// sequence first on prefix ties.
+    pub fn canonical_cmp(&self, other: &Name) -> Ordering {
+        let mut a = self.labels.iter().rev();
+        let mut b = other.labels.iter().rev();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(la), Some(lb)) => match la.canonical_cmp(lb) {
+                    Ordering::Equal => continue,
+                    o => return o,
+                },
+            }
+        }
+    }
+
+    /// A copy with all labels lowercased (the canonical form used when
+    /// hashing owner names into DS digests and signing RRsets).
+    pub fn to_canonical(&self) -> Name {
+        Name {
+            labels: self.labels.iter().map(Label::to_lowercase).collect(),
+        }
+    }
+
+    /// Uncompressed canonical wire form (lowercased, no pointers) —
+    /// exactly what DNSSEC digests and signatures consume.
+    pub fn to_canonical_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        for label in &self.labels {
+            let lower = label.to_lowercase();
+            out.push(lower.len() as u8);
+            out.extend_from_slice(lower.as_bytes());
+        }
+        out.push(0);
+        out
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.canonical_cmp(other)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for label in &self.labels {
+            write!(f, "{label}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(name("example.com").to_string(), "example.com.");
+        assert_eq!(name("example.com.").to_string(), "example.com.");
+        assert_eq!(name(".").to_string(), ".");
+        assert_eq!(name("").to_string(), ".");
+        assert_eq!(name("WWW.Example.COM").to_string(), "WWW.Example.COM.");
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(name("Example.COM"), name("example.com"));
+        assert_ne!(name("example.com"), name("example.org"));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let n = Name::parse("a\\.b.example").unwrap();
+        assert_eq!(n.label_count(), 2);
+        assert_eq!(n.labels()[0].as_bytes(), b"a.b");
+        assert_eq!(n.to_string(), "a\\.b.example.");
+        let re = Name::parse(&n.to_string()).unwrap();
+        assert_eq!(re, n);
+    }
+
+    #[test]
+    fn decimal_escape() {
+        let n = Name::parse("\\001\\255.x").unwrap();
+        assert_eq!(n.labels()[0].as_bytes(), &[1u8, 255]);
+        assert_eq!(Name::parse(&n.to_string()).unwrap(), n);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Name::parse("a..b").is_err());
+        assert!(Name::parse(&"a".repeat(64)).is_err());
+        assert!(Name::parse("x\\").is_err());
+        assert!(Name::parse("x\\25").is_err());
+        assert!(Name::parse("x\\999").is_err());
+        // 255-octet limit: 4 × 63-byte labels + dots exceeds it.
+        let long = vec!["a".repeat(63); 4].join(".");
+        assert!(Name::parse(&long).is_err());
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let n = name("www.example.com");
+        assert_eq!(n.parent().unwrap(), name("example.com"));
+        assert_eq!(name("com").parent().unwrap(), Name::root());
+        assert!(Name::root().parent().is_none());
+        assert_eq!(name("example.com").child("www").unwrap(), n);
+    }
+
+    #[test]
+    fn subdomain_relations() {
+        assert!(name("www.example.com").is_subdomain_of(&name("example.com")));
+        assert!(name("example.com").is_subdomain_of(&name("example.com")));
+        assert!(name("example.com").is_subdomain_of(&Name::root()));
+        assert!(!name("example.com").is_subdomain_of(&name("example.org")));
+        assert!(!name("notexample.com").is_subdomain_of(&name("example.com")));
+        assert!(name("www.example.com").is_strict_subdomain_of(&name("example.com")));
+        assert!(!name("example.com").is_strict_subdomain_of(&name("example.com")));
+    }
+
+    #[test]
+    fn second_level_grouping() {
+        // The paper's operator-identification rule.
+        assert_eq!(
+            name("ns01.domaincontrol.com").second_level(),
+            name("domaincontrol.com")
+        );
+        assert_eq!(
+            name("a.b.c.ovh.net").second_level(),
+            name("ovh.net")
+        );
+        assert_eq!(name("example.com").second_level(), name("example.com"));
+        assert_eq!(name("com").second_level(), name("com"));
+    }
+
+    #[test]
+    fn canonical_order_rfc4034_example() {
+        // RFC 4034 §6.1 example ordering.
+        let sorted = [
+            "example",
+            "a.example",
+            "yljkjljk.a.example",
+            "Z.a.example",
+            "zABC.a.EXAMPLE",
+            "z.example",
+            "\\001.z.example",
+            "*.z.example",
+            "\\200.z.example",
+        ];
+        for w in sorted.windows(2) {
+            let a = Name::parse(w[0]).unwrap();
+            let b = Name::parse(w[1]).unwrap();
+            assert_eq!(
+                a.canonical_cmp(&b),
+                Ordering::Less,
+                "{} < {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn ord_is_canonical() {
+        let mut names = vec![name("z.example"), name("a.example"), name("example")];
+        names.sort();
+        assert_eq!(
+            names.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+            vec!["example.", "a.example.", "z.example."]
+        );
+    }
+
+    #[test]
+    fn canonical_wire_is_lowercase() {
+        let n = name("WwW.ExAmPlE.CoM");
+        let wire = n.to_canonical_wire();
+        assert_eq!(
+            wire,
+            b"\x03www\x07example\x03com\x00".to_vec()
+        );
+    }
+
+    #[test]
+    fn wire_len() {
+        assert_eq!(Name::root().wire_len(), 1);
+        assert_eq!(name("example.com").wire_len(), 13);
+    }
+}

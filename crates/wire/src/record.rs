@@ -1,0 +1,333 @@
+//! Resource records and RRsets, including the RFC 4034 §6 canonical RRset
+//! form that DNSSEC signatures cover.
+
+use std::fmt;
+
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::rrtype::{RrClass, RrType};
+use crate::wire::{WireReader, WireWriter};
+use crate::WireError;
+
+/// A single resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Class (IN everywhere in this study).
+    pub class: RrClass,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed RDATA.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor for class-IN records.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
+        Record {
+            name,
+            class: RrClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// The record type (derived from the RDATA).
+    pub fn rtype(&self) -> RrType {
+        self.rdata.rtype()
+    }
+
+    /// Encodes the full record (name, type, class, TTL, RDLENGTH, RDATA).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_name(&self.name);
+        w.put_u16(self.rtype().number());
+        w.put_u16(self.class.number());
+        w.put_u32(self.ttl);
+        let len_pos = w.len();
+        w.put_u16(0);
+        let rdata_start = w.len();
+        self.rdata.encode(w);
+        let rdlen = w.len() - rdata_start;
+        w.patch_u16(len_pos, rdlen as u16);
+    }
+
+    /// Decodes one record at the reader's position.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let name = r.get_name()?;
+        let rtype = RrType::from_number(r.get_u16()?);
+        let class = RrClass::from_number(r.get_u16()?);
+        let ttl = r.get_u32()?;
+        let rdlen = r.get_u16()? as usize;
+        let rdata = RData::decode(rtype, r, rdlen)?;
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
+    }
+
+    /// The canonical wire form of this record with `ttl` overriding the
+    /// record's own TTL (signatures cover the RRSIG's `original_ttl`).
+    fn canonical_wire_with_ttl(&self, ttl: u32) -> Vec<u8> {
+        let rdata = self.rdata.to_canonical_wire();
+        let mut w = WireWriter::uncompressed();
+        w.put_bytes(&self.name.to_canonical_wire());
+        w.put_u16(self.rtype().number());
+        w.put_u16(self.class.number());
+        w.put_u32(ttl);
+        w.put_u16(rdata.len() as u16);
+        w.put_bytes(&rdata);
+        w.into_bytes()
+    }
+}
+
+impl fmt::Display for Record {
+    /// Zone-file presentation: `name ttl class type rdata`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {}",
+            self.name,
+            self.ttl,
+            self.class,
+            self.rtype(),
+            self.rdata
+        )
+    }
+}
+
+/// An RRset: all records sharing (owner, class, type).
+///
+/// DNSSEC signs RRsets, not records, so this is the unit the signer and
+/// validator operate on. The constructor enforces the sharing invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RrSet {
+    records: Vec<Record>,
+}
+
+impl RrSet {
+    /// Builds an RRset; all records must share owner, class, and type, and
+    /// the set must be non-empty.
+    pub fn new(records: Vec<Record>) -> Result<Self, WireError> {
+        let first = records.first().ok_or(WireError::EmptyRrSet)?;
+        let (name, class, rtype) = (first.name.clone(), first.class, first.rtype());
+        for r in &records {
+            if r.name != name || r.class != class || r.rtype() != rtype {
+                return Err(WireError::MixedRrSet);
+            }
+        }
+        Ok(RrSet { records })
+    }
+
+    /// Owner name.
+    pub fn name(&self) -> &Name {
+        &self.records[0].name
+    }
+
+    /// Record type.
+    pub fn rtype(&self) -> RrType {
+        self.records[0].rtype()
+    }
+
+    /// Class.
+    pub fn class(&self) -> RrClass {
+        self.records[0].class
+    }
+
+    /// TTL of the set (the first record's; sets are normally uniform).
+    pub fn ttl(&self) -> u32 {
+        self.records[0].ttl
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// RRsets are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The canonical byte stream DNSSEC signatures cover for this RRset
+    /// (RFC 4034 §3.1.8.1, after the RRSIG prefix): each record in
+    /// canonical form with `original_ttl`, sorted by canonical RDATA.
+    pub fn canonical_wire(&self, original_ttl: u32) -> Vec<u8> {
+        let mut encoded: Vec<Vec<u8>> = self
+            .records
+            .iter()
+            .map(|r| r.canonical_wire_with_ttl(original_ttl))
+            .collect();
+        // Sorting whole canonical records is equivalent to sorting by
+        // canonical RDATA because the prefix (name/type/class/TTL) is
+        // identical across the set — except RDLENGTH, which precedes the
+        // RDATA; shorter RDATA sorts first either way only if the prefix
+        // comparison is on RDATA bytes. Sort on the RDATA suffix directly.
+        let prefix_len = self.records[0]
+            .name
+            .to_canonical_wire()
+            .len()
+            + 2 // type
+            + 2 // class
+            + 4 // ttl
+            + 2; // rdlength
+        encoded.sort_by(|a, b| a[prefix_len..].cmp(&b[prefix_len..]));
+        encoded.dedup();
+        encoded.concat()
+    }
+}
+
+/// Groups loose records into RRsets, preserving first-seen order of sets.
+pub fn group_rrsets(records: &[Record]) -> Vec<RrSet> {
+    let mut sets: Vec<RrSet> = Vec::new();
+    for record in records {
+        if let Some(set) = sets.iter_mut().find(|s| {
+            s.name() == &record.name && s.rtype() == record.rtype() && s.class() == record.class
+        }) {
+            set.records.push(record.clone());
+        } else {
+            sets.push(RrSet {
+                records: vec![record.clone()],
+            });
+        }
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::DsRdata;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn a(owner: &str, ip: &str) -> Record {
+        Record::new(name(owner), 3600, RData::A(ip.parse().unwrap()))
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let rec = a("www.example.com", "192.0.2.1");
+        let mut w = WireWriter::new();
+        rec.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Record::decode(&mut r).unwrap(), rec);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn record_round_trip_with_compression_in_rdata() {
+        let rec = Record::new(name("example.com"), 300, RData::Ns(name("ns1.example.com")));
+        let mut w = WireWriter::new();
+        rec.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Record::decode(&mut r).unwrap(), rec);
+    }
+
+    #[test]
+    fn display_format() {
+        let rec = a("www.example.com", "192.0.2.1");
+        assert_eq!(rec.to_string(), "www.example.com. 3600 IN A 192.0.2.1");
+    }
+
+    #[test]
+    fn rrset_enforces_sharing() {
+        assert!(RrSet::new(vec![]).is_err());
+        assert!(RrSet::new(vec![
+            a("x.example", "192.0.2.1"),
+            a("y.example", "192.0.2.2")
+        ])
+        .is_err());
+        let ok = RrSet::new(vec![
+            a("x.example", "192.0.2.1"),
+            a("x.example", "192.0.2.2"),
+        ])
+        .unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.rtype(), RrType::A);
+    }
+
+    #[test]
+    fn canonical_wire_sorts_by_rdata() {
+        let set1 = RrSet::new(vec![
+            a("x.example", "192.0.2.2"),
+            a("x.example", "192.0.2.1"),
+        ])
+        .unwrap();
+        let set2 = RrSet::new(vec![
+            a("x.example", "192.0.2.1"),
+            a("x.example", "192.0.2.2"),
+        ])
+        .unwrap();
+        assert_eq!(set1.canonical_wire(3600), set2.canonical_wire(3600));
+    }
+
+    #[test]
+    fn canonical_wire_dedups() {
+        let set = RrSet::new(vec![
+            a("x.example", "192.0.2.1"),
+            a("x.example", "192.0.2.1"),
+        ])
+        .unwrap();
+        let single = RrSet::new(vec![a("x.example", "192.0.2.1")]).unwrap();
+        assert_eq!(set.canonical_wire(3600), single.canonical_wire(3600));
+    }
+
+    #[test]
+    fn canonical_wire_uses_original_ttl() {
+        let set = RrSet::new(vec![a("x.example", "192.0.2.1")]).unwrap();
+        assert_ne!(set.canonical_wire(3600), set.canonical_wire(300));
+    }
+
+    #[test]
+    fn canonical_wire_is_case_insensitive() {
+        let lower = RrSet::new(vec![a("x.example", "192.0.2.1")]).unwrap();
+        let upper = RrSet::new(vec![a("X.EXAMPLE", "192.0.2.1")]).unwrap();
+        assert_eq!(lower.canonical_wire(60), upper.canonical_wire(60));
+    }
+
+    #[test]
+    fn group_rrsets_partitions() {
+        let records = vec![
+            a("x.example", "192.0.2.1"),
+            Record::new(name("x.example"), 60, RData::Ns(name("ns.example"))),
+            a("x.example", "192.0.2.2"),
+            a("y.example", "192.0.2.3"),
+        ];
+        let sets = group_rrsets(&records);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0].len(), 2); // both A records of x.example
+        assert_eq!(sets[1].rtype(), RrType::Ns);
+        assert_eq!(sets[2].name(), &name("y.example"));
+    }
+
+    #[test]
+    fn ds_record_round_trip_through_record_layer() {
+        let rec = Record::new(
+            name("example.com"),
+            86400,
+            RData::Ds(DsRdata {
+                key_tag: 12345,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![0xCC; 32],
+            }),
+        );
+        let mut w = WireWriter::new();
+        rec.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Record::decode(&mut r).unwrap(), rec);
+    }
+}

@@ -1,0 +1,16 @@
+//! # dsec-workloads — the paper-calibrated population
+//!
+//! [`spec`] encodes every named profile from the paper (Table 2's top-20
+//! registrars, Table 3's DNSSEC-heavy registrars, Table 4's
+//! registrar/reseller roles, the parking services of footnote 11, and the
+//! §7 third parties) plus `// calibrated` values where the paper only
+//! reports aggregates. [`population::build`] instantiates them into a
+//! [`dsec_ecosystem::World`] at a configurable 1:N scale.
+
+#![warn(missing_docs)]
+
+pub mod population;
+pub mod spec;
+
+pub use population::{build, PaperWorld, PopulationConfig};
+pub use spec::{RegistrarSpec, TldLoad};

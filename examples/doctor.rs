@@ -1,0 +1,72 @@
+//! A DNSSEC "doctor": the DNSViz-style chain diagnosis the paper's §3
+//! points administrators at, run against three domains in the three
+//! states the study cares about — healthy, partial, and broken.
+//!
+//! ```sh
+//! cargo run --release --example doctor
+//! ```
+
+use dsec::ecosystem::{
+    DsSubmission, ExternalDs, Hosting, OperatorDnssec, Plan, RegistrarPolicy, Tld, TldPolicy,
+    TldRole, World, WorldConfig, ALL_TLDS,
+};
+use dsec::resolver::diagnose;
+use dsec::wire::{DsRdata, Name};
+
+fn main() {
+    let mut world = World::new(WorldConfig::default());
+    let registrar = world.add_registrar(
+        "DocReg",
+        Name::parse("docreg.net").unwrap(),
+        RegistrarPolicy {
+            operator_dnssec: OperatorDnssec::Default,
+            external_ds: ExternalDs::Web { validates: false }, // accepts garbage
+            tlds: ALL_TLDS
+                .iter()
+                .map(|&t| (t, TldPolicy::full(TldRole::Registrar)))
+                .collect(),
+        },
+    );
+
+    // Healthy: registrar-hosted with default signing.
+    let healthy = world
+        .purchase(registrar, "healthy", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x")
+        .unwrap();
+
+    // Partial: owner-signed, DS never conveyed (the paper's 30%).
+    let partial = world
+        .purchase(registrar, "partial", Tld::Com, Hosting::Owner, "o@x")
+        .unwrap();
+    world.owner_sign_zone(&partial).unwrap();
+
+    // Broken: owner-signed, garbage DS accepted by the sloppy web form.
+    let broken = world
+        .purchase(registrar, "broken", Tld::Com, Hosting::Owner, "o@x")
+        .unwrap();
+    world.owner_sign_zone(&broken).unwrap();
+    world
+        .upload_ds(
+            &broken,
+            DsRdata {
+                key_tag: 4096,
+                algorithm: 8,
+                digest_type: 2,
+                digest: b"copy paste error strikes again !".to_vec(),
+            },
+            DsSubmission::Web,
+        )
+        .unwrap();
+
+    let anchor = world.trust_anchor();
+    let now = world.today.epoch_seconds();
+    for domain in [&healthy, &partial, &broken] {
+        let report = diagnose(&world.network, &anchor, domain, now);
+        println!("{report}");
+    }
+
+    // Sanity for CI use of the example.
+    assert!(diagnose(&world.network, &anchor, &healthy, now).is_secure());
+    assert!(!diagnose(&world.network, &anchor, &partial, now).is_secure());
+    assert!(!diagnose(&world.network, &anchor, &broken, now).is_secure());
+    println!("doctor OK");
+}

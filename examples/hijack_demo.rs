@@ -1,0 +1,110 @@
+//! The paper's security anecdotes, end to end: what an attacker can do
+//! with a registrar whose DS-by-email channel performs no authentication
+//! (§5.3/§6.4), and what the chat channel's copy/paste mishap does to an
+//! innocent bystander.
+//!
+//! ```sh
+//! cargo run --release --example hijack_demo
+//! ```
+
+use dsec::dnssec::{classify, DeploymentStatus, Misconfiguration};
+use dsec::ecosystem::{
+    DsSubmission, ExternalDs, Hosting, OperatorDnssec, RegistrarPolicy, Tld, TldPolicy, TldRole,
+    UploadOutcome, World, WorldConfig,
+};
+use dsec::resolver::{Resolver, Security};
+use dsec::wire::{DsRdata, Name, RrType};
+
+fn main() {
+    let mut world = World::new(WorldConfig::default());
+
+    // A registrar that accepts DS updates by unauthenticated email —
+    // two of the three email registrars in Table 2 behaved this way.
+    let lax = world.add_registrar(
+        "LaxMail",
+        Name::parse("laxmail.net").unwrap(),
+        RegistrarPolicy {
+            operator_dnssec: OperatorDnssec::Unsupported,
+            external_ds: ExternalDs::Email {
+                verifies_sender: false,
+                accepts_foreign_sender: false,
+                validates: false,
+            },
+            tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+        },
+    );
+
+    // The victim runs their own nameservers and deploys DNSSEC correctly.
+    let victim = world
+        .purchase(lax, "victim", Tld::Com, Hosting::Owner, "owner@victim.com")
+        .unwrap();
+    let real_ds = world.owner_sign_zone(&victim).unwrap();
+    world
+        .upload_ds(
+            &victim,
+            real_ds,
+            DsSubmission::Email {
+                claimed_from: "owner@victim.com".into(),
+                actual_from: "owner@victim.com".into(),
+            },
+        )
+        .unwrap();
+    let now = world.today.epoch_seconds();
+    let status = classify(&victim, &world.observation_of(&victim), now);
+    println!("victim.com correctly deployed: {status:?}");
+    assert_eq!(status, DeploymentStatus::FullyDeployed);
+
+    let resolver = Resolver::new(world.network.clone(), world.trust_anchor());
+    let www = victim.child("www").unwrap();
+    let before = resolver.resolve(&www, RrType::A, now).unwrap();
+    println!("before attack: {:?} / {} record(s)", before.security, before.records.len());
+    assert_eq!(before.security, Security::Secure);
+
+    // The attacker forges the From: header — email headers are not
+    // authenticated — and replaces the victim's DS record.
+    let attacker_ds = DsRdata {
+        key_tag: 31337,
+        algorithm: 8,
+        digest_type: 2,
+        digest: vec![0x66; 32],
+    };
+    let outcome = world
+        .upload_ds(
+            &victim,
+            attacker_ds,
+            DsSubmission::Email {
+                claimed_from: "owner@victim.com".into(), // forged
+                actual_from: "mallory@attacker.example".into(),
+            },
+        )
+        .unwrap();
+    println!("forged-email DS update: {outcome:?}");
+    assert_eq!(outcome, UploadOutcome::Accepted);
+
+    // Consequence 1: the paper's classification sees a DS mismatch.
+    let status = classify(&victim, &world.observation_of(&victim), now);
+    println!("victim.com after attack: {status:?}");
+    assert_eq!(
+        status,
+        DeploymentStatus::Misconfigured(Misconfiguration::DsMismatch)
+    );
+
+    // Consequence 2: validating resolvers now SERVFAIL — the attacker
+    // took the domain offline for every DNSSEC-validating client (and a
+    // DS matching a key the attacker controls would enable full spoofing).
+    let after = resolver.resolve(&www, RrType::A, now).unwrap();
+    println!(
+        "after attack: rcode {:?}, security {:?}",
+        after.rcode, after.security
+    );
+    assert!(matches!(after.security, Security::Bogus(_)));
+    assert!(after.records.is_empty());
+
+    // The audit trail caught it.
+    println!("\nsecurity events recorded:");
+    for (date, event) in world.events.entries() {
+        println!("  {date}: {event:?}");
+    }
+    assert!(world.events.count("forged_email_accepted") >= 1);
+    println!("\nhijack_demo OK (the vulnerability is real, and detectable)");
+}

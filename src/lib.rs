@@ -1,0 +1,58 @@
+//! # dsec — Understanding the Role of Registrars in DNSSEC Deployment
+//!
+//! A from-scratch Rust reproduction of Chung et al., *Understanding the
+//! Role of Registrars in DNSSEC Deployment* (IMC 2017): a full DNSSEC
+//! stack (wire format, crypto, signing, validation), a simulated
+//! registration ecosystem (registries, registrars, resellers, third-party
+//! operators), the OpenINTEL-style longitudinal scanner, and the
+//! customer-perspective registrar probe — plus the harnesses that
+//! regenerate every table and figure in the paper's evaluation.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a module alias.
+//!
+//! ```
+//! use dsec::wire::{Name, RrType};
+//!
+//! let name = Name::parse("example.com").unwrap();
+//! assert_eq!(name.to_string(), "example.com.");
+//! assert_eq!(RrType::Dnskey.number(), 48);
+//! ```
+//!
+//! The fastest way in is [`core::run_study`]; see `examples/quickstart.rs`
+//! for a guided tour.
+
+#![warn(missing_docs)]
+
+/// DNS data model and wire format (`dsec-wire`).
+pub use dsec_wire as wire;
+
+/// From-scratch crypto: bignum, SHA, RSA (`dsec-crypto`).
+pub use dsec_crypto as crypto;
+
+/// DNSSEC engine: signing, validation, CDS (`dsec-dnssec`).
+pub use dsec_dnssec as dnssec;
+
+/// Authoritative serving and the in-memory network (`dsec-authserver`).
+pub use dsec_authserver as authserver;
+
+/// Validating iterative resolver (`dsec-resolver`).
+pub use dsec_resolver as resolver;
+
+/// The simulated registration world (`dsec-ecosystem`).
+pub use dsec_ecosystem as ecosystem;
+
+/// Paper-calibrated population profiles (`dsec-workloads`).
+pub use dsec_workloads as workloads;
+
+/// OpenINTEL-style measurement pipeline (`dsec-scanner`).
+pub use dsec_scanner as scanner;
+
+/// The §5.1 registrar probe harness (`dsec-probe`).
+pub use dsec_probe as probe;
+
+/// Table/figure renderers and paper checkpoints (`dsec-reports`).
+pub use dsec_reports as reports;
+
+/// The study orchestration (`dsec-core`).
+pub use dsec_core as core;

@@ -1,0 +1,188 @@
+//! Property tests over the ecosystem: arbitrary customer action sequences
+//! must preserve the world's structural invariants, and the deployment
+//! classification must remain internally consistent at every step.
+
+use proptest::prelude::*;
+
+use dsec::dnssec::{classify, DeploymentStatus};
+use dsec::ecosystem::{
+    DsSubmission, ExternalDs, Hosting, OperatorDnssec, Plan, RegistrarPolicy, Tld, TldPolicy,
+    TldRole, World, WorldConfig, ALL_TLDS,
+};
+use dsec::wire::{DsRdata, Name};
+
+/// One customer-visible action.
+#[derive(Debug, Clone)]
+enum Action {
+    Purchase { label_idx: u8, registrar: u8, tld_idx: u8 },
+    EnableDnssec { domain_idx: u8 },
+    SwitchToOwner { domain_idx: u8 },
+    OwnerSign { domain_idx: u8 },
+    UploadRealDs { domain_idx: u8 },
+    UploadGarbageDs { domain_idx: u8 },
+    Tick,
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(label_idx, registrar, tld_idx)| {
+            Action::Purchase {
+                label_idx,
+                registrar,
+                tld_idx,
+            }
+        }),
+        any::<u8>().prop_map(|domain_idx| Action::EnableDnssec { domain_idx }),
+        any::<u8>().prop_map(|domain_idx| Action::SwitchToOwner { domain_idx }),
+        any::<u8>().prop_map(|domain_idx| Action::OwnerSign { domain_idx }),
+        any::<u8>().prop_map(|domain_idx| Action::UploadRealDs { domain_idx }),
+        any::<u8>().prop_map(|domain_idx| Action::UploadGarbageDs { domain_idx }),
+        Just(Action::Tick),
+    ]
+}
+
+fn build_world() -> (World, Vec<dsec::ecosystem::RegistrarId>) {
+    let mut world = World::new(WorldConfig {
+        key_pool: 2,
+        ..WorldConfig::default()
+    });
+    let full = world.add_registrar(
+        "PropFull",
+        Name::parse("propfull.net").unwrap(),
+        RegistrarPolicy {
+            operator_dnssec: OperatorDnssec::Default,
+            external_ds: ExternalDs::Web { validates: true },
+            tlds: ALL_TLDS
+                .iter()
+                .map(|&t| (t, TldPolicy::full(TldRole::Registrar)))
+                .collect(),
+        },
+    );
+    let sloppy = world.add_registrar(
+        "PropSloppy",
+        Name::parse("propsloppy.net").unwrap(),
+        RegistrarPolicy {
+            operator_dnssec: OperatorDnssec::OptIn { adoption_rate: 0.1 },
+            external_ds: ExternalDs::Web { validates: false },
+            tlds: ALL_TLDS
+                .iter()
+                .map(|&t| (t, TldPolicy::full(TldRole::Registrar)))
+                .collect(),
+        },
+    );
+    let none = world.add_registrar(
+        "PropNone",
+        Name::parse("propnone.net").unwrap(),
+        RegistrarPolicy::no_dnssec(&ALL_TLDS),
+    );
+    (world, vec![full, sloppy, none])
+}
+
+fn check_invariants(world: &World, domains: &[Name]) {
+    let now = world.today.epoch_seconds();
+    for domain in domains {
+        let d = world.domain(domain).expect("purchased domains persist");
+        let tld = d.tld;
+        // Every domain stays delegated with a registered sponsor.
+        let registry = world.registry(tld);
+        assert!(!registry.ns_of(domain).is_empty(), "{domain} delegated");
+        assert!(registry.sponsor_of(domain).is_some(), "{domain} sponsored");
+        // Classification never lands in an impossible state.
+        let status = classify(domain, &world.observation_of(domain), now);
+        match status {
+            DeploymentStatus::FullyDeployed => {
+                assert!(d.is_signed(), "{domain}: full implies keys held");
+                assert!(!registry.ds_of(domain).is_empty());
+            }
+            DeploymentStatus::PartiallyDeployed => {
+                assert!(registry.ds_of(domain).is_empty(), "{domain}: partial means no DS");
+            }
+            DeploymentStatus::NotDeployed => {}
+            DeploymentStatus::Misconfigured(_) => {
+                // Only reachable here via a garbage DS upload, which needs
+                // a DS in the registry.
+                assert!(!registry.ds_of(domain).is_empty());
+            }
+            DeploymentStatus::InsecureUnsupported => {
+                panic!("{domain}: no unsupported algorithms in this world")
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn arbitrary_action_sequences_preserve_invariants(
+        actions in proptest::collection::vec(action(), 1..24)
+    ) {
+        let (mut world, registrars) = build_world();
+        let mut domains: Vec<Name> = Vec::new();
+        for action in actions {
+            match action {
+                Action::Purchase { label_idx, registrar, tld_idx } => {
+                    let tld = ALL_TLDS[tld_idx as usize % ALL_TLDS.len()];
+                    let id = registrars[registrar as usize % registrars.len()];
+                    if let Ok(domain) = world.purchase(
+                        id,
+                        &format!("prop{label_idx}"),
+                        tld,
+                        Hosting::Registrar { plan: Plan::Free },
+                        "o@x",
+                    ) {
+                        domains.push(domain);
+                    }
+                }
+                Action::EnableDnssec { domain_idx } => {
+                    if let Some(domain) = pick(&domains, domain_idx) {
+                        let _ = world.enable_dnssec(&domain);
+                    }
+                }
+                Action::SwitchToOwner { domain_idx } => {
+                    if let Some(domain) = pick(&domains, domain_idx) {
+                        let _ = world.switch_to_owner_hosting(&domain);
+                    }
+                }
+                Action::OwnerSign { domain_idx } => {
+                    if let Some(domain) = pick(&domains, domain_idx) {
+                        let _ = world.owner_sign_zone(&domain);
+                    }
+                }
+                Action::UploadRealDs { domain_idx } => {
+                    if let Some(domain) = pick(&domains, domain_idx) {
+                        if let Some(keys) = world.domain(&domain).and_then(|d| d.keys.clone()) {
+                            let ds = keys.ds(dsec::crypto::DigestType::Sha256);
+                            let _ = world.upload_ds(&domain, ds, DsSubmission::Web);
+                        }
+                    }
+                }
+                Action::UploadGarbageDs { domain_idx } => {
+                    if let Some(domain) = pick(&domains, domain_idx) {
+                        let garbage = DsRdata {
+                            key_tag: 7,
+                            algorithm: 8,
+                            digest_type: 2,
+                            digest: vec![7; 32],
+                        };
+                        let _ = world.upload_ds(&domain, garbage, DsSubmission::Web);
+                    }
+                }
+                Action::Tick => world.tick(),
+            }
+            check_invariants(&world, &domains);
+        }
+    }
+}
+
+fn pick(domains: &[Name], idx: u8) -> Option<Name> {
+    if domains.is_empty() {
+        None
+    } else {
+        Some(domains[idx as usize % domains.len()].clone())
+    }
+}
