@@ -49,6 +49,14 @@ impl Authority {
         self.zones.read().keys().cloned().collect()
     }
 
+    /// A deep copy of this authority frozen at the current zone contents
+    /// — models a secondary that has stopped syncing from its primary.
+    pub fn snapshot(&self) -> Authority {
+        Authority {
+            zones: RwLock::new(self.zones.read().clone()),
+        }
+    }
+
     /// Answers one query message.
     pub fn handle_query(&self, query: &Message) -> Message {
         let mut response = query.response_to();

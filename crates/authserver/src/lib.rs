@@ -13,7 +13,9 @@
 #![warn(missing_docs)]
 
 pub mod authority;
+pub mod faults;
 pub mod network;
 
 pub use authority::Authority;
-pub use network::Network;
+pub use faults::{Fault, FaultPlane, FaultProfile, FaultStats, FlapSchedule};
+pub use network::{Network, QueryOutcome, BASE_LATENCY_MS};

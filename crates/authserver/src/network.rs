@@ -6,15 +6,54 @@
 //! `Authority` — only the transport is a function call instead of UDP.
 //! (For real sockets, see [`crate::Authority::handle_datagram`] and the
 //! `udp_wire` example.)
+//!
+//! The network carries a [`FaultPlane`]: when enabled it injects drops,
+//! delays, truncation, error rcodes, stale answers, and server downtime
+//! into [`Network::query_udp`], so consumers must cope with the same
+//! degradations a real scan sees. Disabled (the default), the transport
+//! is perfect and behavior is identical to the pre-fault-plane network.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use dsec_wire::{Message, Name};
+use dsec_wire::{Message, Name, Rcode};
 
 use crate::authority::Authority;
+use crate::faults::{Fault, FaultPlane};
+
+/// Nominal one-way-trip-and-back latency of a clean exchange, in
+/// simulated milliseconds.
+pub const BASE_LATENCY_MS: u32 = 20;
+
+/// The result of one simulated UDP exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// A response arrived within the caller's deadline.
+    Answered {
+        /// The response message (possibly truncated or an error rcode).
+        response: Message,
+        /// Simulated round-trip latency in milliseconds.
+        latency_ms: u32,
+    },
+    /// The server exists but no response arrived in time (dropped packet,
+    /// excessive delay, or the server is down).
+    Timeout,
+    /// No server is registered at that hostname.
+    Unreachable,
+}
+
+impl QueryOutcome {
+    /// The response, if one arrived.
+    pub fn into_response(self) -> Option<Message> {
+        match self {
+            QueryOutcome::Answered { response, .. } => Some(response),
+            _ => None,
+        }
+    }
+}
 
 /// A directory of nameservers.
 #[derive(Debug, Default)]
@@ -22,12 +61,16 @@ pub struct Network {
     servers: RwLock<HashMap<Name, Arc<Authority>>>,
     /// Nameserver hostnames of the root servers.
     root_hints: RwLock<Vec<Name>>,
-    /// Total queries dispatched (measurement bookkeeping).
-    queries: RwLock<u64>,
+    /// Total UDP queries dispatched (measurement bookkeeping).
+    queries: AtomicU64,
+    /// Total TCP queries dispatched (truncation fallback bookkeeping).
+    tcp_queries: AtomicU64,
+    /// Fault injection; dormant by default.
+    faults: FaultPlane,
 }
 
 impl Network {
-    /// An empty network.
+    /// An empty network with a dormant fault plane.
     pub fn new() -> Self {
         Self::default()
     }
@@ -59,17 +102,108 @@ impl Network {
         self.servers.read().get(&ns.to_canonical()).cloned()
     }
 
-    /// Sends `query` to the server at `ns`. `None` models an unreachable
-    /// nameserver (the hostname is not registered).
-    pub fn query(&self, ns: &Name, query: &Message) -> Option<Message> {
-        let authority = self.authority(ns)?;
-        *self.queries.write() += 1;
-        Some(authority.handle_query(query))
+    /// The fault-injection plane (dormant until
+    /// [`FaultPlane::enable`]d).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
     }
 
-    /// Total queries dispatched since construction.
+    /// Sends `query` to the server at `ns`. `None` models an unreachable
+    /// nameserver — unregistered, down, or (with faults enabled) a
+    /// dropped packet. Fault-oblivious compatibility wrapper around
+    /// [`Network::query_udp`] with an effectively infinite deadline.
+    pub fn query(&self, ns: &Name, query: &Message) -> Option<Message> {
+        self.query_udp(ns, query, u32::MAX).into_response()
+    }
+
+    /// Sends `query` to the server at `ns` over simulated UDP, waiting at
+    /// most `deadline_ms` for the response.
+    pub fn query_udp(&self, ns: &Name, query: &Message, deadline_ms: u32) -> QueryOutcome {
+        let Some(authority) = self.authority(ns) else {
+            return QueryOutcome::Unreachable;
+        };
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if self.faults.server_down(ns) {
+            return QueryOutcome::Timeout;
+        }
+        let (qname, qtype) = match query.questions.first() {
+            Some(q) => (q.name.clone(), q.qtype.number()),
+            None => (Name::root(), 0),
+        };
+        match self.faults.decide(ns, &qname, qtype) {
+            None => QueryOutcome::Answered {
+                response: authority.handle_query(query),
+                latency_ms: BASE_LATENCY_MS,
+            },
+            Some(Fault::Drop) => QueryOutcome::Timeout,
+            Some(Fault::Delay(ms)) => {
+                let latency_ms = BASE_LATENCY_MS.saturating_add(ms);
+                if latency_ms > deadline_ms {
+                    QueryOutcome::Timeout
+                } else {
+                    QueryOutcome::Answered {
+                        response: authority.handle_query(query),
+                        latency_ms,
+                    }
+                }
+            }
+            Some(Fault::Truncate) => {
+                // RFC 2181 §9: a truncated response's sections cannot be
+                // relied upon; the caller must retry over TCP.
+                let mut response = query.response_to();
+                response.flags.truncated = true;
+                QueryOutcome::Answered {
+                    response,
+                    latency_ms: BASE_LATENCY_MS,
+                }
+            }
+            Some(Fault::ServFail) => QueryOutcome::Answered {
+                response: error_response(query, Rcode::ServFail),
+                latency_ms: BASE_LATENCY_MS,
+            },
+            Some(Fault::Refused) => QueryOutcome::Answered {
+                response: error_response(query, Rcode::Refused),
+                latency_ms: BASE_LATENCY_MS,
+            },
+            Some(Fault::Stale) => {
+                let stale = self.faults.stale_authority(ns, &authority);
+                QueryOutcome::Answered {
+                    response: stale.handle_query(query),
+                    latency_ms: BASE_LATENCY_MS,
+                }
+            }
+        }
+    }
+
+    /// Sends `query` to the server at `ns` over simulated TCP — the
+    /// truncation-fallback path. TCP responses are never truncated and
+    /// the stream either connects or it does not, so only downtime
+    /// (flaps, kill switch) affects it; the per-packet fault profile and
+    /// scripted UDP faults do not apply.
+    pub fn query_tcp(&self, ns: &Name, query: &Message) -> QueryOutcome {
+        let Some(authority) = self.authority(ns) else {
+            return QueryOutcome::Unreachable;
+        };
+        self.tcp_queries.fetch_add(1, Ordering::Relaxed);
+        if self.faults.server_down(ns) {
+            return QueryOutcome::Timeout;
+        }
+        QueryOutcome::Answered {
+            response: authority.handle_query(query),
+            // Connection establishment costs an extra round trip.
+            latency_ms: BASE_LATENCY_MS * 2,
+        }
+    }
+
+    /// Total UDP queries dispatched since construction.
     pub fn query_count(&self) -> u64 {
-        *self.queries.read()
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Total TCP (truncation-fallback) queries dispatched since
+    /// construction.
+    pub fn tcp_query_count(&self) -> u64 {
+        self.tcp_queries.load(Ordering::Relaxed)
     }
 
     /// Number of registered nameserver hostnames.
@@ -78,9 +212,17 @@ impl Network {
     }
 }
 
+/// A minimal error response to `query` with the given rcode.
+fn error_response(query: &Message, rcode: Rcode) -> Message {
+    let mut response = query.response_to();
+    response.rcode = rcode;
+    response
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultProfile;
     use dsec_wire::{RData, Rcode, Record, RrType, Zone};
 
     fn name(s: &str) -> Name {
@@ -115,6 +257,10 @@ mod tests {
         let net = Network::new();
         let q = Message::query(1, name("www.example.com"), RrType::A, false);
         assert!(net.query(&name("ns1.ghost.net"), &q).is_none());
+        assert_eq!(
+            net.query_udp(&name("ns1.ghost.net"), &q, 100),
+            QueryOutcome::Unreachable
+        );
         assert_eq!(net.query_count(), 0);
     }
 
@@ -165,5 +311,133 @@ mod tests {
         let q = Message::query(1, name("www.other.org"), RrType::A, false);
         let resp = net.query(&name("ns1.op.net"), &q).unwrap();
         assert_eq!(resp.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn certain_drop_times_out_and_legacy_query_sees_none() {
+        let net = Network::new();
+        net.register(name("ns1.op.net"), simple_authority());
+        net.faults().enable(11);
+        net.faults().set_global_profile(FaultProfile {
+            drop_prob: 1.0,
+            ..FaultProfile::default()
+        });
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        assert_eq!(
+            net.query_udp(&name("ns1.op.net"), &q, 1000),
+            QueryOutcome::Timeout
+        );
+        assert!(net.query(&name("ns1.op.net"), &q).is_none());
+        // Dropped packets still count as dispatched queries.
+        assert_eq!(net.query_count(), 2);
+    }
+
+    #[test]
+    fn delay_beyond_deadline_times_out() {
+        let net = Network::new();
+        net.register(name("ns1.op.net"), simple_authority());
+        net.faults().enable(11);
+        net.faults().set_global_profile(FaultProfile {
+            delay_prob: 1.0,
+            delay_ms: 900,
+            ..FaultProfile::default()
+        });
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        assert_eq!(
+            net.query_udp(&name("ns1.op.net"), &q, 500),
+            QueryOutcome::Timeout
+        );
+        match net.query_udp(&name("ns1.op.net"), &q, 2000) {
+            QueryOutcome::Answered { latency_ms, .. } => {
+                assert_eq!(latency_ms, BASE_LATENCY_MS + 900)
+            }
+            other => panic!("expected late answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_udp_answer_resolves_over_tcp() {
+        let net = Network::new();
+        net.register(name("ns1.op.net"), simple_authority());
+        net.faults().enable(11);
+        net.faults().set_global_profile(FaultProfile {
+            truncate_prob: 1.0,
+            ..FaultProfile::default()
+        });
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        let udp = net
+            .query_udp(&name("ns1.op.net"), &q, 1000)
+            .into_response()
+            .unwrap();
+        assert!(udp.flags.truncated);
+        assert!(udp.answers.is_empty());
+        let tcp = net.query_tcp(&name("ns1.op.net"), &q).into_response().unwrap();
+        assert!(!tcp.flags.truncated);
+        assert_eq!(tcp.answers.len(), 1);
+        assert_eq!(net.tcp_query_count(), 1);
+    }
+
+    #[test]
+    fn error_rcode_faults_return_errors() {
+        let net = Network::new();
+        net.register(name("ns1.op.net"), simple_authority());
+        net.faults().enable(11);
+        net.faults().set_global_profile(FaultProfile {
+            servfail_prob: 1.0,
+            ..FaultProfile::default()
+        });
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        let resp = net.query(&name("ns1.op.net"), &q).unwrap();
+        assert_eq!(resp.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn stale_fault_freezes_zone_contents() {
+        let net = Network::new();
+        let auth = simple_authority();
+        net.register(name("ns1.op.net"), auth.clone());
+        net.faults().enable(11);
+        net.faults().set_server_profile(
+            &name("ns1.op.net"),
+            FaultProfile {
+                stale_prob: 1.0,
+                ..FaultProfile::default()
+            },
+        );
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        // First stale serve freezes the copy.
+        assert_eq!(net.query(&name("ns1.op.net"), &q).unwrap().answers.len(), 1);
+        // The live zone changes…
+        auth.with_zone_mut(&name("example.com"), |z| {
+            z.add(Record::new(
+                name("www.example.com"),
+                60,
+                RData::A("192.0.2.2".parse().unwrap()),
+            ))
+            .unwrap();
+        });
+        // …but the stale secondary still serves the frozen copy.
+        assert_eq!(net.query(&name("ns1.op.net"), &q).unwrap().answers.len(), 1);
+        net.faults().clear_server_profile(&name("ns1.op.net"));
+        assert_eq!(net.query(&name("ns1.op.net"), &q).unwrap().answers.len(), 2);
+    }
+
+    #[test]
+    fn downed_server_times_out_on_both_transports() {
+        let net = Network::new();
+        net.register(name("ns1.op.net"), simple_authority());
+        net.faults().enable(11);
+        net.faults().set_down(&name("ns1.op.net"), true);
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        assert_eq!(
+            net.query_udp(&name("ns1.op.net"), &q, 1000),
+            QueryOutcome::Timeout
+        );
+        assert_eq!(
+            net.query_tcp(&name("ns1.op.net"), &q),
+            QueryOutcome::Timeout
+        );
+        net.faults().set_down(&name("ns1.op.net"), false);
+        assert!(net.query(&name("ns1.op.net"), &q).is_some());
     }
 }

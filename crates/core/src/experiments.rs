@@ -434,6 +434,77 @@ pub fn experiment_s52(snapshot: &Snapshot) -> ExperimentResult {
     result
 }
 
+/// E-R1 — robustness: how far a degraded network pulls the paper's
+/// headline artifact (Table 1's per-TLD "% with DNSKEY") away from the
+/// clean measurement, and how much of the population stayed observable.
+///
+/// `clean` and `chaos` are campaigns over identically-built worlds, the
+/// latter scanned with the fault plane enabled. The clean measurement
+/// plays the role of the paper value: every checkpoint quantifies the
+/// perturbation chaos introduced, so a reproduced E-R1 means the
+/// retry/degradation machinery kept the artifact stable despite faults.
+pub fn experiment_chaos(clean: &LongitudinalStore, chaos: &LongitudinalStore) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-R1",
+        "Robustness: Table-1 %-with-DNSKEY drift and coverage under faults",
+    );
+    let (Some(clean_last), Some(chaos_last)) = (clean.latest(), chaos.latest()) else {
+        result.artifact = "empty campaign: nothing to compare\n".into();
+        return result;
+    };
+    let dnskey_pct = |snapshot: &Snapshot, tld: Tld| {
+        let stats = snapshot.tld_totals(tld);
+        // Unobserved domains can hide DNSKEYs; measure against the
+        // observed subpopulation.
+        let observed = stats.domains.saturating_sub(stats.unreachable + stats.indeterminate);
+        if observed == 0 {
+            0.0
+        } else {
+            100.0 * stats.with_dnskey as f64 / observed as f64
+        }
+    };
+    for tld in dsec_ecosystem::ALL_TLDS {
+        result.check(
+            match tld {
+                Tld::Com => ".com % with DNSKEY",
+                Tld::Net => ".net % with DNSKEY",
+                Tld::Org => ".org % with DNSKEY",
+                Tld::Nl => ".nl % with DNSKEY",
+                Tld::Se => ".se % with DNSKEY",
+            },
+            dnskey_pct(clean_last, tld),
+            dnskey_pct(chaos_last, tld),
+            0.25,
+        );
+    }
+    let coverage = |snapshot: &Snapshot| {
+        let mut domains = 0u64;
+        let mut unobserved = 0u64;
+        for stats in snapshot.cells.values() {
+            domains += stats.domains;
+            unobserved += stats.unreachable + stats.indeterminate;
+        }
+        if domains == 0 {
+            100.0
+        } else {
+            100.0 * (domains - unobserved) as f64 / domains as f64
+        }
+    };
+    result.check("% of population observed", 100.0, coverage(chaos_last), 0.10);
+
+    let mut artifact = String::from("date      unreachable  indeterminate\n");
+    for snapshot in chaos.snapshots() {
+        let unreachable: u64 = snapshot.cells.values().map(|s| s.unreachable).sum();
+        let indeterminate: u64 = snapshot.cells.values().map(|s| s.indeterminate).sum();
+        artifact.push_str(&format!(
+            "{}  {:>11}  {:>13}\n",
+            snapshot.date, unreachable, indeterminate
+        ));
+    }
+    result.artifact = artifact;
+    result
+}
+
 fn last_full_pct(store: &LongitudinalStore, operator: &str, tlds: &[Tld]) -> f64 {
     store
         .series(operator, tlds)

@@ -32,7 +32,10 @@ pub use policy::{ExternalDs, OperatorDnssec, Plan, RegistrarPolicy, TldPolicy, T
 pub use registrar::{Milestone, PolicyChange, Registrar};
 pub use registry::{Registry, RegistryError};
 pub use tld::{Incentive, Tld, ALL_TLDS};
-pub use world::{ActionError, DsSubmission, ThirdParty, UploadOutcome, World, WorldConfig};
+pub use world::{
+    ActionError, DomainQuery, DsSubmission, ObservationQuality, ThirdParty, UploadOutcome, World,
+    WorldConfig, SCAN_DEADLINE_MS,
+};
 
 /// Index of a registrar in the world's registrar table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-use dsec_authserver::{Authority, Network};
+use dsec_authserver::{Authority, FaultPlane, Network, QueryOutcome};
 use dsec_crypto::{Algorithm, DigestType};
 use dsec_dnssec::{
     classify, ds_matches, sign_zone, DeploymentStatus, Observation, SignerConfig,
@@ -25,6 +25,44 @@ use crate::registrar::{Milestone, PolicyChange, Registrar};
 use crate::registry::Registry;
 use crate::tld::{Tld, ALL_TLDS};
 use crate::RegistrarId;
+
+/// How long a scan waits for each simulated UDP response, in ms.
+/// Injected delays beyond this budget degrade into timeouts.
+pub const SCAN_DEADLINE_MS: u32 = 500;
+
+/// Result of a fault-aware domain query ([`World::query_domain_robust`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainQuery {
+    /// A usable response arrived (any rcode except SERVFAIL).
+    Answered {
+        /// The response message.
+        response: Message,
+        /// Whether timeouts, truncation, or error rcodes forced retries.
+        retried: bool,
+    },
+    /// Every rotation ended in SERVFAIL: the servers are up but the
+    /// answer cannot be trusted to reflect the zone.
+    Indeterminate,
+    /// Registered servers exist but none answered within the retry
+    /// budget.
+    Unreachable,
+    /// The domain has no delegated nameservers to ask (or no TLD).
+    NoServers,
+}
+
+/// How trustworthy a fault-aware observation is
+/// ([`World::observe_domain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservationQuality {
+    /// First-attempt answers everywhere.
+    Clean,
+    /// Answers required retries or TCP fallback, but were obtained.
+    Degraded,
+    /// Only error rcodes came back; served zone state is unknown.
+    Indeterminate,
+    /// No response at all; served zone state is unknown.
+    Unreachable,
+}
 
 /// World construction parameters.
 #[derive(Debug, Clone)]
@@ -776,6 +814,9 @@ impl World {
     /// population adoption, renewals, audits, and CDS scans.
     pub fn tick(&mut self) {
         self.today = self.today.plus_days(1);
+        // Keep the fault plane's clock in step so flap schedules follow
+        // simulation time.
+        self.network.faults().set_day(self.today.0);
         self.apply_milestones();
         self.drain_mass_sign();
         self.population_adoption();
@@ -1222,11 +1263,104 @@ impl World {
     /// RRset + RRSIGs (via a real DO-bit query to the domain's
     /// nameservers) and the DS set in the registry.
     pub fn observation_of(&self, domain: &Name) -> Observation {
+        self.observe_domain(domain, 1).0
+    }
+
+    /// Sends one DNSSEC-OK query to the domain's delegated nameservers.
+    pub fn query_domain(&self, domain: &Name, rtype: RrType) -> Option<Message> {
+        let tld = Tld::of_domain(domain)?;
+        let ns_hosts = self.registries[&tld].ns_of(domain);
+        let query = Message::query(0, domain.clone(), rtype, true);
+        ns_hosts
+            .iter()
+            .find_map(|ns| self.network.query(ns, &query))
+    }
+
+    /// Like [`World::query_domain`] but fault-aware: rotates across every
+    /// delegated nameserver, retries up to `rounds` full rotations on
+    /// timeouts, and falls back to TCP on truncation. With the fault
+    /// plane disabled the first server always answers, so the result is
+    /// identical to [`World::query_domain`].
+    pub fn query_domain_robust(&self, domain: &Name, rtype: RrType, rounds: u32) -> DomainQuery {
+        let Some(tld) = Tld::of_domain(domain) else {
+            return DomainQuery::NoServers;
+        };
+        let ns_hosts = self.registries[&tld].ns_of(domain);
+        if ns_hosts.is_empty() {
+            return DomainQuery::NoServers;
+        }
+        let query = Message::query(0, domain.clone(), rtype, true);
+        let mut retried = false;
+        let mut saw_servfail = false;
+        let mut registered_any = false;
+        for _ in 0..rounds.max(1) {
+            for ns in &ns_hosts {
+                match self.network.query_udp(ns, &query, SCAN_DEADLINE_MS) {
+                    QueryOutcome::Answered { response, .. } => {
+                        registered_any = true;
+                        if response.flags.truncated {
+                            retried = true;
+                            if let QueryOutcome::Answered { response, .. } =
+                                self.network.query_tcp(ns, &query)
+                            {
+                                return DomainQuery::Answered { response, retried };
+                            }
+                            continue;
+                        }
+                        // An injected SERVFAIL carries no zone data; keep
+                        // rotating rather than mistake it for "unsigned".
+                        if response.rcode == dsec_wire::Rcode::ServFail {
+                            saw_servfail = true;
+                            retried = true;
+                            continue;
+                        }
+                        return DomainQuery::Answered { response, retried };
+                    }
+                    QueryOutcome::Timeout => {
+                        registered_any = true;
+                        retried = true;
+                    }
+                    QueryOutcome::Unreachable => {}
+                }
+            }
+        }
+        if saw_servfail {
+            DomainQuery::Indeterminate
+        } else if registered_any {
+            DomainQuery::Unreachable
+        } else {
+            // No delegated host is even registered: a configuration gap in
+            // the simulated world, not a transient network failure.
+            DomainQuery::NoServers
+        }
+    }
+
+    /// Fault-aware observation: [`World::observation_of`] plus a verdict
+    /// on how trustworthy the observation is. `Unreachable` and
+    /// `Indeterminate` observations carry the registry-side DS set but no
+    /// served DNSKEY data; callers should record the degradation instead
+    /// of classifying.
+    pub fn observe_domain(&self, domain: &Name, rounds: u32) -> (Observation, ObservationQuality) {
         let mut obs = Observation::default();
         if let Some(tld) = Tld::of_domain(domain) {
             obs.ds_set = self.registries[&tld].ds_of(domain);
         }
-        if let Some(resp) = self.query_domain(domain, RrType::Dnskey) {
+        let (response, quality) = match self.query_domain_robust(domain, RrType::Dnskey, rounds) {
+            DomainQuery::Answered { response, retried } => (
+                Some(response),
+                if retried {
+                    ObservationQuality::Degraded
+                } else {
+                    ObservationQuality::Clean
+                },
+            ),
+            DomainQuery::Indeterminate => (None, ObservationQuality::Indeterminate),
+            DomainQuery::Unreachable => (None, ObservationQuality::Unreachable),
+            // Nothing to query: the observation is complete as far as the
+            // world can answer, matching the fault-oblivious scan.
+            DomainQuery::NoServers => (None, ObservationQuality::Clean),
+        };
+        if let Some(resp) = response {
             let keys: Vec<Record> = resp
                 .answers
                 .iter()
@@ -1245,17 +1379,12 @@ impl World {
                     .collect();
             }
         }
-        obs
+        (obs, quality)
     }
 
-    /// Sends one DNSSEC-OK query to the domain's delegated nameservers.
-    pub fn query_domain(&self, domain: &Name, rtype: RrType) -> Option<Message> {
-        let tld = Tld::of_domain(domain)?;
-        let ns_hosts = self.registries[&tld].ns_of(domain);
-        let query = Message::query(0, domain.clone(), rtype, true);
-        ns_hosts
-            .iter()
-            .find_map(|ns| self.network.query(ns, &query))
+    /// The network's fault-injection plane (chaos-campaign control).
+    pub fn fault_plane(&self) -> &FaultPlane {
+        self.network.faults()
     }
 
     /// Publishes a CDS record (for the zone's current KSK) in a signed

@@ -268,7 +268,7 @@ mod tests {
                 with_ds: 26,
                 fully_deployed: 26,
                 partially_deployed: 0,
-                misconfigured: 0,
+                ..OperatorStats::default()
             },
         );
         cells.insert(
@@ -279,7 +279,7 @@ mod tests {
                 with_ds: 0,
                 fully_deployed: 0,
                 partially_deployed: 50,
-                misconfigured: 0,
+                ..OperatorStats::default()
             },
         );
         cells.insert(
@@ -290,7 +290,7 @@ mod tests {
                 with_ds: 20,
                 fully_deployed: 20,
                 partially_deployed: 0,
-                misconfigured: 0,
+                ..OperatorStats::default()
             },
         );
         Snapshot {

@@ -15,8 +15,9 @@
 
 pub mod cache;
 pub mod diagnose;
+pub mod retry;
 
-use dsec_authserver::Network;
+use dsec_authserver::{Network, QueryOutcome};
 use dsec_crypto::DigestType;
 use dsec_dnssec::validate::ValidationError;
 use dsec_dnssec::{authenticate_dnskeys, validate_rrset};
@@ -26,6 +27,7 @@ use dsec_wire::{
 
 pub use cache::Cache;
 pub use diagnose::{diagnose, Diagnosis, DsLink, SignatureState, ZoneDiagnosis};
+pub use retry::{HealthCache, ResolverStats, ResolverStatsSnapshot, RetryPolicy};
 
 /// The RFC 4035 security state of a resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +88,27 @@ impl std::error::Error for ResolveError {}
 
 use std::sync::Arc;
 
+/// How degraded the network path was during a robust resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// Every exchange succeeded on the first attempt.
+    None,
+    /// Timeouts, truncations, or error rcodes forced retries, but an
+    /// answer was eventually obtained.
+    Retried,
+    /// Some zone cut never answered within the retry budget.
+    Unreachable,
+}
+
+/// A fault-aware resolution: the answer plus how hard it was to get.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobustAnswer {
+    /// The resolution outcome (synthesized SERVFAIL when unreachable).
+    pub answer: Answer,
+    /// Path degradation observed while resolving.
+    pub degradation: Degradation,
+}
+
 /// A validating iterative resolver bound to a network.
 pub struct Resolver {
     network: Arc<Network>,
@@ -97,6 +120,12 @@ pub struct Resolver {
     max_steps: usize,
     cache: Cache,
     next_id: std::sync::atomic::AtomicU16,
+    /// Retry/backoff knobs for each zone-cut exchange.
+    policy: retry::RetryPolicy,
+    /// Per-server penalty cache steering retries toward live servers.
+    health: retry::HealthCache,
+    /// Attempt/timeout/fallback accounting.
+    stats: retry::ResolverStats,
 }
 
 impl Resolver {
@@ -110,7 +139,26 @@ impl Resolver {
             max_steps: 48,
             cache: Cache::new(),
             next_id: std::sync::atomic::AtomicU16::new(1),
+            policy: retry::RetryPolicy::default(),
+            health: retry::HealthCache::new(),
+            stats: retry::ResolverStats::new(),
         }
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn with_policy(mut self, policy: retry::RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attempt/timeout/TCP-fallback counters accumulated so far.
+    pub fn stats(&self) -> retry::ResolverStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The per-server health cache.
+    pub fn health(&self) -> &retry::HealthCache {
+        &self.health
     }
 
     /// Access to the positive cache.
@@ -369,12 +417,121 @@ impl Resolver {
         Security::Secure
     }
 
+    /// Queries the zone cut's servers with retries, backoff, health-aware
+    /// rotation, and TCP fallback on truncation.
+    ///
+    /// Each round walks every candidate server healthiest-first; a server
+    /// that times out is penalized and the next one is tried after a
+    /// simulated exponential backoff. A truncated response is retried
+    /// over TCP against the same server. SERVFAIL/REFUSED responses are
+    /// kept as a last resort so a lame-but-responding fleet still yields
+    /// its rcode to the caller (as the pre-retry resolver did), while a
+    /// healthier server later in the rotation can still win.
     fn query_any(&self, servers: &[Name], qname: &Name, qtype: RrType) -> Option<Message> {
         let id = self
             .next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let query = Message::query(id, qname.clone(), qtype, true);
-        servers.iter().find_map(|ns| self.network.query(ns, &query))
+        if servers.is_empty() {
+            return None;
+        }
+        let mut attempts = 0u32;
+        let mut retries = 0u32;
+        let mut last_error_response: Option<Message> = None;
+        while attempts < self.policy.max_attempts {
+            for ns in self.health.order(servers) {
+                if attempts >= self.policy.max_attempts {
+                    break;
+                }
+                attempts += 1;
+                self.stats.count_attempt();
+                match self.network.query_udp(&ns, &query, self.policy.deadline_ms) {
+                    QueryOutcome::Unreachable => {
+                        // Not registered: retrying cannot help this server.
+                        self.health.record_failure(&ns);
+                    }
+                    QueryOutcome::Timeout => {
+                        self.stats.count_timeout();
+                        self.health.record_failure(&ns);
+                        self.stats.count_backoff(self.policy.backoff_ms(retries));
+                        retries += 1;
+                    }
+                    QueryOutcome::Answered { response, .. } => {
+                        if response.flags.truncated {
+                            self.stats.count_tcp_fallback();
+                            match self.network.query_tcp(&ns, &query) {
+                                QueryOutcome::Answered { response, .. } => {
+                                    self.health.record_success(&ns);
+                                    return Some(response);
+                                }
+                                _ => {
+                                    self.stats.count_timeout();
+                                    self.health.record_failure(&ns);
+                                    continue;
+                                }
+                            }
+                        }
+                        if matches!(response.rcode, Rcode::ServFail | Rcode::Refused) {
+                            self.stats.count_error_rcode();
+                            self.health.record_failure(&ns);
+                            last_error_response.get_or_insert(response);
+                            continue;
+                        }
+                        self.health.record_success(&ns);
+                        return Some(response);
+                    }
+                }
+            }
+            // A round with zero live candidates cannot improve: stop early.
+            if servers
+                .iter()
+                .all(|ns| self.network.authority(ns).is_none())
+            {
+                break;
+            }
+        }
+        last_error_response
+    }
+
+    /// Resolves like [`Resolver::resolve`], additionally reporting how
+    /// degraded the network path was. Transport-level failure (every
+    /// server at some zone cut dead beyond the retry budget) is mapped to
+    /// a synthesized SERVFAIL answer with
+    /// [`Degradation::Unreachable`] instead of an error, so scanning
+    /// pipelines can record the observation and move on.
+    pub fn resolve_robust(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        now: u32,
+    ) -> Result<RobustAnswer, ResolveError> {
+        let before = self.stats.snapshot();
+        match self.resolve(qname, qtype, now) {
+            Ok(answer) => {
+                let after = self.stats.snapshot();
+                let retried = after.timeouts > before.timeouts
+                    || after.tcp_fallbacks > before.tcp_fallbacks
+                    || after.error_rcodes > before.error_rcodes;
+                Ok(RobustAnswer {
+                    answer,
+                    degradation: if retried {
+                        Degradation::Retried
+                    } else {
+                        Degradation::None
+                    },
+                })
+            }
+            Err(ResolveError::AllServersUnreachable(zone)) => Ok(RobustAnswer {
+                answer: Answer {
+                    records: Vec::new(),
+                    rcode: Rcode::ServFail,
+                    security: Security::Insecure,
+                    chain: vec![Name::parse(&zone).unwrap_or_else(|_| Name::root())],
+                },
+                degradation: Degradation::Unreachable,
+            }),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -783,6 +940,119 @@ mod tests {
             .iter()
             .any(|z| z.signatures == crate::diagnose::SignatureState::Expired));
         assert!(report.advice.iter().any(|a| a.contains("re-sign")));
+    }
+
+    #[test]
+    fn retries_through_dropped_packets() {
+        // Two dropped packets in a row on the leaf's only server: the
+        // resolver backs off, retries, and still validates the chain.
+        let w = build_world(true, true);
+        let ns = name("ns1.operator.net");
+        w.network.faults().enable(3);
+        w.network
+            .faults()
+            .script(&ns, [dsec_authserver::Fault::Drop, dsec_authserver::Fault::Drop]);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.security, Security::Secure);
+        assert_eq!(answer.records.len(), 1);
+        let stats = resolver.stats();
+        assert_eq!(stats.timeouts, 2);
+        assert!(stats.backoff_ms > 0, "backoff accounted for retries");
+    }
+
+    #[test]
+    fn dead_fleet_yields_servfail_with_unreachable_diagnosis() {
+        let w = build_world(true, true);
+        w.network.faults().enable(4);
+        for ns in ["a.root-servers.net", "a.gtld-servers.net", "ns1.operator.net"] {
+            w.network.faults().set_down(&name(ns), true);
+        }
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys))
+            .with_policy(RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            });
+        let robust = resolver
+            .resolve_robust(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(robust.answer.rcode, Rcode::ServFail);
+        assert!(robust.answer.records.is_empty());
+        assert_eq!(robust.degradation, Degradation::Unreachable);
+        // The plain API still reports the hard error for callers that
+        // want to distinguish transport failure from lookup failure.
+        assert!(matches!(
+            resolver.resolve(&name("www.example.com"), RrType::A, NOW),
+            Err(ResolveError::AllServersUnreachable(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_triggers_single_tcp_fallback() {
+        let w = build_world(true, true);
+        let ns = name("ns1.operator.net");
+        w.network.faults().enable(5);
+        w.network
+            .faults()
+            .script(&ns, [dsec_authserver::Fault::Truncate]);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.security, Security::Secure, "TCP answer validates");
+        assert_eq!(
+            w.network.tcp_query_count(),
+            1,
+            "exactly one TCP fallback for one truncation"
+        );
+        assert_eq!(resolver.stats().tcp_fallbacks, 1);
+    }
+
+    #[test]
+    fn robust_resolution_reports_clean_and_retried_paths() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let clean = resolver
+            .resolve_robust(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(clean.degradation, Degradation::None);
+        assert_eq!(clean.answer.security, Security::Secure);
+
+        w.network.faults().enable(6);
+        w.network
+            .faults()
+            .script(&name("a.gtld-servers.net"), [dsec_authserver::Fault::Drop]);
+        let retried = resolver
+            .resolve_robust(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(retried.degradation, Degradation::Retried);
+        assert_eq!(retried.answer.security, Security::Secure);
+    }
+
+    #[test]
+    fn failing_server_is_deprioritized_across_queries() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        w.network.faults().enable(7);
+        w.network
+            .faults()
+            .set_down(&name("ns1.operator.net"), true);
+        let _ = resolver.resolve(&name("www.example.com"), RrType::A, NOW);
+        let penalty_while_down = resolver.health().penalty(&name("ns1.operator.net"));
+        assert!(penalty_while_down > 0, "timeouts accumulate penalty");
+        w.network
+            .faults()
+            .set_down(&name("ns1.operator.net"), false);
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(answer.security, Security::Secure);
+        assert!(
+            resolver.health().penalty(&name("ns1.operator.net")) < penalty_while_down,
+            "successes decay the penalty"
+        );
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Retry, backoff, and server-health policy for the iterative resolver.
+//!
+//! A real scan cannot assume every authoritative server answers the first
+//! packet: queries are dropped, servers flap, responses arrive truncated.
+//! This module gives the resolver the same machinery production stub
+//! resolvers use — bounded retries with exponential backoff, rotation
+//! across every NS hostname at a zone cut, and a penalty cache that
+//! steers subsequent queries toward servers that have been answering.
+//!
+//! Backoff is *simulated*: the resolver records how long it would have
+//! waited instead of sleeping, so tests and million-domain campaigns stay
+//! fast while latency accounting stays meaningful.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use dsec_wire::Name;
+
+/// Knobs for the resolver's retry behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total query attempts across all servers before giving up on a
+    /// zone cut.
+    pub max_attempts: u32,
+    /// How long to wait for each UDP response, in simulated ms.
+    pub deadline_ms: u32,
+    /// First retry backoff, in simulated ms.
+    pub base_backoff_ms: u32,
+    /// Backoff ceiling, in simulated ms.
+    pub max_backoff_ms: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            deadline_ms: 500,
+            base_backoff_ms: 50,
+            max_backoff_ms: 800,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt per zone cut, mirroring
+    /// the pre-retry resolver.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Exponential backoff before retry number `attempt` (0-based),
+    /// capped at [`RetryPolicy::max_backoff_ms`].
+    pub fn backoff_ms(&self, attempt: u32) -> u32 {
+        let shifted = self
+            .base_backoff_ms
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        shifted.min(self.max_backoff_ms)
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ServerHealth {
+    /// Consecutive-failure penalty; decays on success.
+    penalty: u32,
+}
+
+/// Per-server health bookkeeping: servers that keep timing out sink to
+/// the back of the candidate ordering.
+#[derive(Debug, Default)]
+pub struct HealthCache {
+    servers: Mutex<HashMap<Name, ServerHealth>>,
+}
+
+impl HealthCache {
+    /// An empty cache: every server starts healthy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successful exchange with `ns` (halves its penalty).
+    pub fn record_success(&self, ns: &Name) {
+        let mut servers = self.servers.lock();
+        let health = servers.entry(ns.to_canonical()).or_default();
+        health.penalty /= 2;
+    }
+
+    /// Records a failed exchange (timeout, error rcode) with `ns`.
+    pub fn record_failure(&self, ns: &Name) {
+        let mut servers = self.servers.lock();
+        let health = servers.entry(ns.to_canonical()).or_default();
+        health.penalty = health.penalty.saturating_add(1);
+    }
+
+    /// The current penalty of `ns` (0 = healthy or unknown).
+    pub fn penalty(&self, ns: &Name) -> u32 {
+        self.servers
+            .lock()
+            .get(&ns.to_canonical())
+            .map(|h| h.penalty)
+            .unwrap_or(0)
+    }
+
+    /// Orders candidate servers healthiest-first. The sort is stable, so
+    /// with no recorded failures the caller's order is preserved —
+    /// keeping fault-free resolution identical to the pre-retry code.
+    pub fn order(&self, servers: &[Name]) -> Vec<Name> {
+        let mut ordered: Vec<Name> = servers.to_vec();
+        let penalties = self.servers.lock();
+        ordered.sort_by_key(|ns| {
+            penalties
+                .get(&ns.to_canonical())
+                .map(|h| h.penalty)
+                .unwrap_or(0)
+        });
+        ordered
+    }
+}
+
+/// Monotonic counters describing how hard the resolver had to work.
+#[derive(Debug, Default)]
+pub struct ResolverStats {
+    udp_attempts: AtomicU64,
+    timeouts: AtomicU64,
+    tcp_fallbacks: AtomicU64,
+    error_rcodes: AtomicU64,
+    backoff_ms: AtomicU64,
+}
+
+/// A point-in-time copy of [`ResolverStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStatsSnapshot {
+    /// UDP query attempts issued.
+    pub udp_attempts: u64,
+    /// Attempts that ended in a timeout (drop, delay, downtime).
+    pub timeouts: u64,
+    /// Truncated responses retried over TCP.
+    pub tcp_fallbacks: u64,
+    /// SERVFAIL/REFUSED responses received.
+    pub error_rcodes: u64,
+    /// Total simulated backoff the resolver would have slept, in ms.
+    pub backoff_ms: u64,
+}
+
+impl ResolverStatsSnapshot {
+    /// Whether any retry-triggering event was recorded.
+    pub fn degraded(&self) -> bool {
+        self.timeouts > 0 || self.tcp_fallbacks > 0 || self.error_rcodes > 0
+    }
+}
+
+impl ResolverStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn count_attempt(&self) {
+        self.udp_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_tcp_fallback(&self) {
+        self.tcp_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_error_rcode(&self) {
+        self.error_rcodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_backoff(&self, ms: u32) {
+        self.backoff_ms.fetch_add(ms as u64, Ordering::Relaxed);
+    }
+
+    /// A copy of the current counter values.
+    pub fn snapshot(&self) -> ResolverStatsSnapshot {
+        ResolverStatsSnapshot {
+            udp_attempts: self.udp_attempts.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            tcp_fallbacks: self.tcp_fallbacks.load(Ordering::Relaxed),
+            error_rcodes: self.error_rcodes.load(Ordering::Relaxed),
+            backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_ms(0), 50);
+        assert_eq!(policy.backoff_ms(1), 100);
+        assert_eq!(policy.backoff_ms(2), 200);
+        assert_eq!(policy.backoff_ms(3), 400);
+        assert_eq!(policy.backoff_ms(4), 800);
+        assert_eq!(policy.backoff_ms(10), 800, "capped");
+        assert_eq!(policy.backoff_ms(40), 800, "shift overflow capped");
+    }
+
+    #[test]
+    fn health_ordering_is_stable_without_failures() {
+        let health = HealthCache::new();
+        let servers = vec![name("ns1.a.net"), name("ns2.a.net"), name("ns3.a.net")];
+        assert_eq!(health.order(&servers), servers);
+    }
+
+    #[test]
+    fn failing_server_sinks_in_ordering() {
+        let health = HealthCache::new();
+        let servers = vec![name("ns1.a.net"), name("ns2.a.net")];
+        health.record_failure(&name("ns1.a.net"));
+        health.record_failure(&name("ns1.a.net"));
+        assert_eq!(
+            health.order(&servers),
+            vec![name("ns2.a.net"), name("ns1.a.net")]
+        );
+        // Successes decay the penalty back down.
+        health.record_success(&name("ns1.a.net"));
+        health.record_success(&name("ns1.a.net"));
+        assert_eq!(health.penalty(&name("ns1.a.net")), 0);
+        assert_eq!(health.order(&servers), servers);
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_counters() {
+        let stats = ResolverStats::new();
+        assert!(!stats.snapshot().degraded());
+        stats.count_attempt();
+        stats.count_timeout();
+        stats.count_backoff(150);
+        let snap = stats.snapshot();
+        assert_eq!(snap.udp_attempts, 1);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.backoff_ms, 150);
+        assert!(snap.degraded());
+    }
+}

@@ -19,7 +19,9 @@ pub mod snapshot;
 pub mod store;
 
 pub use operator_id::{operator_key, operator_of};
-pub use snapshot::{coverage_curve, operators_to_cover, Metric, OperatorStats, Snapshot};
+pub use snapshot::{
+    coverage_curve, operators_to_cover, Metric, OperatorStats, ScanOptions, Snapshot,
+};
 pub use store::{LongitudinalStore, SeriesPoint};
 
 use dsec_ecosystem::{SimDate, Tld, World, ALL_TLDS};
@@ -36,16 +38,24 @@ pub struct CampaignConfig {
     pub tlds: Vec<Tld>,
     /// Scan worker threads per snapshot (1 = inline).
     pub threads: usize,
+    /// NS-rotation rounds for re-scanning failed domains (≤ 1 disables
+    /// the retry pass; irrelevant while the fault plane is off).
+    pub retry_rounds: u32,
+    /// Bound on the per-snapshot retry queue.
+    pub retry_limit: usize,
 }
 
 impl CampaignConfig {
     /// Scan all five TLDs every `interval_days` until `until`.
     pub fn new(until: SimDate, interval_days: u32) -> Self {
+        let defaults = ScanOptions::default();
         CampaignConfig {
             until,
             interval_days: interval_days.max(1),
             tlds: ALL_TLDS.to_vec(),
             threads: 1,
+            retry_rounds: defaults.retry_rounds,
+            retry_limit: defaults.retry_limit,
         }
     }
 
@@ -53,6 +63,21 @@ impl CampaignConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Tune the failed-domain retry pass.
+    pub fn with_retries(mut self, rounds: u32, limit: usize) -> Self {
+        self.retry_rounds = rounds;
+        self.retry_limit = limit;
+        self
+    }
+
+    fn scan_options(&self) -> ScanOptions {
+        ScanOptions {
+            threads: self.threads,
+            retry_rounds: self.retry_rounds,
+            retry_limit: self.retry_limit,
+        }
     }
 }
 
@@ -62,8 +87,9 @@ impl CampaignConfig {
 /// The world is borrowed mutably because time advances; each snapshot is
 /// a pure read (real queries against the then-current zones).
 pub fn scan_campaign(world: &mut World, config: &CampaignConfig) -> LongitudinalStore {
+    let options = config.scan_options();
     let mut store = LongitudinalStore::new();
-    store.record(Snapshot::take_with_threads(world, &config.tlds, config.threads));
+    store.record(Snapshot::take_with_options(world, &config.tlds, &options));
     while world.today < config.until {
         for _ in 0..config.interval_days {
             if world.today >= config.until {
@@ -71,7 +97,7 @@ pub fn scan_campaign(world: &mut World, config: &CampaignConfig) -> Longitudinal
             }
             world.tick();
         }
-        store.record(Snapshot::take_with_threads(world, &config.tlds, config.threads));
+        store.record(Snapshot::take_with_options(world, &config.tlds, &options));
     }
     store
 }

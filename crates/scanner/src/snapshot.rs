@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use dsec_dnssec::{classify, DeploymentStatus};
-use dsec_ecosystem::{SimDate, Tld, World, ALL_TLDS};
+use dsec_ecosystem::{ObservationQuality, SimDate, Tld, World, ALL_TLDS};
 use dsec_wire::Name;
 
 use crate::operator_id::operator_of;
@@ -28,6 +28,12 @@ pub struct OperatorStats {
     pub partially_deployed: u64,
     /// Records present but the chain fails validation.
     pub misconfigured: u64,
+    /// No nameserver answered within the retry budget; the served state
+    /// is unknown and the domain is not classified.
+    pub unreachable: u64,
+    /// Servers answered only with error rcodes (SERVFAIL); the served
+    /// state is unknown and the domain is not classified.
+    pub indeterminate: u64,
 }
 
 impl OperatorStats {
@@ -38,6 +44,36 @@ impl OperatorStats {
         self.fully_deployed += other.fully_deployed;
         self.partially_deployed += other.partially_deployed;
         self.misconfigured += other.misconfigured;
+        self.unreachable += other.unreachable;
+        self.indeterminate += other.indeterminate;
+    }
+
+    /// Domains whose served state could not be observed this snapshot.
+    pub fn unobserved(&self) -> u64 {
+        self.unreachable + self.indeterminate
+    }
+}
+
+/// Knobs for one snapshot scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Worker threads (1 = inline).
+    pub threads: usize,
+    /// NS-rotation rounds used when re-scanning a failed domain. Values
+    /// ≤ 1 disable the retry pass entirely.
+    pub retry_rounds: u32,
+    /// Upper bound on how many failed domains are queued for the retry
+    /// pass; failures beyond it keep their first-pass outcome.
+    pub retry_limit: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            threads: 1,
+            retry_rounds: 3,
+            retry_limit: 4096,
+        }
     }
 }
 
@@ -70,6 +106,25 @@ impl Snapshot {
     /// Every worker issues real queries against the shared authorities;
     /// results are merged into one snapshot. `threads == 1` scans inline.
     pub fn take_with_threads(world: &World, tlds: &[Tld], threads: usize) -> Snapshot {
+        Self::take_with_options(
+            world,
+            tlds,
+            &ScanOptions {
+                threads,
+                ..ScanOptions::default()
+            },
+        )
+    }
+
+    /// Degradation-aware scan. Domains whose first pass ends unreachable
+    /// or indeterminate are queued (bounded by
+    /// [`ScanOptions::retry_limit`]) and re-scanned once with
+    /// [`ScanOptions::retry_rounds`] NS rotations before their outcome is
+    /// recorded — mirroring how OpenINTEL re-tries failed scans before
+    /// writing a day's data. With the fault plane disabled no first-pass
+    /// failure can occur and the result is identical to the fault-
+    /// oblivious scan.
+    pub fn take_with_options(world: &World, tlds: &[Tld], options: &ScanOptions) -> Snapshot {
         let now = world.today.epoch_seconds();
         // Work list: (domain, operator key, tld).
         let work: Vec<(Name, String, Tld)> = tlds
@@ -90,30 +145,45 @@ impl Snapshot {
             })
             .collect();
 
-        let threads = threads.max(1).min(work.len().max(1));
+        let threads = options.threads.max(1).min(work.len().max(1));
         let mut cells: BTreeMap<(String, Tld), OperatorStats> = BTreeMap::new();
+        // Failed scans awaiting the retry pass: (index into `work`, stats).
+        let mut failures: Vec<(usize, OperatorStats)> = Vec::new();
         if threads == 1 {
-            for (domain, operator, tld) in work {
-                let stats = scan_domain(world, &domain, now);
-                cells.entry((operator, tld)).or_default().absorb(&stats);
+            for (i, (domain, operator, tld)) in work.iter().enumerate() {
+                let (stats, failed) = scan_domain(world, domain, now, 1);
+                if failed {
+                    failures.push((i, stats));
+                } else {
+                    cells
+                        .entry((operator.clone(), *tld))
+                        .or_default()
+                        .absorb(&stats);
+                }
             }
         } else {
             let chunk = work.len().div_ceil(threads);
             let partials = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = work
                     .chunks(chunk)
-                    .map(|part| {
+                    .enumerate()
+                    .map(|(chunk_no, part)| {
                         scope.spawn(move |_| {
                             let mut local: BTreeMap<(String, Tld), OperatorStats> =
                                 BTreeMap::new();
-                            for (domain, operator, tld) in part {
-                                let stats = scan_domain(world, domain, now);
-                                local
-                                    .entry((operator.clone(), *tld))
-                                    .or_default()
-                                    .absorb(&stats);
+                            let mut local_failures: Vec<(usize, OperatorStats)> = Vec::new();
+                            for (j, (domain, operator, tld)) in part.iter().enumerate() {
+                                let (stats, failed) = scan_domain(world, domain, now, 1);
+                                if failed {
+                                    local_failures.push((chunk_no * chunk + j, stats));
+                                } else {
+                                    local
+                                        .entry((operator.clone(), *tld))
+                                        .or_default()
+                                        .absorb(&stats);
+                                }
                             }
-                            local
+                            (local, local_failures)
                         })
                     })
                     .collect();
@@ -123,12 +193,31 @@ impl Snapshot {
                     .collect::<Vec<_>>()
             })
             .expect("scan scope completes");
-            for partial in partials {
+            for (partial, partial_failures) in partials {
                 for (key, stats) in partial {
                     cells.entry(key).or_default().absorb(&stats);
                 }
+                failures.extend(partial_failures);
             }
+            // Merge order of worker results must not leak into the retry
+            // ordering.
+            failures.sort_by_key(|(i, _)| *i);
         }
+
+        // Retry pass: bounded, inline, in work-list order.
+        for (n, (i, first_pass)) in failures.into_iter().enumerate() {
+            let (domain, operator, tld) = &work[i];
+            let final_stats = if options.retry_rounds > 1 && n < options.retry_limit {
+                scan_domain(world, domain, now, options.retry_rounds).0
+            } else {
+                first_pass
+            };
+            cells
+                .entry((operator.clone(), *tld))
+                .or_default()
+                .absorb(&final_stats);
+        }
+
         Snapshot {
             date: world.today,
             cells,
@@ -203,13 +292,26 @@ impl Metric {
     }
 }
 
-/// Scans one domain into a single-domain stats cell.
-fn scan_domain(world: &World, domain: &Name, now: u32) -> OperatorStats {
-    let obs = world.observation_of(domain);
+/// Scans one domain into a single-domain stats cell. The bool reports
+/// whether the observation failed (unreachable/indeterminate) and the
+/// domain is a candidate for the retry pass.
+fn scan_domain(world: &World, domain: &Name, now: u32, rounds: u32) -> (OperatorStats, bool) {
+    let (obs, quality) = world.observe_domain(domain, rounds);
     let mut stats = OperatorStats {
         domains: 1,
         ..Default::default()
     };
+    match quality {
+        ObservationQuality::Unreachable => {
+            stats.unreachable = 1;
+            return (stats, true);
+        }
+        ObservationQuality::Indeterminate => {
+            stats.indeterminate = 1;
+            return (stats, true);
+        }
+        ObservationQuality::Clean | ObservationQuality::Degraded => {}
+    }
     if obs.has_dnskey() {
         stats.with_dnskey = 1;
     }
@@ -222,7 +324,7 @@ fn scan_domain(world: &World, domain: &Name, now: u32) -> OperatorStats {
         DeploymentStatus::Misconfigured(_) => stats.misconfigured = 1,
         DeploymentStatus::NotDeployed | DeploymentStatus::InsecureUnsupported => {}
     }
-    stats
+    (stats, false)
 }
 
 /// The cumulative-coverage curve of Figure 3: for each operator rank k
@@ -265,7 +367,7 @@ mod tests {
             with_ds: ds,
             fully_deployed: full,
             partially_deployed: partial,
-            misconfigured: 0,
+            ..OperatorStats::default()
         }
     }
 

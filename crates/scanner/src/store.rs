@@ -123,6 +123,37 @@ impl LongitudinalStore {
         }
         out
     }
+
+    /// Degradation-aware CSV: [`LongitudinalStore::to_csv`]'s columns
+    /// plus `unreachable,indeterminate` — the per-cell counts of domains
+    /// that could not be observed that day. Kept as a separate export so
+    /// downstream consumers of the original column layout are unaffected.
+    pub fn to_csv_extended(&self, operator: &str) -> String {
+        let mut out = String::from(
+            "date,operator,tld,domains,with_dnskey,with_ds,fully_deployed,partially_deployed,misconfigured,unreachable,indeterminate\n",
+        );
+        for snapshot in &self.snapshots {
+            for ((op, tld), stats) in &snapshot.cells {
+                if op == operator {
+                    out.push_str(&format!(
+                        "{},{},{},{},{},{},{},{},{},{},{}\n",
+                        snapshot.date,
+                        op,
+                        tld.label(),
+                        stats.domains,
+                        stats.with_dnskey,
+                        stats.with_ds,
+                        stats.fully_deployed,
+                        stats.partially_deployed,
+                        stats.misconfigured,
+                        stats.unreachable,
+                        stats.indeterminate,
+                    ));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +171,7 @@ mod tests {
                 with_ds: ds,
                 fully_deployed: ds,
                 partially_deployed: dnskey - ds,
-                misconfigured: 0,
+                ..OperatorStats::default()
             },
         );
         Snapshot {
@@ -189,6 +220,28 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("date,operator,tld"));
         assert_eq!(lines[1], "2015-01-01,op.net,com,100,10,5,5,5,0");
+    }
+
+    #[test]
+    fn extended_csv_appends_degradation_columns() {
+        let mut store = LongitudinalStore::new();
+        let mut snap = snapshot(0, 10, 5);
+        let stats = snap
+            .cells
+            .get_mut(&("op.net".to_string(), Tld::Com))
+            .unwrap();
+        stats.unreachable = 3;
+        stats.indeterminate = 1;
+        store.record(snap);
+        let csv = store.to_csv_extended("op.net");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with("misconfigured,unreachable,indeterminate"));
+        assert_eq!(lines[1], "2015-01-01,op.net,com,100,10,5,5,5,0,3,1");
+        // The legacy export is unchanged by the new fields.
+        assert_eq!(
+            store.to_csv("op.net").lines().nth(1).unwrap(),
+            "2015-01-01,op.net,com,100,10,5,5,5,0"
+        );
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Chaos campaigns: scan campaigns running over a degraded network.
+//!
+//! Acceptance for the fault-injection plane:
+//! * faults disabled → per-(operator, TLD) classification identical to
+//!   the fault-oblivious scanner, with zero degradation counts;
+//! * a seeded drop/SERVFAIL mix → the campaign completes, records
+//!   nonzero unreachable/indeterminate counts, and never loses domains;
+//! * same seed → byte-identical snapshots, regardless of thread count.
+
+use dsec::authserver::FaultProfile;
+use dsec::ecosystem::{Tld, ALL_TLDS};
+use dsec::scanner::{scan_campaign, CampaignConfig, OperatorStats};
+use dsec::workloads::{build, PopulationConfig};
+
+const CHAOS_SEED: u64 = 0xC4A05;
+
+fn total_degraded(stats: &OperatorStats) -> u64 {
+    stats.unreachable + stats.indeterminate
+}
+
+#[test]
+fn disabled_faults_match_fault_oblivious_scan() {
+    // Same deterministic population built twice; one scans with the
+    // retry pass enabled (a no-op without faults), one with it off.
+    let mut with_retries = build(&PopulationConfig::tiny());
+    let mut without_retries = build(&PopulationConfig::tiny());
+    let until = with_retries.world.today.plus_days(14);
+
+    let store_a = scan_campaign(&mut with_retries.world, &CampaignConfig::new(until, 7));
+    let store_b = scan_campaign(
+        &mut without_retries.world,
+        &CampaignConfig::new(until, 7).with_retries(1, 0),
+    );
+
+    assert_eq!(store_a.snapshots().len(), store_b.snapshots().len());
+    for (a, b) in store_a.snapshots().iter().zip(store_b.snapshots()) {
+        assert_eq!(a.cells, b.cells, "classification identical on {}", a.date);
+        assert!(
+            a.cells.values().all(|s| total_degraded(s) == 0),
+            "no degradation recorded without faults"
+        );
+    }
+}
+
+#[test]
+fn chaos_campaign_completes_and_records_degradation() {
+    let mut pw = build(&PopulationConfig::tiny());
+
+    // 5% drop/SERVFAIL mix everywhere…
+    pw.world.fault_plane().enable(CHAOS_SEED);
+    pw.world
+        .fault_plane()
+        .set_global_profile(FaultProfile::mixed(0.05));
+    // …plus one operator whose whole fleet is down, so unreachable
+    // outcomes survive even the retry pass.
+    let victim = pw.world.registry(Tld::Com).delegations()[0].clone();
+    let dead_fleet = pw.world.registry(Tld::Com).ns_of(&victim);
+    assert!(!dead_fleet.is_empty());
+    for ns in &dead_fleet {
+        pw.world.fault_plane().set_down(ns, true);
+    }
+
+    let until = pw.world.today.plus_days(14);
+    let store = scan_campaign(&mut pw.world, &CampaignConfig::new(until, 7));
+
+    let population: u64 = ALL_TLDS
+        .iter()
+        .map(|&t| store.snapshots()[0].tld_totals(t).domains)
+        .sum();
+    let mut degraded_total = 0u64;
+    for snapshot in store.snapshots() {
+        // Degraded observations are recorded, not dropped: every domain
+        // still appears in exactly one cell.
+        let domains: u64 = ALL_TLDS
+            .iter()
+            .map(|&t| snapshot.tld_totals(t).domains)
+            .sum();
+        assert_eq!(domains, population, "no domains lost on {}", snapshot.date);
+        degraded_total += snapshot
+            .cells
+            .values()
+            .map(total_degraded)
+            .sum::<u64>();
+        let unreachable: u64 = snapshot.cells.values().map(|s| s.unreachable).sum();
+        assert!(
+            unreachable > 0,
+            "dead fleet shows up as unreachable on {}",
+            snapshot.date
+        );
+    }
+    assert!(degraded_total > 0);
+    assert!(
+        pw.world.fault_plane().stats().total() > 0,
+        "faults actually fired"
+    );
+}
+
+#[test]
+fn same_seed_chaos_runs_are_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let mut pw = build(&PopulationConfig::tiny());
+        pw.world.fault_plane().enable(CHAOS_SEED);
+        pw.world
+            .fault_plane()
+            .set_global_profile(FaultProfile::mixed(0.05));
+        let until = pw.world.today.plus_days(14);
+        scan_campaign(
+            &mut pw.world,
+            &CampaignConfig::new(until, 7).with_threads(threads),
+        )
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential.snapshots().len(), parallel.snapshots().len());
+    for (a, b) in sequential.snapshots().iter().zip(parallel.snapshots()) {
+        assert_eq!(a.date, b.date);
+        assert_eq!(a.cells, b.cells, "fault decisions independent of threads");
+    }
+}
