@@ -283,7 +283,7 @@ fn nsec3_denial_owner(zone: &Zone, qname: &Name) -> Option<Name> {
     if entries.is_empty() {
         return None;
     }
-    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries.sort_by_key(|a| a.0);
     // Exact match (NODATA) or the greatest owner-hash ≤ qhash; the last
     // entry covers the wrap-around interval.
     entries
@@ -649,9 +649,8 @@ mod tests {
         assert!(auth.zone_origins().is_empty());
         auth.upsert_zone(build_zone(false).0);
         assert_eq!(auth.zone_origins(), vec![name("example.com")]);
-        assert_eq!(
-            auth.with_zone(&name("example.com"), |z| z.len()).unwrap() > 0,
-            true
+        assert!(
+            auth.with_zone(&name("example.com"), |z| z.len()).unwrap() > 0
         );
         auth.with_zone_mut(&name("example.com"), |z| {
             z.add(Record::new(

@@ -1,0 +1,168 @@
+//! The longitudinal pipeline benchmark: cold- vs warm-cache snapshot
+//! throughput at 1/4/8 scan threads, emitted as `BENCH_longitudinal.json`
+//! so the repo carries a perf trajectory across changes.
+//!
+//! A *cold* scan starts from an empty [`ScanCache`] and queries every
+//! domain; the *warm* scan runs one simulated day later, so only domains
+//! the ecosystem actually changed are re-queried. The interesting numbers
+//! are domains/second and the warm-over-cold speedup.
+//!
+//! ```sh
+//! cargo bench --bench longitudinal                # full_study workload
+//! DSEC_BENCH_SMOKE=1 cargo bench --bench longitudinal   # CI smoke mode
+//! DSEC_BENCH_OUT=/tmp/b.json cargo bench --bench longitudinal
+//! ```
+//!
+//! Plain `main` (harness = false): timing a multi-second scan needs no
+//! statistical harness, and the JSON is written by hand so the bench
+//! crate gains no serialization dependency.
+
+use std::time::Instant;
+
+use dsec_ecosystem::ALL_TLDS;
+use dsec_scanner::{ScanCache, ScanOptions, Snapshot};
+use dsec_workloads::{build, PopulationConfig};
+
+struct Run {
+    threads: usize,
+    domains: u64,
+    cold_ms: f64,
+    warm_ms: f64,
+    hit_rate: f64,
+}
+
+impl Run {
+    fn speedup(&self) -> f64 {
+        if self.warm_ms > 0.0 {
+            self.cold_ms / self.warm_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"threads\": {}, \"domains\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"cold_domains_per_s\": {:.1}, \"warm_domains_per_s\": {:.1}, \
+             \"warm_speedup\": {:.2}, \"warm_hit_rate\": {:.4}}}",
+            self.threads,
+            self.domains,
+            self.cold_ms,
+            self.warm_ms,
+            rate(self.domains, self.cold_ms),
+            rate(self.domains, self.warm_ms),
+            self.speedup(),
+            self.hit_rate,
+        )
+    }
+}
+
+fn rate(domains: u64, ms: f64) -> f64 {
+    if ms > 0.0 {
+        domains as f64 / (ms / 1000.0)
+    } else {
+        f64::INFINITY
+    }
+}
+
+fn main() {
+    // `cargo bench` forwards harness flags like `--bench`; ignore them.
+    let smoke = std::env::var("DSEC_BENCH_SMOKE").is_ok();
+    let (population, thread_counts): (PopulationConfig, &[usize]) = if smoke {
+        (PopulationConfig::tiny(), &[1, 4])
+    } else {
+        // The full_study workload: the default 1:2000-scale population.
+        (PopulationConfig::default(), &[1, 4, 8])
+    };
+
+    eprintln!(
+        "longitudinal bench: building {} population…",
+        if smoke { "smoke (tiny)" } else { "full_study (1:2000)" }
+    );
+    let built = Instant::now();
+    let mut pw = build(&population);
+    let domains = pw.world.domain_count() as u64;
+    eprintln!("built {} domains in {:.1}s", domains, built.elapsed().as_secs_f64());
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &threads in thread_counts {
+        let options = ScanOptions {
+            threads,
+            ..ScanOptions::default()
+        };
+        let mut cache = ScanCache::new();
+
+        let started = Instant::now();
+        let cold = Snapshot::take_cached(&pw.world, &ALL_TLDS, &options, &mut cache);
+        let cold_ms = started.elapsed().as_secs_f64() * 1000.0;
+        assert!(!cold.cells.is_empty(), "cold scan produced cells");
+
+        // One simulated day of ecosystem churn, then the warm scan.
+        pw.world.tick();
+        let hits_before = cache.stats().hits;
+        let misses_before = cache.stats().misses;
+        let started = Instant::now();
+        let warm = Snapshot::take_cached(&pw.world, &ALL_TLDS, &options, &mut cache);
+        let warm_ms = started.elapsed().as_secs_f64() * 1000.0;
+        assert!(!warm.cells.is_empty(), "warm scan produced cells");
+
+        let hits = cache.stats().hits - hits_before;
+        let misses = cache.stats().misses - misses_before;
+        let lookups = (hits + misses).max(1);
+        let run = Run {
+            threads,
+            domains,
+            cold_ms,
+            warm_ms,
+            hit_rate: hits as f64 / lookups as f64,
+        };
+        eprintln!(
+            "threads={:<2} cold {:>9.1} ms ({:>9.1} dom/s) | warm {:>9.1} ms ({:>9.1} dom/s) | \
+             speedup {:>6.1}x | hit rate {:.1}%",
+            run.threads,
+            run.cold_ms,
+            rate(domains, run.cold_ms),
+            run.warm_ms,
+            rate(domains, run.warm_ms),
+            run.speedup(),
+            100.0 * run.hit_rate,
+        );
+        runs.push(run);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"longitudinal\",\n  \"smoke\": {},\n  \"scale\": {},\n  \
+         \"domains\": {},\n  \"tlds\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        smoke,
+        population.scale,
+        domains,
+        ALL_TLDS.len(),
+        runs.iter()
+            .map(Run::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+
+    let out = std::env::var("DSEC_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_longitudinal.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    std::fs::write(&out, &json).expect("write BENCH_longitudinal.json");
+    eprintln!("wrote {out}");
+
+    // The pipeline's contract, checked on the real workload: a day-later
+    // warm scan must be at least twice as fast as the cold scan. Smoke
+    // populations are too small for stable timing, so only report there.
+    if !smoke {
+        for run in &runs {
+            assert!(
+                run.speedup() >= 2.0,
+                "warm scan at {} threads only {:.2}x faster than cold",
+                run.threads,
+                run.speedup()
+            );
+        }
+    }
+}

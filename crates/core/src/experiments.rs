@@ -2,12 +2,15 @@
 //! returns an [`ExperimentResult`] with the paper's checkpoint values next
 //! to the measured ones (see DESIGN.md's experiment index E-T1…E-F8).
 
-use dsec_ecosystem::Tld;
+use dsec_ecosystem::{Tld, ALL_TLDS};
 use dsec_probe::{Finding, ProbeReport};
 use dsec_reports::{
     figure3, figure8, figure_series, table1, table2, table3, ExperimentResult, GTLDS,
 };
-use dsec_scanner::{operators_to_cover, LongitudinalStore, Metric, Snapshot};
+use dsec_scanner::{
+    operators_to_cover, LongitudinalStore, Metric, ScanCache, ScanOptions, Snapshot,
+};
+use dsec_workloads::{build, PopulationConfig};
 
 /// The paper's top-20 registrar list (Table 2 order).
 pub const TOP20: [&str; 20] = [
@@ -511,4 +514,67 @@ fn last_full_pct(store: &LongitudinalStore, operator: &str, tlds: &[Tld]) -> f64
         .last()
         .map(|p| 100.0 * p.full_fraction())
         .unwrap_or(0.0)
+}
+
+/// E-P1 — the incremental scan pipeline. Cold scan, a week of ecosystem
+/// churn, warm scan: the warm pass must answer unchanged domains from the
+/// cache (measured by network query-count deltas, which are
+/// deterministic, not wall-clock) while producing cells identical to an
+/// uncached full re-scan of the same day. The wall-clock counterpart
+/// lives in the `longitudinal` benchmark.
+pub fn experiment_scan_cache(population: &PopulationConfig) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-P1",
+        "Pipeline: incremental scan cache, cold vs warm",
+    );
+    let mut pw = build(population);
+    let world = &mut pw.world;
+    let options = ScanOptions::default();
+    let mut cache = ScanCache::new();
+
+    // Cold: nothing cached, every domain queried.
+    let before_cold = world.network.query_count();
+    Snapshot::take_cached(world, &ALL_TLDS, &options, &mut cache);
+    let cold_queries = world.network.query_count() - before_cold;
+
+    // One week of ecosystem churn, then a warm scan through the cache.
+    for _ in 0..7 {
+        world.tick();
+    }
+    let before_warm = world.network.query_count();
+    let warm = Snapshot::take_cached(world, &ALL_TLDS, &options, &mut cache);
+    let warm_queries = world.network.query_count() - before_warm;
+
+    // Ground truth: an uncached full re-scan of the same day.
+    let full = Snapshot::take_with_options(world, &ALL_TLDS, &options);
+
+    let stats = cache.stats();
+    result.check(
+        "warm cells identical to full re-scan",
+        1.0,
+        f64::from(warm.cells == full.cells),
+        0.0,
+    );
+    result.check(
+        "warm scan needs < 1/2 the cold queries",
+        1.0,
+        f64::from(warm_queries * 2 < cold_queries),
+        0.0,
+    );
+    result.check(
+        "cache covers the population after warm scan",
+        1.0,
+        f64::from(stats.entries as u64 >= warm.cells.values().map(|s| s.domains).sum::<u64>()
+            - warm.cells.values().map(|s| s.unobserved()).sum::<u64>()),
+        0.0,
+    );
+    result.artifact = format!(
+        "cold queries: {cold_queries}\nwarm queries: {warm_queries}\n\
+         cache: {} hits / {} misses (hit rate {:.1}%), {} entries\n",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate(),
+        stats.entries,
+    );
+    result
 }

@@ -175,9 +175,9 @@ mod tests {
         let key = SigningKey::generate(&mut rng, Algorithm::RsaSha256, 512).unwrap();
         let sig = key.sign(b"rrset data");
         let ok = verify(Algorithm::RsaSha256, &key.public_key_wire(), b"rrset data", &sig);
-        assert_eq!(ok.unwrap(), true);
+        assert!(ok.unwrap());
         let bad = verify(Algorithm::RsaSha256, &key.public_key_wire(), b"other", &sig);
-        assert_eq!(bad.unwrap(), false);
+        assert!(!bad.unwrap());
     }
 
     #[test]

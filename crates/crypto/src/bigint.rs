@@ -115,7 +115,7 @@ impl BigUint {
 
     /// True iff the low bit is clear (and the value may be zero).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for the value 0).
@@ -130,7 +130,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     fn normalize(&mut self) {
@@ -148,9 +148,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(a.len() + 1);
         let mut carry = 0u64;
-        for i in 0..a.len() {
+        for (i, &ai) in a.iter().enumerate() {
             let bi = b.get(i).copied().unwrap_or(0);
-            let (s1, c1) = a[i].overflowing_add(bi);
+            let (s1, c1) = ai.overflowing_add(bi);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -652,10 +652,10 @@ impl Montgomery {
             let ai = a.limbs.get(i).copied().unwrap_or(0);
             // t += ai * b
             let mut carry: u128 = 0;
-            for j in 0..k {
+            for (j, tj) in t.iter_mut().enumerate().take(k) {
                 let bj = b.limbs.get(j).copied().unwrap_or(0);
-                let s = t[j] as u128 + ai as u128 * bj as u128 + carry;
-                t[j] = s as u64;
+                let s = *tj as u128 + ai as u128 * bj as u128 + carry;
+                *tj = s as u64;
                 carry = s >> 64;
             }
             let s = t[k] as u128 + carry;
@@ -664,9 +664,9 @@ impl Montgomery {
             // m = t[0] * n' mod 2^64 ; t += m * n ; t >>= 64
             let m = t[0].wrapping_mul(self.n_prime);
             let mut carry: u128 = 0;
-            for j in 0..k {
-                let s = t[j] as u128 + m as u128 * self.n.limbs[j] as u128 + carry;
-                t[j] = s as u64;
+            for (tj, nj) in t.iter_mut().zip(&self.n.limbs).take(k) {
+                let s = *tj as u128 + m as u128 * *nj as u128 + carry;
+                *tj = s as u64;
                 carry = s >> 64;
             }
             let s = t[k] as u128 + carry;
@@ -692,6 +692,9 @@ impl Montgomery {
         self.mont_mul(a, &self.r2)
     }
 
+    // `from_mont` converts *out of* Montgomery form; the `from_` name is
+    // domain vocabulary, not a constructor.
+    #[allow(clippy::wrong_self_convention)]
     fn from_mont(&self, a: &BigUint) -> BigUint {
         self.mont_mul(a, &BigUint::one())
     }
@@ -759,7 +762,7 @@ mod tests {
         let b = n(1);
         let sum = a.add(&b);
         let mut expect = vec![1u8];
-        expect.extend(std::iter::repeat(0).take(16));
+        expect.extend(std::iter::repeat_n(0, 16));
         assert_eq!(sum.to_bytes_be(), expect);
         assert_eq!(sum.sub(&b), a);
     }

@@ -278,7 +278,7 @@ mod tests {
     fn dnskey_wire_long_exponent_form() {
         // A 256-byte exponent forces the 3-byte length form.
         let mut e_bytes = vec![1u8];
-        e_bytes.extend(std::iter::repeat(0).take(255));
+        e_bytes.extend(std::iter::repeat_n(0, 255));
         e_bytes[255] = 1;
         let key = RsaPublicKey {
             e: BigUint::from_bytes_be(&e_bytes),

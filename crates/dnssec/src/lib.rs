@@ -117,7 +117,7 @@ mod proptests {
             let set = RrSet::new(vec![Record::new(owner, ttl, RData::A(ip.into()))]).unwrap();
             let rec = sign_rrset(&set, &k.zsk, k.zsk_tag(), &k.zone, &SignerConfig::valid_from(NOW, 86400));
             let RData::Rrsig(sig) = rec.rdata else { unreachable!() };
-            prop_assert!(validate_rrset(&set, &[sig.clone()], &[k.zsk_dnskey()], &k.zone, NOW).is_ok());
+            prop_assert!(validate_rrset(&set, std::slice::from_ref(&sig), &[k.zsk_dnskey()], &k.zone, NOW).is_ok());
 
             // Mutate one byte of the address — the signature must break.
             let mut bad_ip = ip;

@@ -130,7 +130,7 @@ pub fn sign_zone(zone: &mut Zone, keys: &ZoneKeys, config: &SignerConfig) -> Res
                 )
             })
             .collect();
-        hashed.sort_by(|a, b| a.0.cmp(&b.0));
+        hashed.sort_by_key(|a| a.0);
         for (i, (hash, owner)) in hashed.iter().enumerate() {
             let next = hashed[(i + 1) % hashed.len()].0;
             let mut listed: Vec<RrType> = zone.types_at(owner).iter().collect();

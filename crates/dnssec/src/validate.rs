@@ -205,7 +205,7 @@ fn keep_best(slot: &mut Option<ValidationError>, err: ValidationError) {
         ValidationError::UnsupportedAlgorithm(_) => 1,
         _ => 0,
     };
-    if slot.as_ref().map_or(true, |old| rank(&err) > rank(old)) {
+    if slot.as_ref().is_none_or(|old| rank(&err) > rank(old)) {
         *slot = Some(err);
     }
 }

@@ -76,7 +76,7 @@ impl SimDate {
 }
 
 fn is_leap(year: u16) -> bool {
-    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
 }
 
 fn month_len(year: u16, month: u8) -> u16 {

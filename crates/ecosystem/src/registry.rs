@@ -56,6 +56,11 @@ pub struct Registry {
     pub audit_failures: BTreeMap<RegistrarId, u64>,
     /// Which registrar is responsible for each delegation (for audits).
     sponsor: BTreeMap<Name, RegistrarId>,
+    /// Per-delegation change generation: bumped on every registry-side
+    /// edit a scanner could observe (delegation added/removed, NS set
+    /// replaced, DS set replaced). The incremental scan cache keys its
+    /// entries on this so an unchanged domain is never re-queried.
+    generations: BTreeMap<Name, u64>,
 }
 
 impl Registry {
@@ -130,7 +135,21 @@ impl Registry {
             discounts_cents: BTreeMap::new(),
             audit_failures: BTreeMap::new(),
             sponsor: BTreeMap::new(),
+            generations: BTreeMap::new(),
         }
+    }
+
+    /// The change generation of `domain` (0 = never seen). Any edit that
+    /// changes what a scan of the TLD zone would observe bumps this;
+    /// sponsorship transfers do not (they are invisible on the wire).
+    pub fn generation_of(&self, domain: &Name) -> u64 {
+        // `Name` orders case-insensitively (RFC 4034), so the lookup
+        // needs no canonical copy.
+        self.generations.get(domain).copied().unwrap_or(0)
+    }
+
+    fn bump_generation(&mut self, domain: &Name) {
+        *self.generations.entry(domain.to_canonical()).or_insert(0) += 1;
     }
 
     /// The authority serving this TLD zone (register it on the network
@@ -181,6 +200,7 @@ impl Registry {
             }
         });
         self.sponsor.insert(domain.to_canonical(), registrar);
+        self.bump_generation(domain);
         Ok(())
     }
 
@@ -203,6 +223,7 @@ impl Registry {
                 .expect("delegation in zone");
             }
         });
+        self.bump_generation(domain);
         Ok(())
     }
 
@@ -232,6 +253,7 @@ impl Registry {
             let sig = sign_rrset(&rrset, &keys.zsk, keys.zsk_tag(), &keys.zone, signer);
             zone.add(sig).expect("DS RRSIG in zone");
         });
+        self.bump_generation(domain);
         Ok(())
     }
 
@@ -251,6 +273,10 @@ impl Registry {
             zone.remove_name(domain);
         });
         self.sponsor.remove(&domain.to_canonical());
+        // Keep (and bump) the generation entry: if the name is later
+        // re-registered its generation must not restart from a value a
+        // stale cache entry could collide with.
+        self.bump_generation(domain);
         Ok(())
     }
 
@@ -528,7 +554,7 @@ mod tests {
             digest_type: 99,
             digest: b"not a digest".to_vec(),
         };
-        r.set_ds(reg, &name("x.com"), &[garbage.clone()]).unwrap();
+        r.set_ds(reg, &name("x.com"), std::slice::from_ref(&garbage)).unwrap();
         assert_eq!(r.ds_of(&name("x.com")), vec![garbage]);
     }
 
@@ -604,6 +630,43 @@ mod tests {
     }
 
     #[test]
+    fn generation_bumps_on_observable_edits_only() {
+        let mut r = registry();
+        r.accredit(RegistrarId(2));
+        let d = name("x.com");
+        assert_eq!(r.generation_of(&d), 0, "unknown names are generation 0");
+        r.add_delegation(RegistrarId(1), &d, &[name("ns1.op.net")])
+            .unwrap();
+        assert_eq!(r.generation_of(&d), 1);
+        r.set_ns(RegistrarId(1), &d, &[name("ns2.op.net")]).unwrap();
+        assert_eq!(r.generation_of(&d), 2);
+        let ds = DsRdata {
+            key_tag: 1,
+            algorithm: 8,
+            digest_type: 2,
+            digest: vec![7; 32],
+        };
+        r.set_ds(RegistrarId(1), &d, std::slice::from_ref(&ds)).unwrap();
+        assert_eq!(r.generation_of(&d), 3);
+        r.remove_ds(RegistrarId(1), &d).unwrap();
+        assert_eq!(r.generation_of(&d), 4);
+        // Transfers are invisible on the wire: no bump.
+        r.transfer(RegistrarId(1), RegistrarId(2), &d).unwrap();
+        assert_eq!(r.generation_of(&d), 4);
+        // Removal bumps and the counter survives re-registration.
+        r.remove_delegation(RegistrarId(2), &d).unwrap();
+        assert_eq!(r.generation_of(&d), 5);
+        r.add_delegation(RegistrarId(1), &d, &[name("ns1.op.net")])
+            .unwrap();
+        assert_eq!(r.generation_of(&d), 6);
+        // Failed edits leave the generation untouched.
+        assert!(r
+            .set_ds(RegistrarId(9), &d, std::slice::from_ref(&ds))
+            .is_err());
+        assert_eq!(r.generation_of(&d), 6);
+    }
+
+    #[test]
     fn audit_bookkeeping() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut r = Registry::new(Tld::Nl, &mut rng, FROM, UNTIL);
@@ -620,6 +683,6 @@ mod tests {
         com.add_delegation(RegistrarId(1), &name("x.com"), &[name("ns1.op.net")])
             .unwrap();
         com.record_audit(&name("x.com"), true);
-        assert!(com.discounts_cents.get(&RegistrarId(1)).is_none());
+        assert!(!com.discounts_cents.contains_key(&RegistrarId(1)));
     }
 }

@@ -198,6 +198,11 @@ pub struct World {
     cds_first_seen: BTreeMap<Name, SimDate>,
     /// Two-phase key rollovers in progress (new keys awaiting the DS).
     pending_rollover: BTreeMap<Name, ZoneKeys>,
+    /// Per-domain change generation for *served-zone* edits (signing,
+    /// re-signing, CDS publication, hosting moves). Registry-side edits
+    /// (NS/DS/delegation) are counted by each [`Registry`]; the scanner
+    /// consults the sum via [`World::domain_generation`].
+    zone_generations: BTreeMap<Name, u64>,
     /// Event log.
     pub events: EventLog,
     /// Whether a purchase from a default-signing registrar is signed
@@ -302,6 +307,7 @@ impl World {
             mass_sign_queue: Vec::new(),
             cds_first_seen: BTreeMap::new(),
             pending_rollover: BTreeMap::new(),
+            zone_generations: BTreeMap::new(),
             events: EventLog::new(),
             auto_sign_on_purchase: true,
             rng,
@@ -450,6 +456,30 @@ impl World {
     /// Number of registered domains.
     pub fn domain_count(&self) -> usize {
         self.domains.len()
+    }
+
+    /// The combined change generation of `domain`: registry-side edits
+    /// (delegation/NS/DS) plus served-zone edits (signing, rollovers,
+    /// CDS publication, hosting moves). Two scans of an unchanged world
+    /// see the same generation; any mutation a scan could observe makes
+    /// it strictly larger. The incremental [`ScanCache`] in the scanner
+    /// crate keys its entries on this value — see DESIGN.md §9 for the
+    /// invalidation contract every new mutation path must honour.
+    pub fn domain_generation(&self, domain: &Name) -> u64 {
+        let registry_gen = Tld::of_domain(domain)
+            .map(|tld| self.registries[&tld].generation_of(domain))
+            .unwrap_or(0);
+        // `Name` orders case-insensitively (RFC 4034); no canonical copy.
+        let zone_gen = self.zone_generations.get(domain).copied().unwrap_or(0);
+        registry_gen + zone_gen
+    }
+
+    /// Records a served-zone edit for `domain` (cache invalidation).
+    fn bump_zone_generation(&mut self, domain: &Name) {
+        *self
+            .zone_generations
+            .entry(domain.to_canonical())
+            .or_insert(0) += 1;
     }
 
     // ----------------------------------------------------------- actions --
@@ -633,8 +663,7 @@ impl World {
         };
 
         // Channel-specific authentication.
-        match (&policy.external_ds, &via) {
-            (
+        if let (
                 ExternalDs::Email {
                     verifies_sender,
                     accepts_foreign_sender,
@@ -644,30 +673,28 @@ impl World {
                     claimed_from,
                     actual_from,
                 },
-            ) => {
-                let authentic = actual_from == &registrant_email;
-                let header_ok = claimed_from == &registrant_email;
-                let accepted = if *verifies_sender {
-                    authentic
-                } else if *accepts_foreign_sender {
-                    true
-                } else {
-                    header_ok // forgeable!
-                };
-                if !accepted {
-                    return Ok(UploadOutcome::EmailNotVerified);
-                }
-                if !authentic {
-                    self.events.record(
-                        self.today,
-                        Event::ForgedEmailAccepted {
-                            domain: domain.clone(),
-                            claimed_from: claimed_from.clone(),
-                        },
-                    );
-                }
+            ) = (&policy.external_ds, &via) {
+            let authentic = actual_from == &registrant_email;
+            let header_ok = claimed_from == &registrant_email;
+            let accepted = if *verifies_sender {
+                authentic
+            } else if *accepts_foreign_sender {
+                true
+            } else {
+                header_ok // forgeable!
+            };
+            if !accepted {
+                return Ok(UploadOutcome::EmailNotVerified);
             }
-            _ => {}
+            if !authentic {
+                self.events.record(
+                    self.today,
+                    Event::ForgedEmailAccepted {
+                        domain: domain.clone(),
+                        claimed_from: claimed_from.clone(),
+                    },
+                );
+            }
         }
 
         // FetchDnskey derives the DS itself from the served DNSKEY.
@@ -797,6 +824,7 @@ impl World {
         let keys = self.pool_keys_salted(domain, 2);
         let signer = self.signer_config();
         self.operators[operator.0 as usize].host_signed(domain, &keys, &signer);
+        self.bump_zone_generation(domain);
         let ds = keys.ds(DigestType::Sha256);
         self.domains.get_mut(&key).expect("checked").keys = Some(keys);
         self.events.record(
@@ -822,7 +850,7 @@ impl World {
         self.population_adoption();
         self.third_party_adoption();
         self.process_renewals();
-        if self.today.days_since(self.config.start) % self.config.audit_interval_days.max(1) == 0 {
+        if self.today.days_since(self.config.start).is_multiple_of(self.config.audit_interval_days.max(1)) {
             self.run_audits();
         }
         self.run_cds_scans();
@@ -1478,8 +1506,11 @@ impl World {
             }
             Hosting::Owner => {
                 self.host_owner_zone(domain, Some(keys));
+                // host_owner_zone already bumped the generation.
+                return Ok(());
             }
         }
+        self.bump_zone_generation(domain);
         Ok(())
     }
 
@@ -1520,6 +1551,7 @@ impl World {
                 });
             }
         }
+        self.bump_zone_generation(domain);
         Ok(())
     }
 
@@ -1626,6 +1658,7 @@ impl World {
         let signer = self.signer_config();
         let op = self.registrars[registrar.0 as usize].operator;
         self.operators[op.0 as usize].host_signed(domain, &keys, &signer);
+        self.bump_zone_generation(domain);
         let ds = keys.ds(DigestType::Sha256);
         self.domains.get_mut(&key).expect("checked").keys = Some(keys);
         self.events.record(
@@ -1688,6 +1721,7 @@ impl World {
         self.owner_authority.upsert_zone(zone);
         self.network
             .register(ns_host.clone(), self.owner_authority.clone());
+        self.bump_zone_generation(domain);
         ns_host
     }
 

@@ -13,5 +13,7 @@ pub mod render;
 pub mod table;
 
 pub use paper::{Checkpoint, ExperimentResult};
-pub use render::{figure3, figure8, figure_series, table1, table2, table3, table4, GTLDS};
+pub use render::{
+    figure3, figure8, figure_series, study_summary, table1, table2, table3, table4, GTLDS,
+};
 pub use table::Table;

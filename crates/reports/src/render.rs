@@ -3,7 +3,7 @@
 
 use dsec_ecosystem::{Tld, World, ALL_TLDS};
 use dsec_probe::{DsChannel, Finding, ProbeReport};
-use dsec_scanner::{coverage_curve, LongitudinalStore, Metric, Snapshot};
+use dsec_scanner::{coverage_curve, CacheStats, LongitudinalStore, Metric, Snapshot};
 
 use crate::table::Table;
 
@@ -252,6 +252,49 @@ pub fn figure8(store: &LongitudinalStore, operator: &str) -> String {
     out
 }
 
+/// One-paragraph study summary: campaign window, population, experiment
+/// score, and scan-cache effectiveness. Heads EXPERIMENTS.md and the
+/// `full_study` console output.
+pub fn study_summary(
+    store: &LongitudinalStore,
+    cache: &CacheStats,
+    reproduced: usize,
+    experiments: usize,
+) -> String {
+    let mut out = String::new();
+    let snapshots = store.snapshots();
+    match (snapshots.first(), snapshots.last()) {
+        (Some(first), Some(last)) => {
+            out.push_str(&format!(
+                "study window : {} → {} ({} snapshots)\n",
+                first.date,
+                last.date,
+                snapshots.len()
+            ));
+            let domains: u64 = last.cells.values().map(|s| s.domains).sum();
+            let tlds: std::collections::BTreeSet<Tld> =
+                last.cells.keys().map(|(_, tld)| *tld).collect();
+            out.push_str(&format!(
+                "population   : {} domains across {} TLDs (final snapshot)\n",
+                domains,
+                tlds.len()
+            ));
+        }
+        _ => out.push_str("study window : (no snapshots)\n"),
+    }
+    out.push_str(&format!(
+        "experiments  : {reproduced}/{experiments} reproduced\n"
+    ));
+    out.push_str(&format!(
+        "scan cache   : {:.1}% hit rate ({} hits / {} misses, {} entries)\n",
+        100.0 * cache.hit_rate(),
+        cache.hits,
+        cache.misses,
+        cache.entries,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +391,25 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[2].starts_with("2015-01-01,26.00,100.0"));
+    }
+
+    #[test]
+    fn study_summary_reports_cache_line() {
+        let mut store = LongitudinalStore::new();
+        store.record(snapshot());
+        let cache = CacheStats {
+            hits: 75,
+            misses: 25,
+            entries: 150,
+        };
+        let out = study_summary(&store, &cache, 9, 12);
+        assert!(out.contains("study window : 2015-01-01 → 2015-01-01 (1 snapshots)"));
+        assert!(out.contains("experiments  : 9/12 reproduced"));
+        assert!(out.contains("scan cache   : 75.0% hit rate (75 hits / 25 misses, 150 entries)"));
+
+        let empty = study_summary(&LongitudinalStore::new(), &CacheStats::default(), 0, 0);
+        assert!(empty.contains("(no snapshots)"));
+        assert!(empty.contains("0.0% hit rate"));
     }
 
     #[test]

@@ -65,7 +65,7 @@ fn render_row(out: &mut String, cells: &[String], widths: &[usize]) {
         let cell = cells.get(i).map(String::as_str).unwrap_or("");
         out.push_str(cell);
         let pad = width.saturating_sub(display_width(cell));
-        out.extend(std::iter::repeat(' ').take(pad));
+        out.extend(std::iter::repeat_n(' ', pad));
         if i + 1 != widths.len() {
             out.push_str("  ");
         }

@@ -52,8 +52,7 @@ impl Cache {
             .map(|r| r.ttl)
             .min()
             .unwrap_or(60)
-            .min(MAX_TTL)
-            .max(1);
+            .clamp(1, MAX_TTL);
         let key = (qname.to_canonical(), qtype.number());
         self.entries.write().insert(
             key,

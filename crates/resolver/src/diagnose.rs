@@ -226,11 +226,10 @@ pub fn diagnose(
                     chain_broken = true;
                 }
             }
-        } else if !chain_broken && parent_ds.is_empty() {
-            if matches!(verdict, crate::Security::Secure) {
+        } else if !chain_broken && parent_ds.is_empty()
+            && matches!(verdict, crate::Security::Secure) {
                 verdict = crate::Security::Insecure;
             }
-        }
 
         // Advice per finding.
         match (&ds_link, &signatures) {

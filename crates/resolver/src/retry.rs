@@ -82,11 +82,20 @@ impl HealthCache {
         Self::default()
     }
 
-    /// Records a successful exchange with `ns` (halves its penalty).
+    /// Records a successful exchange with `ns` (halves its penalty). Only
+    /// servers with a recorded failure are tracked: a never-failed server
+    /// must not grow the map (a million-domain campaign would otherwise
+    /// accumulate an all-zero-penalty entry per server), and an entry
+    /// whose penalty decays to 0 is dropped for the same reason.
     pub fn record_success(&self, ns: &Name) {
         let mut servers = self.servers.lock();
-        let health = servers.entry(ns.to_canonical()).or_default();
-        health.penalty /= 2;
+        let key = ns.to_canonical();
+        if let Some(health) = servers.get_mut(&key) {
+            health.penalty /= 2;
+            if health.penalty == 0 {
+                servers.remove(&key);
+            }
+        }
     }
 
     /// Records a failed exchange (timeout, error rcode) with `ns`.
@@ -94,6 +103,12 @@ impl HealthCache {
         let mut servers = self.servers.lock();
         let health = servers.entry(ns.to_canonical()).or_default();
         health.penalty = health.penalty.saturating_add(1);
+    }
+
+    /// How many servers currently carry a non-zero penalty entry. Bounded
+    /// by the number of *failing* servers, not by campaign size.
+    pub fn tracked_servers(&self) -> usize {
+        self.servers.lock().len()
     }
 
     /// The current penalty of `ns` (0 = healthy or unknown).
@@ -233,6 +248,33 @@ mod tests {
         health.record_success(&name("ns1.a.net"));
         assert_eq!(health.penalty(&name("ns1.a.net")), 0);
         assert_eq!(health.order(&servers), servers);
+        // ...and the fully recovered server is no longer tracked at all.
+        assert_eq!(health.tracked_servers(), 0);
+    }
+
+    #[test]
+    fn success_on_healthy_server_does_not_grow_cache() {
+        let health = HealthCache::new();
+        for i in 0..100 {
+            health.record_success(&name(&format!("ns{i}.a.net")));
+        }
+        assert_eq!(health.tracked_servers(), 0);
+        assert_eq!(health.penalty(&name("ns7.a.net")), 0);
+    }
+
+    #[test]
+    fn entries_are_dropped_once_penalty_decays_to_zero() {
+        let health = HealthCache::new();
+        health.record_failure(&name("ns1.a.net"));
+        health.record_failure(&name("ns1.a.net"));
+        health.record_failure(&name("ns1.a.net"));
+        assert_eq!(health.tracked_servers(), 1);
+        health.record_success(&name("ns1.a.net")); // 3 → 1
+        assert_eq!(health.tracked_servers(), 1);
+        health.record_success(&name("ns1.a.net")); // 1 → 0: dropped
+        assert_eq!(health.tracked_servers(), 0);
+        // A dropped server behaves exactly like an unknown one.
+        assert_eq!(health.penalty(&name("ns1.a.net")), 0);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! The incremental scan cache: OpenINTEL-style cross-day reuse.
+//!
+//! A daily campaign re-scans every delegation in every studied TLD, but
+//! between two consecutive days only a small fraction of domains change
+//! (a signing, a DS upload, a hosting move). The ecosystem tracks a
+//! per-domain *change generation* ([`dsec_ecosystem::World::domain_generation`])
+//! that is bumped by every mutation a scan could observe; this cache
+//! keys one classified per-domain stats cell on that generation so an
+//! unchanged domain costs a map lookup instead of DNSKEY queries and
+//! RSA signature verification.
+//!
+//! Each entry also remembers the domain's operator key: the operator is
+//! derived from the NS set, every NS edit bumps the generation, so a
+//! generation match guarantees the operator is current too. A warm hit
+//! therefore skips the zone-file NS lookup as well as the queries.
+//!
+//! Invalidation rules (see DESIGN.md §9):
+//! * an entry is reused only when the stored generation equals the
+//!   domain's current generation;
+//! * unreachable/indeterminate outcomes are **never** cached — a failed
+//!   observation is re-attempted every snapshot;
+//! * entries for domains that left the zone files are pruned after
+//!   every cached scan, so the cache never outgrows the live population.
+//!
+//! [`Name`] hashes and compares case-insensitively, so lookups need no
+//! canonical copy of the key — the hot path is allocation-free.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use dsec_wire::Name;
+
+use crate::snapshot::OperatorStats;
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    generation: u64,
+    operator: Arc<str>,
+    stats: OperatorStats,
+}
+
+/// Point-in-time counters of cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (domain unchanged).
+    pub hits: u64,
+    /// Lookups that fell through to a real scan (changed, new, forced,
+    /// or previously unobservable).
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Cross-snapshot cache of classified per-domain scan results.
+#[derive(Debug, Default)]
+pub struct ScanCache {
+    entries: HashMap<Name, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScanCache {
+    /// An empty cache: the first scan through it is fully cold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached (operator key, stats cell) for `domain` if it was
+    /// classified at exactly `generation`. Counts a hit or a miss.
+    pub fn lookup(&mut self, domain: &Name, generation: u64) -> Option<(Arc<str>, OperatorStats)> {
+        match self.entries.get(domain) {
+            Some(entry) if entry.generation == generation => {
+                self.hits += 1;
+                Some((entry.operator.clone(), entry.stats))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Counts a forced miss (a `force_full` scan bypassing lookup).
+    pub(crate) fn count_forced_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Stores the classified cell for `domain` at `generation`. Callers
+    /// must not insert unobserved (unreachable/indeterminate) outcomes;
+    /// this is enforced with a debug assertion.
+    pub fn insert(
+        &mut self,
+        domain: &Name,
+        generation: u64,
+        operator: Arc<str>,
+        stats: OperatorStats,
+    ) {
+        debug_assert_eq!(
+            stats.unobserved(),
+            0,
+            "unobserved outcomes must never be cached"
+        );
+        self.entries.insert(
+            domain.clone(),
+            CacheEntry {
+                generation,
+                operator,
+                stats,
+            },
+        );
+    }
+
+    /// Drops entries for domains not in `live`: keeps the cache bounded
+    /// by the current population.
+    pub fn retain_live(&mut self, live: &HashSet<&Name>) {
+        self.entries.retain(|name, _| live.contains(name));
+    }
+
+    /// Number of cached domains.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forgets everything, including the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn op(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    fn cell(domains: u64) -> OperatorStats {
+        OperatorStats {
+            domains,
+            ..OperatorStats::default()
+        }
+    }
+
+    #[test]
+    fn lookup_hits_only_on_matching_generation() {
+        let mut cache = ScanCache::new();
+        assert!(cache.lookup(&name("a.com"), 1).is_none(), "cold miss");
+        cache.insert(&name("a.com"), 1, op("ns.host.net"), cell(1));
+        assert_eq!(
+            cache.lookup(&name("a.com"), 1),
+            Some((op("ns.host.net"), cell(1)))
+        );
+        assert!(cache.lookup(&name("a.com"), 2).is_none(), "stale generation");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut cache = ScanCache::new();
+        cache.insert(&name("A.Com"), 1, op("ns.host.net"), cell(1));
+        assert_eq!(
+            cache.lookup(&name("a.com"), 1),
+            Some((op("ns.host.net"), cell(1))),
+            "Name equality/hashing is case-insensitive"
+        );
+    }
+
+    #[test]
+    fn retain_live_prunes_departed_domains() {
+        let mut cache = ScanCache::new();
+        cache.insert(&name("a.com"), 1, op("x.net"), cell(1));
+        cache.insert(&name("b.com"), 1, op("x.net"), cell(1));
+        let a = name("a.com");
+        let live: HashSet<&Name> = [&a].into();
+        cache.retain_live(&live);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&name("a.com"), 1).is_some());
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let mut cache = ScanCache::new();
+        cache.insert(&name("a.com"), 1, op("x.net"), cell(1));
+        cache.lookup(&name("a.com"), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never be cached")]
+    #[cfg(debug_assertions)]
+    fn unobserved_outcomes_rejected() {
+        let mut cache = ScanCache::new();
+        let mut stats = cell(1);
+        stats.unreachable = 1;
+        cache.insert(&name("a.com"), 1, op("x.net"), stats);
+    }
+}

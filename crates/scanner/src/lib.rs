@@ -14,10 +14,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod operator_id;
 pub mod snapshot;
 pub mod store;
 
+pub use cache::{CacheStats, ScanCache};
 pub use operator_id::{operator_key, operator_of};
 pub use snapshot::{
     coverage_curve, operators_to_cover, Metric, OperatorStats, ScanOptions, Snapshot,
@@ -38,11 +40,17 @@ pub struct CampaignConfig {
     pub tlds: Vec<Tld>,
     /// Scan worker threads per snapshot (1 = inline).
     pub threads: usize,
-    /// NS-rotation rounds for re-scanning failed domains (≤ 1 disables
-    /// the retry pass; irrelevant while the fault plane is off).
+    /// NS-rotation rounds for re-scanning failed domains (≥ 1 re-scans,
+    /// 0 disables the retry pass; irrelevant while the fault plane is
+    /// off).
     pub retry_rounds: u32,
     /// Bound on the per-snapshot retry queue.
     pub retry_limit: usize,
+    /// Reuse per-domain results across snapshots via a [`ScanCache`]
+    /// (generation-checked; see the cache module docs). On by default —
+    /// with faults off the output is byte-identical to the uncached
+    /// campaign.
+    pub use_cache: bool,
 }
 
 impl CampaignConfig {
@@ -56,6 +64,7 @@ impl CampaignConfig {
             threads: 1,
             retry_rounds: defaults.retry_rounds,
             retry_limit: defaults.retry_limit,
+            use_cache: true,
         }
     }
 
@@ -72,11 +81,18 @@ impl CampaignConfig {
         self
     }
 
+    /// Enable or disable cross-snapshot result caching.
+    pub fn with_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+
     fn scan_options(&self) -> ScanOptions {
         ScanOptions {
             threads: self.threads,
             retry_rounds: self.retry_rounds,
             retry_limit: self.retry_limit,
+            force_full: false,
         }
     }
 }
@@ -87,9 +103,42 @@ impl CampaignConfig {
 /// The world is borrowed mutably because time advances; each snapshot is
 /// a pure read (real queries against the then-current zones).
 pub fn scan_campaign(world: &mut World, config: &CampaignConfig) -> LongitudinalStore {
-    let options = config.scan_options();
+    if config.use_cache {
+        let mut cache = ScanCache::new();
+        scan_campaign_cached(world, config, &mut cache)
+    } else {
+        let mut store = LongitudinalStore::new();
+        let options = config.scan_options();
+        run_campaign(world, config, |world| {
+            Snapshot::take_with_options(world, &config.tlds, &options)
+        }, &mut store);
+        store
+    }
+}
+
+/// [`scan_campaign`] with a caller-owned [`ScanCache`], so the cache can
+/// be carried across campaigns (warm restarts) and its hit/miss counters
+/// inspected afterwards.
+pub fn scan_campaign_cached(
+    world: &mut World,
+    config: &CampaignConfig,
+    cache: &mut ScanCache,
+) -> LongitudinalStore {
     let mut store = LongitudinalStore::new();
-    store.record(Snapshot::take_with_options(world, &config.tlds, &options));
+    let options = config.scan_options();
+    run_campaign(world, config, |world| {
+        Snapshot::take_cached(world, &config.tlds, &options, cache)
+    }, &mut store);
+    store
+}
+
+fn run_campaign(
+    world: &mut World,
+    config: &CampaignConfig,
+    mut take: impl FnMut(&World) -> Snapshot,
+    store: &mut LongitudinalStore,
+) {
+    store.record(take(world));
     while world.today < config.until {
         for _ in 0..config.interval_days {
             if world.today >= config.until {
@@ -97,9 +146,8 @@ pub fn scan_campaign(world: &mut World, config: &CampaignConfig) -> Longitudinal
             }
             world.tick();
         }
-        store.record(Snapshot::take_with_options(world, &config.tlds, &options));
+        store.record(take(world));
     }
-    store
 }
 
 #[cfg(test)]
@@ -132,7 +180,7 @@ mod tests {
     fn snapshot_classification_is_consistent() {
         let pw = build(&PopulationConfig::tiny());
         let snapshot = Snapshot::take(&pw.world);
-        for (_, stats) in &snapshot.cells {
+        for stats in snapshot.cells.values() {
             assert!(stats.with_dnskey <= stats.domains);
             assert!(stats.partially_deployed <= stats.with_dnskey);
             assert!(

@@ -3,7 +3,8 @@
 //! and fetch the DNSKEY RRset + RRSIGs with a real DO-bit query; classify
 //! and aggregate per (operator, TLD).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -11,6 +12,7 @@ use dsec_dnssec::{classify, DeploymentStatus};
 use dsec_ecosystem::{ObservationQuality, SimDate, Tld, World, ALL_TLDS};
 use dsec_wire::Name;
 
+use crate::cache::ScanCache;
 use crate::operator_id::operator_of;
 
 /// Aggregate DNSSEC state of one (operator, TLD) cell.
@@ -59,12 +61,17 @@ impl OperatorStats {
 pub struct ScanOptions {
     /// Worker threads (1 = inline).
     pub threads: usize,
-    /// NS-rotation rounds used when re-scanning a failed domain. Values
-    /// ≤ 1 disable the retry pass entirely.
+    /// NS-rotation rounds used when re-scanning a failed domain. Any
+    /// value ≥ 1 re-scans (a single round is a legitimate second
+    /// observation); `0` disables the retry pass entirely.
     pub retry_rounds: u32,
     /// Upper bound on how many failed domains are queued for the retry
     /// pass; failures beyond it keep their first-pass outcome.
     pub retry_limit: usize,
+    /// Re-scan every domain even when a [`ScanCache`] is supplied; cache
+    /// entries are still refreshed. Lets callers verify the cached path
+    /// against a ground-truth full scan.
+    pub force_full: bool,
 }
 
 impl Default for ScanOptions {
@@ -73,6 +80,7 @@ impl Default for ScanOptions {
             threads: 1,
             retry_rounds: 3,
             retry_limit: 4096,
+            force_full: false,
         }
     }
 }
@@ -125,99 +133,142 @@ impl Snapshot {
     /// failure can occur and the result is identical to the fault-
     /// oblivious scan.
     pub fn take_with_options(world: &World, tlds: &[Tld], options: &ScanOptions) -> Snapshot {
+        Self::scan(world, tlds, options, None)
+    }
+
+    /// Incremental scan: like [`Snapshot::take_with_options`], but domains
+    /// whose change generation matches their entry in `cache` are answered
+    /// from the cache without issuing any queries. Aggregation is
+    /// commutative (per-cell addition), so the cached path produces cells
+    /// identical to a full scan whenever cached entries match what a fresh
+    /// scan would observe — which holds by construction with the fault
+    /// plane off, and is protected under faults by never caching
+    /// unreachable or indeterminate outcomes. After the scan the cache is
+    /// pruned to the currently delegated population.
+    pub fn take_cached(
+        world: &World,
+        tlds: &[Tld],
+        options: &ScanOptions,
+        cache: &mut ScanCache,
+    ) -> Snapshot {
+        Self::scan(world, tlds, options, Some(cache))
+    }
+
+    fn scan(
+        world: &World,
+        tlds: &[Tld],
+        options: &ScanOptions,
+        mut cache: Option<&mut ScanCache>,
+    ) -> Snapshot {
         let now = world.today.epoch_seconds();
-        // Work list: (domain, operator key, tld).
-        let work: Vec<(Name, String, Tld)> = tlds
+        // Enumerate the population from the zone files.
+        let pairs: Vec<(Name, Tld)> = tlds
             .iter()
             .flat_map(|&tld| {
-                let registry = world.registry(tld);
-                registry
+                world
+                    .registry(tld)
                     .delegations()
                     .into_iter()
-                    .map(move |domain| {
-                        let ns = registry.ns_of(&domain);
-                        let operator = operator_of(&ns)
-                            .map(|n| n.to_string())
-                            .unwrap_or_else(|| "(no-ns)".into());
-                        (domain, operator, tld)
-                    })
-                    .collect::<Vec<_>>()
+                    .map(move |domain| (domain, tld))
             })
             .collect();
 
-        let threads = options.threads.max(1).min(work.len().max(1));
-        let mut cells: BTreeMap<(String, Tld), OperatorStats> = BTreeMap::new();
-        // Failed scans awaiting the retry pass: (index into `work`, stats).
-        let mut failures: Vec<(usize, OperatorStats)> = Vec::new();
-        if threads == 1 {
-            for (i, (domain, operator, tld)) in work.iter().enumerate() {
-                let (stats, failed) = scan_domain(world, domain, now, 1);
-                if failed {
-                    failures.push((i, stats));
-                } else {
-                    cells
-                        .entry((operator.clone(), *tld))
-                        .or_default()
-                        .absorb(&stats);
+        // Aggregation happens under shared `Arc<str>` operator keys (a
+        // warm hit costs a refcount bump, not a String); the map is
+        // converted to the `String`-keyed public cells at the end, one
+        // allocation per distinct cell.
+        let mut agg: HashMap<(Arc<str>, Tld), OperatorStats> = HashMap::new();
+
+        // Change generations, fanned across the worker pool: on a warm
+        // cache these reads are the scan's dominant cost.
+        let generations: Vec<u64> = if cache.is_some() {
+            run_generations(world, &pairs, options.threads)
+        } else {
+            Vec::new()
+        };
+
+        // Cache pass: serve unchanged domains from the cache and shrink
+        // the scan list to the rest. `Name` hashes case-insensitively,
+        // so this is pure map lookups — no canonical copies.
+        let mut to_scan: Vec<usize> = Vec::with_capacity(pairs.len());
+        if let Some(cache) = cache.as_deref_mut() {
+            for (i, (domain, tld)) in pairs.iter().enumerate() {
+                if options.force_full {
+                    cache.count_forced_miss();
+                } else if let Some((operator, stats)) = cache.lookup(domain, generations[i]) {
+                    agg.entry((operator, *tld)).or_default().absorb(&stats);
+                    continue;
                 }
+                to_scan.push(i);
             }
         } else {
-            let chunk = work.len().div_ceil(threads);
-            let partials = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = work
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(chunk_no, part)| {
-                        scope.spawn(move |_| {
-                            let mut local: BTreeMap<(String, Tld), OperatorStats> =
-                                BTreeMap::new();
-                            let mut local_failures: Vec<(usize, OperatorStats)> = Vec::new();
-                            for (j, (domain, operator, tld)) in part.iter().enumerate() {
-                                let (stats, failed) = scan_domain(world, domain, now, 1);
-                                if failed {
-                                    local_failures.push((chunk_no * chunk + j, stats));
-                                } else {
-                                    local
-                                        .entry((operator.clone(), *tld))
-                                        .or_default()
-                                        .absorb(&stats);
-                                }
-                            }
-                            (local, local_failures)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scan worker does not panic"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("scan scope completes");
-            for (partial, partial_failures) in partials {
-                for (key, stats) in partial {
-                    cells.entry(key).or_default().absorb(&stats);
-                }
-                failures.extend(partial_failures);
-            }
-            // Merge order of worker results must not leak into the retry
-            // ordering.
-            failures.sort_by_key(|(i, _)| *i);
+            to_scan.extend(0..pairs.len());
         }
 
-        // Retry pass: bounded, inline, in work-list order.
-        for (n, (i, first_pass)) in failures.into_iter().enumerate() {
-            let (domain, operator, tld) = &work[i];
-            let final_stats = if options.retry_rounds > 1 && n < options.retry_limit {
-                scan_domain(world, domain, now, options.retry_rounds).0
+        // Operator identification (NS lookup + SLD extraction), only for
+        // the domains that will actually be scanned: a cache hit reuses
+        // the operator stored with the entry (every NS edit bumps the
+        // generation, so a generation match implies the operator too).
+        let mut operator_at: Vec<Option<Arc<str>>> = vec![None; pairs.len()];
+        for (&i, operator) in to_scan
+            .iter()
+            .zip(run_operators(world, &pairs, &to_scan, options.threads))
+        {
+            operator_at[i] = Some(operator);
+        }
+
+        // First pass over the (possibly cache-reduced) scan list.
+        let first_pass = run_pass(world, &pairs, &to_scan, now, 1, options.threads);
+
+        // Partition into settled outcomes and the bounded retry queue, in
+        // work-list order so the bound is deterministic.
+        let mut settled: Vec<(usize, OperatorStats, bool)> =
+            Vec::with_capacity(first_pass.len());
+        let mut retry: Vec<usize> = Vec::new();
+        for (i, stats, failed) in first_pass {
+            if failed && options.retry_rounds >= 1 && retry.len() < options.retry_limit {
+                retry.push(i);
             } else {
-                first_pass
-            };
-            cells
-                .entry((operator.clone(), *tld))
-                .or_default()
-                .absorb(&final_stats);
+                settled.push((i, stats, failed));
+            }
         }
 
+        // Retry pass: fanned out over the same worker pool as the first
+        // pass. It runs strictly after the first pass, and per-domain
+        // fault draws are keyed by (server, query, attempt) rather than by
+        // thread, so the outcome is independent of worker interleaving.
+        settled.extend(run_pass(
+            world,
+            &pairs,
+            &retry,
+            now,
+            options.retry_rounds.max(1),
+            options.threads,
+        ));
+
+        for (i, stats, failed) in settled {
+            let (domain, tld) = &pairs[i];
+            let operator = operator_at[i]
+                .clone()
+                .expect("scanned domains have a prepared operator key");
+            if let Some(cache) = cache.as_deref_mut() {
+                // Unreachable/indeterminate outcomes are never cached.
+                if !failed {
+                    cache.insert(domain, generations[i], operator.clone(), stats);
+                }
+            }
+            agg.entry((operator, *tld)).or_default().absorb(&stats);
+        }
+
+        if let Some(cache) = cache {
+            let live: HashSet<&Name> = pairs.iter().map(|(domain, _)| domain).collect();
+            cache.retain_live(&live);
+        }
+
+        let cells: BTreeMap<(String, Tld), OperatorStats> = agg
+            .into_iter()
+            .map(|((operator, tld), stats)| ((operator.to_string(), tld), stats))
+            .collect();
         Snapshot {
             date: world.today,
             cells,
@@ -290,6 +341,114 @@ impl Metric {
             Metric::WithDnskey => stats.with_dnskey,
         }
     }
+}
+
+/// The threaded generation pass: one change-generation read per (domain,
+/// TLD) pair, for the cache lookups. Pure reads of ecosystem state, so
+/// chunking across workers cannot change the result; chunks are re-joined
+/// in spawn order.
+fn run_generations(world: &World, pairs: &[(Name, Tld)], threads: usize) -> Vec<u64> {
+    let generation_of = |(domain, _): &(Name, Tld)| world.domain_generation(domain);
+    let threads = threads.max(1).min(pairs.len().max(1));
+    if threads == 1 {
+        return pairs.iter().map(generation_of).collect();
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    let partials = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|part| scope.spawn(move |_| part.iter().map(generation_of).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("generation worker does not panic"))
+            .collect::<Vec<_>>()
+    })
+    .expect("generation scope completes");
+    partials.into_iter().flatten().collect()
+}
+
+/// The threaded operator pass: NS lookup + operator identification for
+/// the pairs selected by `indices`, returned in `indices` order. Pure
+/// reads of the zone state, re-joined in spawn order like the other
+/// passes.
+fn run_operators(
+    world: &World,
+    pairs: &[(Name, Tld)],
+    indices: &[usize],
+    threads: usize,
+) -> Vec<Arc<str>> {
+    let operator_for = |&i: &usize| -> Arc<str> {
+        let (domain, tld) = &pairs[i];
+        let ns = world.registry(*tld).ns_of(domain);
+        operator_of(&ns)
+            .map(|n| Arc::from(n.to_string()))
+            .unwrap_or_else(|| Arc::from("(no-ns)"))
+    };
+    let threads = threads.max(1).min(indices.len().max(1));
+    if threads == 1 {
+        return indices.iter().map(operator_for).collect();
+    }
+    let chunk = indices.len().div_ceil(threads);
+    let partials = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = indices
+            .chunks(chunk)
+            .map(|part| scope.spawn(move |_| part.iter().map(operator_for).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("operator worker does not panic"))
+            .collect::<Vec<_>>()
+    })
+    .expect("operator scope completes");
+    partials.into_iter().flatten().collect()
+}
+
+/// One threaded pass over `indices` (positions in `pairs`), scanning each
+/// domain with `rounds` NS rotations. Results come back as (work index,
+/// stats, failed) in `indices` order: chunks are contiguous slices of the
+/// already-sorted index list and are re-joined in spawn order, so worker
+/// scheduling cannot reorder them.
+fn run_pass(
+    world: &World,
+    pairs: &[(Name, Tld)],
+    indices: &[usize],
+    now: u32,
+    rounds: u32,
+    threads: usize,
+) -> Vec<(usize, OperatorStats, bool)> {
+    let threads = threads.max(1).min(indices.len().max(1));
+    if threads == 1 {
+        return indices
+            .iter()
+            .map(|&i| {
+                let (stats, failed) = scan_domain(world, &pairs[i].0, now, rounds);
+                (i, stats, failed)
+            })
+            .collect();
+    }
+    let chunk = indices.len().div_ceil(threads);
+    let partials = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = indices
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    part.iter()
+                        .map(|&i| {
+                            let (stats, failed) = scan_domain(world, &pairs[i].0, now, rounds);
+                            (i, stats, failed)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker does not panic"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scan scope completes");
+    partials.into_iter().flatten().collect()
 }
 
 /// Scans one domain into a single-domain stats cell. The bool reports

@@ -16,15 +16,24 @@ pub struct SeriesPoint {
 }
 
 impl SeriesPoint {
-    /// Fraction of domains with a DNSKEY.
-    pub fn dnskey_fraction(&self) -> f64 {
-        ratio(self.stats.with_dnskey, self.stats.domains)
+    /// Domains whose served state was actually observed this snapshot:
+    /// the denominator of the deployment fractions. Unreachable and
+    /// indeterminate domains carry no evidence either way, so counting
+    /// them would deflate every Figure 4–8 curve whenever the fault plane
+    /// degrades a scan.
+    pub fn observed(&self) -> u64 {
+        self.stats.domains - self.stats.unobserved()
     }
 
-    /// Fraction of domains fully deployed (DNSKEY **and** matching DS) —
-    /// the y-axis of Figures 4–7.
+    /// Fraction of observed domains with a DNSKEY.
+    pub fn dnskey_fraction(&self) -> f64 {
+        ratio(self.stats.with_dnskey, self.observed())
+    }
+
+    /// Fraction of observed domains fully deployed (DNSKEY **and**
+    /// matching DS) — the y-axis of Figures 4–7.
     pub fn full_fraction(&self) -> f64 {
-        ratio(self.stats.fully_deployed, self.stats.domains)
+        ratio(self.stats.fully_deployed, self.observed())
     }
 
     /// Of the domains with DNSKEY, the fraction that also have a DS — the
@@ -97,29 +106,55 @@ impl LongitudinalStore {
             .collect()
     }
 
-    /// CSV of one operator's series, one row per (snapshot, TLD):
+    /// One row per (snapshot, TLD the operator was ever seen in): the
+    /// operator's cell for that day, or an explicit all-zero cell on days
+    /// the operator has no domains there. The zero rows keep the series
+    /// rectangular — a day with no cell is real data (count zero), not a
+    /// gap downstream plotting should interpolate over.
+    fn rows(&self, operator: &str) -> Vec<(SimDate, Tld, OperatorStats)> {
+        let mut tlds: Vec<Tld> = Vec::new();
+        for snapshot in &self.snapshots {
+            for (op, tld) in snapshot.cells.keys() {
+                if op == operator && !tlds.contains(tld) {
+                    tlds.push(*tld);
+                }
+            }
+        }
+        tlds.sort();
+        let mut rows = Vec::with_capacity(self.snapshots.len() * tlds.len());
+        for snapshot in &self.snapshots {
+            for &tld in &tlds {
+                let stats = snapshot
+                    .cells
+                    .get(&(operator.to_string(), tld))
+                    .copied()
+                    .unwrap_or_default();
+                rows.push((snapshot.date, tld, stats));
+            }
+        }
+        rows
+    }
+
+    /// CSV of one operator's series, one row per (snapshot, TLD the
+    /// operator was ever seen in — all-zero rows fill days without cells):
     /// `date,operator,tld,domains,with_dnskey,with_ds,full,partial,misconfigured`.
     pub fn to_csv(&self, operator: &str) -> String {
         let mut out = String::from(
             "date,operator,tld,domains,with_dnskey,with_ds,fully_deployed,partially_deployed,misconfigured\n",
         );
-        for snapshot in &self.snapshots {
-            for ((op, tld), stats) in &snapshot.cells {
-                if op == operator {
-                    out.push_str(&format!(
-                        "{},{},{},{},{},{},{},{},{}\n",
-                        snapshot.date,
-                        op,
-                        tld.label(),
-                        stats.domains,
-                        stats.with_dnskey,
-                        stats.with_ds,
-                        stats.fully_deployed,
-                        stats.partially_deployed,
-                        stats.misconfigured,
-                    ));
-                }
-            }
+        for (date, tld, stats) in self.rows(operator) {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                date,
+                operator,
+                tld.label(),
+                stats.domains,
+                stats.with_dnskey,
+                stats.with_ds,
+                stats.fully_deployed,
+                stats.partially_deployed,
+                stats.misconfigured,
+            ));
         }
         out
     }
@@ -132,25 +167,21 @@ impl LongitudinalStore {
         let mut out = String::from(
             "date,operator,tld,domains,with_dnskey,with_ds,fully_deployed,partially_deployed,misconfigured,unreachable,indeterminate\n",
         );
-        for snapshot in &self.snapshots {
-            for ((op, tld), stats) in &snapshot.cells {
-                if op == operator {
-                    out.push_str(&format!(
-                        "{},{},{},{},{},{},{},{},{},{},{}\n",
-                        snapshot.date,
-                        op,
-                        tld.label(),
-                        stats.domains,
-                        stats.with_dnskey,
-                        stats.with_ds,
-                        stats.fully_deployed,
-                        stats.partially_deployed,
-                        stats.misconfigured,
-                        stats.unreachable,
-                        stats.indeterminate,
-                    ));
-                }
-            }
+        for (date, tld, stats) in self.rows(operator) {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                date,
+                operator,
+                tld.label(),
+                stats.domains,
+                stats.with_dnskey,
+                stats.with_ds,
+                stats.fully_deployed,
+                stats.partially_deployed,
+                stats.misconfigured,
+                stats.unreachable,
+                stats.indeterminate,
+            ));
         }
         out
     }
@@ -242,6 +273,73 @@ mod tests {
             store.to_csv("op.net").lines().nth(1).unwrap(),
             "2015-01-01,op.net,com,100,10,5,5,5,0"
         );
+    }
+
+    #[test]
+    fn fractions_divide_by_observed_domains_only() {
+        // 100 domains, 20 unobserved (12 unreachable + 8 indeterminate),
+        // 40 of the 80 observed have a DNSKEY and 20 are fully deployed.
+        let mut store = LongitudinalStore::new();
+        let mut snap = snapshot(0, 40, 20);
+        let stats = snap
+            .cells
+            .get_mut(&("op.net".to_string(), Tld::Com))
+            .unwrap();
+        stats.unreachable = 12;
+        stats.indeterminate = 8;
+        store.record(snap);
+        let point = store.series("op.net", &[Tld::Com])[0];
+        assert_eq!(point.observed(), 80);
+        // 40/80, not 40/100: unobserved domains carry no evidence.
+        assert!((point.dnskey_fraction() - 0.5).abs() < 1e-9);
+        assert!((point.full_fraction() - 0.25).abs() < 1e-9);
+        // DS|DNSKEY is within the observed subpopulation already.
+        assert!((point.ds_given_dnskey() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_unobserved_point_has_zero_fractions() {
+        let mut store = LongitudinalStore::new();
+        let mut snap = snapshot(0, 0, 0);
+        let stats = snap
+            .cells
+            .get_mut(&("op.net".to_string(), Tld::Com))
+            .unwrap();
+        stats.unreachable = 100;
+        store.record(snap);
+        let point = store.series("op.net", &[Tld::Com])[0];
+        assert_eq!(point.observed(), 0);
+        assert_eq!(point.dnskey_fraction(), 0.0);
+        assert_eq!(point.full_fraction(), 0.0);
+    }
+
+    #[test]
+    fn csv_fills_operator_gaps_with_zero_rows() {
+        // Day 0: op.net has cells in com and net. Day 7: only com — the
+        // net row must still appear, explicitly zero.
+        let mut store = LongitudinalStore::new();
+        let mut first = snapshot(0, 10, 5);
+        first.cells.insert(
+            ("op.net".to_string(), Tld::Net),
+            OperatorStats {
+                domains: 7,
+                ..OperatorStats::default()
+            },
+        );
+        store.record(first);
+        store.record(snapshot(7, 12, 6));
+        let csv = store.to_csv("op.net");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 2 TLDs × 2 snapshots");
+        assert_eq!(lines[2], "2015-01-01,op.net,net,7,0,0,0,0,0");
+        assert_eq!(lines[4], "2015-01-08,op.net,net,0,0,0,0,0,0");
+        let extended: Vec<String> = store
+            .to_csv_extended("op.net")
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(extended.len(), 5);
+        assert_eq!(extended[4], "2015-01-08,op.net,net,0,0,0,0,0,0,0,0");
     }
 
     #[test]

@@ -207,7 +207,7 @@ impl Message {
 
     /// True when the querier asked for DNSSEC records.
     pub fn dnssec_ok(&self) -> bool {
-        self.edns.map_or(false, |e| e.dnssec_ok)
+        self.edns.is_some_and(|e| e.dnssec_ok)
     }
 
     /// Serializes to wire format with name compression.

@@ -71,7 +71,7 @@ impl PartialEq for Label {
                 .0
                 .iter()
                 .zip(&other.0)
-                .all(|(a, b)| a.to_ascii_lowercase() == b.to_ascii_lowercase())
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
     }
 }
 
@@ -439,7 +439,7 @@ mod tests {
 
     #[test]
     fn ord_is_canonical() {
-        let mut names = vec![name("z.example"), name("a.example"), name("example")];
+        let mut names = [name("z.example"), name("a.example"), name("example")];
         names.sort();
         assert_eq!(
             names.iter().map(|n| n.to_string()).collect::<Vec<_>>(),

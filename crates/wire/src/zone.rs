@@ -452,7 +452,7 @@ fn unescape_txt(s: &str) -> Result<Vec<u8>, ()> {
 }
 
 fn parse_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())

@@ -48,7 +48,15 @@ fn main() {
         output.store.snapshots().len(),
         output.paper_world.world.network.query_count(),
     );
+    eprintln!(
+        "scan cache: {:.1}% hit rate ({} hits / {} misses, {} entries)",
+        100.0 * output.cache_stats.hit_rate(),
+        output.cache_stats.hits,
+        output.cache_stats.misses,
+        output.cache_stats.entries,
+    );
 
+    println!("{}", output.summary());
     for experiment in &output.experiments {
         println!("{experiment}");
     }

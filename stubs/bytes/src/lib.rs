@@ -1,0 +1,1 @@
+//! Offline stub of bytes (unused API surface in this workspace).

@@ -1,0 +1,3 @@
+//! Offline stub of serde: re-exports no-op derive macros.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use dsec::dnssec::{classify, DeploymentStatus};
 use dsec::ecosystem::{
-    DsSubmission, ExternalDs, Hosting, OperatorDnssec, Plan, RegistrarPolicy, Tld, TldPolicy,
+    DsSubmission, ExternalDs, Hosting, OperatorDnssec, Plan, RegistrarPolicy, TldPolicy,
     TldRole, World, WorldConfig, ALL_TLDS,
 };
 use dsec::wire::{DsRdata, Name};

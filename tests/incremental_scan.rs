@@ -1,0 +1,201 @@
+//! The incremental scan pipeline, end to end:
+//!
+//! * a multi-day cached campaign produces byte-identical legacy and
+//!   extended CSVs to the uncached campaign when faults are off;
+//! * `force_full` re-scans everything while still refreshing the cache;
+//! * warm snapshots issue far fewer network queries than cold ones;
+//! * `take_with_options` is thread-count deterministic on a faulted
+//!   world;
+//! * `retry_rounds: 1` performs a real second observation and
+//!   `retry_rounds: 0` disables the retry pass.
+
+use std::collections::BTreeSet;
+
+use dsec::authserver::{Fault, FaultProfile};
+use dsec::ecosystem::{Tld, ALL_TLDS};
+use dsec::scanner::{
+    scan_campaign, scan_campaign_cached, CampaignConfig, LongitudinalStore, ScanCache,
+    ScanOptions, Snapshot,
+};
+use dsec::workloads::{build, PopulationConfig};
+
+const CHAOS_SEED: u64 = 0x15CA7;
+
+fn operators(store: &LongitudinalStore) -> BTreeSet<String> {
+    store
+        .snapshots()
+        .iter()
+        .flat_map(|s| s.cells.keys().map(|(op, _)| op.clone()))
+        .collect()
+}
+
+#[test]
+fn cached_campaign_csvs_are_byte_identical_to_uncached() {
+    let mut cached_world = build(&PopulationConfig::tiny());
+    let mut uncached_world = build(&PopulationConfig::tiny());
+    let until = cached_world.world.today.plus_days(28);
+
+    let mut cache = ScanCache::new();
+    let cached = scan_campaign_cached(
+        &mut cached_world.world,
+        &CampaignConfig::new(until, 7),
+        &mut cache,
+    );
+    let uncached = scan_campaign(
+        &mut uncached_world.world,
+        &CampaignConfig::new(until, 7).with_cache(false),
+    );
+
+    assert_eq!(cached.snapshots().len(), uncached.snapshots().len());
+    for (a, b) in cached.snapshots().iter().zip(uncached.snapshots()) {
+        assert_eq!(a.cells, b.cells, "cells identical on {}", a.date);
+    }
+    // The acceptance criterion is on the exported artifacts: every
+    // operator's legacy and extended CSVs must match byte for byte.
+    let ops = operators(&cached);
+    assert_eq!(ops, operators(&uncached));
+    for op in &ops {
+        assert_eq!(cached.to_csv(op), uncached.to_csv(op), "legacy CSV of {op}");
+        assert_eq!(
+            cached.to_csv_extended(op),
+            uncached.to_csv_extended(op),
+            "extended CSV of {op}"
+        );
+    }
+    // And the cache must actually have carried results across days.
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "cache reused results: {stats:?}");
+    assert!(stats.entries > 0);
+}
+
+#[test]
+fn force_full_rescans_but_matches_the_cached_result() {
+    let pw = build(&PopulationConfig::tiny());
+    let mut cache = ScanCache::new();
+    let options = ScanOptions::default();
+
+    let warm_ready = Snapshot::take_cached(&pw.world, &ALL_TLDS, &options, &mut cache);
+    let hits_before = cache.stats().hits;
+
+    let forced = Snapshot::take_cached(
+        &pw.world,
+        &ALL_TLDS,
+        &ScanOptions {
+            force_full: true,
+            ..options
+        },
+        &mut cache,
+    );
+    // Same day, no changes: a forced full re-scan observes the same cells
+    // but never consults the cache.
+    assert_eq!(forced.cells, warm_ready.cells);
+    assert_eq!(cache.stats().hits, hits_before, "force_full bypasses lookups");
+
+    // The forced pass refreshed entries, so the next scan is warm again.
+    let warm = Snapshot::take_cached(&pw.world, &ALL_TLDS, &options, &mut cache);
+    assert_eq!(warm.cells, warm_ready.cells);
+    assert!(cache.stats().hits > hits_before);
+}
+
+#[test]
+fn warm_snapshot_issues_fewer_queries_than_cold() {
+    let mut pw = build(&PopulationConfig::tiny());
+    let mut cache = ScanCache::new();
+    let options = ScanOptions::default();
+
+    let before_cold = pw.world.network.query_count();
+    Snapshot::take_cached(&pw.world, &ALL_TLDS, &options, &mut cache);
+    let cold = pw.world.network.query_count() - before_cold;
+
+    pw.world.tick();
+    let before_warm = pw.world.network.query_count();
+    Snapshot::take_cached(&pw.world, &ALL_TLDS, &options, &mut cache);
+    let warm = pw.world.network.query_count() - before_warm;
+
+    assert!(cold > 0);
+    assert!(
+        warm * 2 < cold,
+        "one day of churn re-queries a small minority: warm={warm} cold={cold}"
+    );
+}
+
+#[test]
+fn faulted_snapshot_is_identical_across_thread_counts() {
+    let take = |threads: usize| {
+        let pw = build(&PopulationConfig::tiny());
+        pw.world.fault_plane().enable(CHAOS_SEED);
+        pw.world
+            .fault_plane()
+            .set_global_profile(FaultProfile::mixed(0.05));
+        // A permanently dead fleet so unreachable outcomes flow through
+        // the (parallelized) retry pass too.
+        let victim = pw.world.registry(Tld::Com).delegations()[0].clone();
+        for ns in pw.world.registry(Tld::Com).ns_of(&victim) {
+            pw.world.fault_plane().set_down(&ns, true);
+        }
+        Snapshot::take_with_options(
+            &pw.world,
+            &ALL_TLDS,
+            &ScanOptions {
+                threads,
+                ..ScanOptions::default()
+            },
+        )
+    };
+    let sequential = take(1);
+    let parallel = take(4);
+    assert_eq!(sequential.date, parallel.date);
+    assert_eq!(
+        sequential.cells, parallel.cells,
+        "retry ordering and fault draws independent of thread count"
+    );
+    assert!(
+        sequential.cells.values().any(|s| s.unreachable > 0),
+        "the dead fleet exercised the retry pass"
+    );
+}
+
+#[test]
+fn retry_rounds_one_rescans_and_zero_disables() {
+    // Script exactly one SERVFAIL per nameserver of the first .com
+    // domain: a 1-round first pass consumes them all and ends
+    // indeterminate, so only a retry pass can classify the domain.
+    let scan = |retry_rounds: u32| {
+        let pw = build(&PopulationConfig::tiny());
+        pw.world.fault_plane().enable(CHAOS_SEED);
+        let victim = pw.world.registry(Tld::Com).delegations()[0].clone();
+        for ns in pw.world.registry(Tld::Com).ns_of(&victim) {
+            pw.world.fault_plane().script(&ns, [Fault::ServFail]);
+        }
+        Snapshot::take_with_options(
+            &pw.world,
+            &[Tld::Com],
+            &ScanOptions {
+                retry_rounds,
+                ..ScanOptions::default()
+            },
+        )
+    };
+
+    let disabled = scan(0);
+    let indeterminate: u64 = disabled.cells.values().map(|s| s.indeterminate).sum();
+    assert_eq!(
+        indeterminate, 1,
+        "retry_rounds: 0 keeps the failed first-pass outcome"
+    );
+
+    let single_round = scan(1);
+    let indeterminate: u64 = single_round.cells.values().map(|s| s.indeterminate).sum();
+    assert_eq!(
+        indeterminate, 0,
+        "retry_rounds: 1 is a real second observation"
+    );
+    // Once the scripted faults are consumed the re-scan sees the true
+    // state: identical to a fault-free scan of the same world.
+    let clean = Snapshot::take_with_options(
+        &build(&PopulationConfig::tiny()).world,
+        &[Tld::Com],
+        &ScanOptions::default(),
+    );
+    assert_eq!(single_round.cells, clean.cells);
+}
