@@ -1,0 +1,161 @@
+//! The user-traffic plane benchmark: query throughput and latency
+//! percentiles at 1/4/8 worker threads, emitted as `BENCH_traffic.json`
+//! so the repo carries a perf trajectory across changes.
+//!
+//! Two throughput numbers per run:
+//!
+//! - `sim_qps` — queries per *simulated* second: the stream length over
+//!   the busiest worker's summed simulated latency. This is the scaling
+//!   metric: it is deterministic, machine-independent, and measures how
+//!   well the key-hash sharding balances the closed-loop client
+//!   pipelines (8 perfectly balanced workers retire the stream in 1/8th
+//!   of the simulated time).
+//! - `wall_qps` — queries per wall-clock second on this host, reported
+//!   for the record but asserted on nowhere: CI machines and the
+//!   dev container may have a single core.
+//!
+//! ```sh
+//! cargo bench --bench traffic                 # full workload, 1:2000
+//! DSEC_BENCH_SMOKE=1 cargo bench --bench traffic   # CI smoke mode
+//! DSEC_BENCH_OUT=/tmp/b.json cargo bench --bench traffic
+//! ```
+//!
+//! Plain `main` (harness = false), JSON written by hand — same shape as
+//! the `longitudinal` bench.
+
+use dsec_traffic::{run_load, LoadConfig, TrafficReport};
+use dsec_workloads::{build, PopulationConfig};
+
+struct Run {
+    threads: usize,
+    report: TrafficReport,
+}
+
+impl Run {
+    fn to_json(&self) -> String {
+        let r = &self.report;
+        format!(
+            "    {{\"threads\": {}, \"queries\": {}, \"sim_qps\": {:.1}, \"wall_qps\": {:.1}, \
+             \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
+             \"mean_ms\": {:.2}, \"cache_hit_rate\": {:.4}, \
+             \"secure\": {}, \"insecure\": {}, \"bogus\": {}, \"servfail\": {}}}",
+            self.threads,
+            r.total,
+            r.sim_qps(),
+            r.wall_qps(),
+            r.histogram.p50(),
+            r.histogram.p90(),
+            r.histogram.p99(),
+            r.histogram.p999(),
+            r.histogram.mean_ms(),
+            r.cache_hit_rate(),
+            r.outcomes.secure,
+            r.outcomes.insecure,
+            r.outcomes.bogus,
+            r.outcomes.servfail,
+        )
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("DSEC_BENCH_SMOKE").is_ok();
+    let (population, base): (PopulationConfig, LoadConfig) = if smoke {
+        (PopulationConfig::tiny(), LoadConfig::tiny())
+    } else {
+        (
+            PopulationConfig::default(),
+            LoadConfig::default().with_queries(
+                std::env::var("DSEC_BENCH_QUERIES")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(60_000),
+            ),
+        )
+    };
+    let thread_counts: &[usize] = &[1, 4, 8];
+
+    eprintln!(
+        "traffic bench: building {} population…",
+        if smoke { "smoke (tiny)" } else { "full (1:2000)" }
+    );
+    let started = std::time::Instant::now();
+    let pw = build(&population);
+    eprintln!(
+        "built {} domains in {:.1}s; {} queries per run",
+        pw.world.domain_count(),
+        started.elapsed().as_secs_f64(),
+        base.queries,
+    );
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &threads in thread_counts {
+        let config = base.clone().with_threads(threads);
+        let report = run_load(&pw.world, &config);
+        assert_eq!(report.outcomes.total(), report.total, "every query classified");
+        assert_eq!(report.outcomes.bogus, 0, "fault-free load must see no bogus");
+        eprintln!(
+            "threads={:<2} sim {:>8.1} q/s | wall {:>8.1} q/s | p50 {:>4} ms p99 {:>4} ms \
+             p999 {:>4} ms | hit rate {:.1}% | {:.1}% secure",
+            threads,
+            report.sim_qps(),
+            report.wall_qps(),
+            report.histogram.p50(),
+            report.histogram.p99(),
+            report.histogram.p999(),
+            100.0 * report.cache_hit_rate(),
+            100.0 * report.outcomes.secure_share(),
+        );
+        runs.push(Run { threads, report });
+    }
+
+    // Thread-count invariance: the sharded drivers must agree on every
+    // outcome cell no matter how many workers split the stream.
+    for run in &runs[1..] {
+        assert_eq!(
+            run.report.outcomes, runs[0].report.outcomes,
+            "outcome counts differ between {} and {} threads",
+            runs[0].threads, run.threads
+        );
+        assert_eq!(
+            run.report.by_registrar, runs[0].report.by_registrar,
+            "registrar attribution differs between thread counts"
+        );
+    }
+
+    let first = &runs[0];
+    let last = &runs[runs.len() - 1];
+    let sim_speedup = last.report.sim_qps() / first.report.sim_qps();
+    eprintln!(
+        "simulated-time scaling {} → {} threads: {:.2}x",
+        first.threads, last.threads, sim_speedup
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"traffic\",\n  \"smoke\": {},\n  \"scale\": {},\n  \
+         \"domains\": {},\n  \"queries\": {},\n  \"sim_speedup_1_to_8\": {:.2},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        smoke,
+        population.scale,
+        pw.world.domain_count(),
+        base.queries,
+        sim_speedup,
+        runs.iter()
+            .map(Run::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+
+    let out = std::env::var("DSEC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_traffic.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_traffic.json");
+    eprintln!("wrote {out}");
+
+    // The driver's contract: 8 balanced workers must retire the stream
+    // in well under the single worker's simulated time. Checked in both
+    // modes — simulated time is deterministic, so even the smoke
+    // population gives stable numbers.
+    assert!(
+        sim_speedup > 1.5,
+        "simulated-time throughput only scaled {sim_speedup:.2}x from 1 to 8 threads"
+    );
+}

@@ -4,6 +4,7 @@
 use dsec_ecosystem::{Tld, World, ALL_TLDS};
 use dsec_probe::{DsChannel, Finding, ProbeReport};
 use dsec_scanner::{coverage_curve, CacheStats, LongitudinalStore, Metric, Snapshot};
+use dsec_traffic::TrafficReport;
 
 use crate::table::Table;
 
@@ -252,12 +253,102 @@ pub fn figure8(store: &LongitudinalStore, operator: &str) -> String {
     out
 }
 
+/// The "user impact" section: what the registrar-driven deployment gaps
+/// mean for actual query traffic. Contrasts the *query-weighted*
+/// protection rate (fraction of user queries answered with a validated
+/// chain) against the *domain-weighted* deployment rate the rest of the
+/// study measures, with latency percentiles and the operators whose
+/// query head decides the difference.
+pub fn user_impact(report: &TrafficReport, snapshot: &Snapshot) -> String {
+    let mut out = String::from("User impact (query-weighted view)\n");
+    let total = report.total.max(1) as f64;
+    out.push_str(&format!(
+        "queries      : {} over {} threads (seed {:#x})\n",
+        report.total, report.threads, report.seed
+    ));
+    out.push_str(&format!(
+        "outcomes     : {:.1}% secure, {:.1}% insecure, {} bogus, {} servfail\n",
+        100.0 * report.outcomes.secure as f64 / total,
+        100.0 * report.outcomes.insecure as f64 / total,
+        report.outcomes.bogus,
+        report.outcomes.servfail,
+    ));
+
+    let domains: u64 = snapshot.cells.values().map(|s| s.domains).sum();
+    let deployed: u64 = snapshot.cells.values().map(|s| s.fully_deployed).sum();
+    let domain_weighted = if domains > 0 {
+        deployed as f64 / domains as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "protection   : {:.1}% of queries validated Secure vs {:.1}% of domains fully deployed\n",
+        100.0 * report.protection_rate(),
+        100.0 * domain_weighted,
+    ));
+    out.push_str(&format!(
+        "latency      : p50 {} ms, p90 {} ms, p99 {} ms, p999 {} ms (mean {:.1} ms)\n",
+        report.histogram.p50(),
+        report.histogram.p90(),
+        report.histogram.p99(),
+        report.histogram.p999(),
+        report.histogram.mean_ms(),
+    ));
+    out.push_str(&format!(
+        "cache        : {:.1}% hit rate ({} hits / {} misses, {} entries)\n",
+        100.0 * report.cache_hit_rate(),
+        report.resolver.cache_hits,
+        report.resolver.cache_misses,
+        report.cache_entries,
+    ));
+
+    // Per-operator domain totals across TLD cells, for the share contrast.
+    let mut domain_share: std::collections::BTreeMap<&str, u64> =
+        std::collections::BTreeMap::new();
+    for ((operator, _), stats) in &snapshot.cells {
+        *domain_share.entry(operator.as_str()).or_insert(0) += stats.domains;
+    }
+
+    let mut top: Vec<(&String, u64)> = report
+        .by_operator
+        .iter()
+        .map(|(operator, counts)| (operator, counts.total()))
+        .collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+    let mut t = Table::new(&["Operator", "Query share", "Domain share", "Secure queries"]);
+    for (operator, queries) in top.iter().take(10) {
+        let counts = &report.by_operator[*operator];
+        let secure_pct = if counts.total() > 0 {
+            100.0 * counts.secure as f64 / counts.total() as f64
+        } else {
+            0.0
+        };
+        let dshare = if domains > 0 {
+            100.0 * domain_share.get(operator.as_str()).copied().unwrap_or(0) as f64
+                / domains as f64
+        } else {
+            0.0
+        };
+        t.row(&[
+            (*operator).clone(),
+            format!("{:.1}%", 100.0 * *queries as f64 / total),
+            format!("{dshare:.1}%"),
+            format!("{secure_pct:.1}%"),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    out
+}
+
 /// One-paragraph study summary: campaign window, population, experiment
-/// score, and scan-cache effectiveness. Heads EXPERIMENTS.md and the
-/// `full_study` console output.
+/// score, scan-cache effectiveness, and (when the traffic plane ran) the
+/// user-traffic line with the resolver-cache counters.
 pub fn study_summary(
     store: &LongitudinalStore,
     cache: &CacheStats,
+    traffic: Option<&TrafficReport>,
     reproduced: usize,
     experiments: usize,
 ) -> String {
@@ -292,6 +383,10 @@ pub fn study_summary(
         cache.misses,
         cache.entries,
     ));
+    if let Some(report) = traffic {
+        out.push_str(&report.summary_line());
+        out.push('\n');
+    }
     out
 }
 
@@ -402,14 +497,72 @@ mod tests {
             misses: 25,
             entries: 150,
         };
-        let out = study_summary(&store, &cache, 9, 12);
+        let out = study_summary(&store, &cache, None, 9, 12);
         assert!(out.contains("study window : 2015-01-01 → 2015-01-01 (1 snapshots)"));
         assert!(out.contains("experiments  : 9/12 reproduced"));
         assert!(out.contains("scan cache   : 75.0% hit rate (75 hits / 25 misses, 150 entries)"));
+        assert!(!out.contains("user traffic"), "no traffic line without a report");
 
-        let empty = study_summary(&LongitudinalStore::new(), &CacheStats::default(), 0, 0);
+        let empty = study_summary(&LongitudinalStore::new(), &CacheStats::default(), None, 0, 0);
         assert!(empty.contains("(no snapshots)"));
         assert!(empty.contains("0.0% hit rate"));
+    }
+
+    #[test]
+    fn study_summary_appends_the_traffic_line() {
+        let mut store = LongitudinalStore::new();
+        store.record(snapshot());
+        let report = traffic_report();
+        let out = study_summary(&store, &CacheStats::default(), Some(&report), 9, 13);
+        assert!(out.contains("user traffic :"), "{out}");
+        assert!(out.contains("80 hits / 20 misses"), "{out}");
+    }
+
+    fn traffic_report() -> TrafficReport {
+        let mut histogram = dsec_traffic::LatencyHistogram::new();
+        let mut outcomes = dsec_traffic::OutcomeCounts::default();
+        for _ in 0..90 {
+            histogram.record(2);
+            outcomes.add(dsec_traffic::Outcome::Insecure);
+        }
+        for _ in 0..10 {
+            histogram.record(40);
+            outcomes.add(dsec_traffic::Outcome::Secure);
+        }
+        let mut by_operator = BTreeMap::new();
+        by_operator.insert("ovh.net.".to_string(), outcomes);
+        TrafficReport {
+            threads: 2,
+            seed: 7,
+            total: 100,
+            outcomes,
+            by_registrar: BTreeMap::new(),
+            by_operator,
+            histogram,
+            resolver: dsec_traffic::ResolverStatsSnapshot {
+                cache_hits: 80,
+                cache_misses: 20,
+                ..Default::default()
+            },
+            cache_entries: 20,
+            cache_capacity: 1_000,
+            elapsed_ms: 5.0,
+            sim_elapsed_ms: 280,
+        }
+    }
+
+    #[test]
+    fn user_impact_contrasts_query_and_domain_weighting() {
+        let out = user_impact(&traffic_report(), &snapshot());
+        assert!(out.contains("User impact"), "{out}");
+        assert!(out.contains("10.0% of queries validated Secure"), "{out}");
+        // 46/190 domains fully deployed in the fixture snapshot.
+        assert!(out.contains("24.2% of domains fully deployed"), "{out}");
+        assert!(out.contains("p99 64 ms"), "{out}");
+        assert!(out.contains("ovh.net."), "{out}");
+        // ovh.net. hosts 100 of 190 fixture domains and all 100 queries.
+        assert!(out.contains("100.0%"), "{out}");
+        assert!(out.contains("52.6%"), "{out}");
     }
 
     #[test]

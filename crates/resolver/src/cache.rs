@@ -1,7 +1,13 @@
-//! A positive answer cache keyed by (qname, qtype) with TTL-based expiry.
+//! A positive answer cache keyed by (qname, qtype) with TTL-based expiry
+//! and an optional capacity bound.
 //!
 //! TTLs count in the same seconds as the simulation clock, so cached
-//! entries age naturally as the simulated days advance.
+//! entries age naturally as the simulated days advance. A bounded cache
+//! ([`Cache::bounded`]) never holds more than `capacity` entries: when an
+//! insert would exceed the bound, expired entries are evicted first, then
+//! the oldest-inserted live entries until the cache fits. Long-running
+//! query campaigns (the traffic plane) use this to keep resolver memory
+//! proportional to the working set instead of the population.
 
 use std::collections::HashMap;
 
@@ -18,25 +24,87 @@ const MAX_TTL: u32 = 86_400;
 struct Entry {
     answer: Answer,
     expires_at: u32,
+    /// Monotonic insertion sequence number, for oldest-first eviction.
+    seq: u64,
 }
 
-/// A thread-safe positive cache.
 #[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<(Name, u16), Entry>,
+    next_seq: u64,
+}
+
+impl Inner {
+    /// Expired-first, then oldest-entry eviction down to `capacity`.
+    fn enforce(&mut self, capacity: usize, now: u32) -> usize {
+        if self.entries.len() <= capacity {
+            return 0;
+        }
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires_at > now);
+        let mut excess = self.entries.len().saturating_sub(capacity);
+        if excess > 0 {
+            // Oldest `excess` insertion sequence numbers go. Collecting
+            // and sorting the keys is O(n log n) but eviction is rare:
+            // `put` amortizes it by evicting in batches.
+            let mut by_age: Vec<(u64, (Name, u16))> = self
+                .entries
+                .iter()
+                .map(|(k, e)| (e.seq, k.clone()))
+                .collect();
+            by_age.sort_unstable_by_key(|entry| entry.0);
+            for (_, key) in by_age.into_iter().take(excess) {
+                self.entries.remove(&key);
+                excess -= 1;
+                if excess == 0 {
+                    break;
+                }
+            }
+        }
+        before - self.entries.len()
+    }
+}
+
+/// A thread-safe positive cache, optionally capacity-bounded.
+#[derive(Debug)]
 pub struct Cache {
-    entries: RwLock<HashMap<(Name, u16), Entry>>,
+    inner: RwLock<Inner>,
+    capacity: usize,
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Cache {
+            inner: RwLock::new(Inner::default()),
+            capacity: usize::MAX,
+        }
+    }
 }
 
 impl Cache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries (at least 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Cache {
+            inner: RwLock::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The capacity bound (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Looks up a live entry.
     pub fn get(&self, qname: &Name, qtype: RrType, now: u32) -> Option<Answer> {
         let key = (qname.to_canonical(), qtype.number());
-        let entries = self.entries.read();
-        let entry = entries.get(&key)?;
+        let inner = self.inner.read();
+        let entry = inner.entries.get(&key)?;
         if entry.expires_at <= now {
             return None;
         }
@@ -44,7 +112,9 @@ impl Cache {
     }
 
     /// Stores an answer; lifetime is the minimum record TTL, capped at one
-    /// day. Negative and empty answers are cached for 60 seconds.
+    /// day. Negative and empty answers are cached for 60 seconds. On a
+    /// bounded cache the insert never leaves more than `capacity` entries:
+    /// expired ones are dropped first, then the oldest.
     pub fn put(&self, qname: &Name, qtype: RrType, answer: &Answer, now: u32) {
         let ttl = answer
             .records
@@ -54,36 +124,53 @@ impl Cache {
             .unwrap_or(60)
             .clamp(1, MAX_TTL);
         let key = (qname.to_canonical(), qtype.number());
-        self.entries.write().insert(
+        let mut inner = self.inner.write();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.insert(
             key,
             Entry {
                 answer: answer.clone(),
                 expires_at: now.saturating_add(ttl),
+                seq,
             },
         );
+        let capacity = self.capacity;
+        inner.enforce(capacity, now);
     }
 
     /// Drops expired entries; returns how many were evicted.
     pub fn evict_expired(&self, now: u32) -> usize {
-        let mut entries = self.entries.write();
-        let before = entries.len();
-        entries.retain(|_, e| e.expires_at > now);
-        before - entries.len()
+        let mut inner = self.inner.write();
+        let before = inner.entries.len();
+        inner.entries.retain(|_, e| e.expires_at > now);
+        before - inner.entries.len()
+    }
+
+    /// Evicts down to the capacity bound — expired entries first, then the
+    /// oldest-inserted — and returns how many were dropped. A no-op on an
+    /// unbounded or not-yet-full cache. The traffic driver calls this
+    /// periodically so a shared cache stays bounded even between inserts.
+    pub fn enforce_capacity(&self, now: u32) -> usize {
+        if self.capacity == usize::MAX {
+            return 0;
+        }
+        self.inner.write().enforce(self.capacity, now)
     }
 
     /// Number of entries (live or not-yet-evicted).
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.inner.read().entries.len()
     }
 
     /// True when the cache holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.inner.read().entries.is_empty()
     }
 
     /// Removes everything.
     pub fn clear(&self) {
-        self.entries.write().clear();
+        self.inner.write().entries.clear();
     }
 }
 
@@ -158,5 +245,59 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_capacity() {
+        let cache = Cache::bounded(4);
+        for i in 0..32 {
+            cache.put(&name(&format!("d{i}.example.com")), RrType::A, &answer(300), 0);
+            assert!(cache.len() <= 4, "len {} after insert {i}", cache.len());
+        }
+        assert_eq!(cache.capacity(), 4);
+    }
+
+    #[test]
+    fn bounded_eviction_prefers_expired_over_live() {
+        let cache = Cache::bounded(3);
+        // Oldest entry, but the only live one at eviction time.
+        cache.put(&name("live.example.com"), RrType::A, &answer(10_000), 0);
+        cache.put(&name("old1.example.com"), RrType::A, &answer(100), 0);
+        cache.put(&name("old2.example.com"), RrType::A, &answer(100), 0);
+        // Both `old*` entries are expired at t=500; inserting a fourth
+        // entry must drop them and keep the older-but-live entry.
+        cache.put(&name("new.example.com"), RrType::A, &answer(300), 500);
+        assert!(cache.get(&name("live.example.com"), RrType::A, 500).is_some());
+        assert!(cache.get(&name("new.example.com"), RrType::A, 500).is_some());
+        assert!(cache.get(&name("old1.example.com"), RrType::A, 500).is_none());
+    }
+
+    #[test]
+    fn bounded_eviction_falls_back_to_oldest() {
+        let cache = Cache::bounded(2);
+        cache.put(&name("first.example.com"), RrType::A, &answer(10_000), 0);
+        cache.put(&name("second.example.com"), RrType::A, &answer(10_000), 1);
+        cache.put(&name("third.example.com"), RrType::A, &answer(10_000), 2);
+        // Nothing expired, so the oldest insert (`first`) went.
+        assert!(cache.get(&name("first.example.com"), RrType::A, 3).is_none());
+        assert!(cache.get(&name("second.example.com"), RrType::A, 3).is_some());
+        assert!(cache.get(&name("third.example.com"), RrType::A, 3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn enforce_capacity_is_callable_mid_stream() {
+        let cache = Cache::bounded(8);
+        for i in 0..8 {
+            cache.put(&name(&format!("d{i}.example.com")), RrType::A, &answer(60), 0);
+        }
+        // All 8 fit; at t=100 they are all expired but still resident.
+        assert_eq!(cache.len(), 8);
+        // Under capacity → no-op even with expired entries.
+        assert_eq!(cache.enforce_capacity(100), 0);
+        cache.put(&name("fresh.example.com"), RrType::A, &answer(600), 100);
+        // The insert itself enforced the bound (8 expired dropped).
+        assert_eq!(cache.len(), 1);
+        assert_eq!(Cache::new().enforce_capacity(100), 0);
     }
 }

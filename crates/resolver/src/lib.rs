@@ -118,7 +118,7 @@ pub struct Resolver {
     pub checking_disabled: bool,
     /// Step budget for referrals + CNAME chases.
     max_steps: usize,
-    cache: Cache,
+    cache: Arc<Cache>,
     next_id: std::sync::atomic::AtomicU16,
     /// Retry/backoff knobs for each zone-cut exchange.
     policy: retry::RetryPolicy,
@@ -137,7 +137,7 @@ impl Resolver {
             trust_anchor,
             checking_disabled: false,
             max_steps: 48,
-            cache: Cache::new(),
+            cache: Arc::new(Cache::new()),
             next_id: std::sync::atomic::AtomicU16::new(1),
             policy: retry::RetryPolicy::default(),
             health: retry::HealthCache::new(),
@@ -148,6 +148,15 @@ impl Resolver {
     /// Replaces the retry policy (builder style).
     pub fn with_policy(mut self, policy: retry::RetryPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Replaces the positive cache with a caller-owned one (builder
+    /// style). A pool of resolvers handed clones of the same `Arc` share
+    /// one cache: any member's answers serve the whole pool, which is how
+    /// the traffic plane runs a resolver farm behind a single cache.
+    pub fn with_shared_cache(mut self, cache: Arc<Cache>) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -174,8 +183,10 @@ impl Resolver {
         now: u32,
     ) -> Result<Answer, ResolveError> {
         if let Some(hit) = self.cache.get(qname, qtype, now) {
+            self.stats.count_cache_hit();
             return Ok(hit);
         }
+        self.stats.count_cache_miss();
         let answer = self.resolve(qname, qtype, now)?;
         self.cache.put(qname, qtype, &answer, now);
         Ok(answer)

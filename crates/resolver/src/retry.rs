@@ -144,6 +144,8 @@ pub struct ResolverStats {
     tcp_fallbacks: AtomicU64,
     error_rcodes: AtomicU64,
     backoff_ms: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 /// A point-in-time copy of [`ResolverStats`].
@@ -159,12 +161,28 @@ pub struct ResolverStatsSnapshot {
     pub error_rcodes: u64,
     /// Total simulated backoff the resolver would have slept, in ms.
     pub backoff_ms: u64,
+    /// [`resolve_cached`](crate::Resolver::resolve_cached) lookups served
+    /// from the positive cache.
+    pub cache_hits: u64,
+    /// [`resolve_cached`](crate::Resolver::resolve_cached) lookups that
+    /// had to resolve from the roots.
+    pub cache_misses: u64,
 }
 
 impl ResolverStatsSnapshot {
     /// Whether any retry-triggering event was recorded.
     pub fn degraded(&self) -> bool {
         self.timeouts > 0 || self.tcp_fallbacks > 0 || self.error_rcodes > 0
+    }
+
+    /// Cache hits as a fraction of cached lookups (0.0 when none ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
     }
 }
 
@@ -194,6 +212,14 @@ impl ResolverStats {
         self.backoff_ms.fetch_add(ms as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A copy of the current counter values.
     pub fn snapshot(&self) -> ResolverStatsSnapshot {
         ResolverStatsSnapshot {
@@ -202,6 +228,8 @@ impl ResolverStats {
             tcp_fallbacks: self.tcp_fallbacks.load(Ordering::Relaxed),
             error_rcodes: self.error_rcodes.load(Ordering::Relaxed),
             backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,0 +1,211 @@
+//! Outcome accounting: what each user query actually got, and whose
+//! policy is responsible.
+//!
+//! Every query ends in exactly one RFC 4035-flavoured outcome:
+//!
+//! - **Secure** — the full chain validated; the user is protected;
+//! - **Insecure** — a clean unsigned delegation (no DS anywhere on the
+//!   path); ordinary DNS, unprotected but working;
+//! - **Bogus** — a chain exists but fails validation (mismatched DS,
+//!   abrupt rollover); a validating resolver SERVFAILs the user;
+//! - **ServFail** — no usable answer for non-DNSSEC reasons (all
+//!   nameservers unreachable, lame delegations).
+//!
+//! Counts are attributed to the *registrar* the domain was bought from
+//! (whose policy decides whether a DS ever reaches the registry) and to
+//! the *DNS operator* serving the zone — the paper's two actors,
+//! re-weighted by query popularity instead of domain count.
+
+use std::collections::BTreeMap;
+
+use dsec_resolver::{Answer, ResolveError, ResolverStatsSnapshot, Security};
+use dsec_wire::Rcode;
+
+use crate::telemetry::LatencyHistogram;
+
+/// The four terminal states of one user query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Chain validated end to end.
+    Secure,
+    /// Provably unsigned path; answer served without protection.
+    Insecure,
+    /// Broken chain: the validator refused the data.
+    Bogus,
+    /// No usable answer (network/lameness, not validation).
+    ServFail,
+}
+
+/// Classifies a resolution result into an [`Outcome`].
+pub fn classify(result: &Result<Answer, ResolveError>) -> Outcome {
+    match result {
+        Err(_) => Outcome::ServFail,
+        Ok(answer) => match &answer.security {
+            Security::Bogus(_) => Outcome::Bogus,
+            Security::Secure if answer.rcode == Rcode::ServFail => Outcome::ServFail,
+            Security::Insecure if answer.rcode == Rcode::ServFail => Outcome::ServFail,
+            Security::Secure => Outcome::Secure,
+            Security::Insecure => Outcome::Insecure,
+        },
+    }
+}
+
+/// Query counts per outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Validated end to end.
+    pub secure: u64,
+    /// Served from a provably unsigned path.
+    pub insecure: u64,
+    /// Refused by validation.
+    pub bogus: u64,
+    /// Failed for non-validation reasons.
+    pub servfail: u64,
+}
+
+impl OutcomeCounts {
+    /// Total queries accounted.
+    pub fn total(&self) -> u64 {
+        self.secure + self.insecure + self.bogus + self.servfail
+    }
+
+    /// Adds one outcome.
+    pub fn add(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Secure => self.secure += 1,
+            Outcome::Insecure => self.insecure += 1,
+            Outcome::Bogus => self.bogus += 1,
+            Outcome::ServFail => self.servfail += 1,
+        }
+    }
+
+    /// Folds another set of counts into this one.
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.secure += other.secure;
+        self.insecure += other.insecure;
+        self.bogus += other.bogus;
+        self.servfail += other.servfail;
+    }
+
+    /// Fraction of queries that were cryptographically protected.
+    pub fn secure_share(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.secure as f64 / total as f64
+        }
+    }
+}
+
+/// Everything one load run produced.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Queries issued.
+    pub total: u64,
+    /// Aggregate outcome counts.
+    pub outcomes: OutcomeCounts,
+    /// Outcomes attributed to the registrar each domain was bought from.
+    pub by_registrar: BTreeMap<String, OutcomeCounts>,
+    /// Outcomes attributed to the DNS operator serving each domain.
+    pub by_operator: BTreeMap<String, OutcomeCounts>,
+    /// Simulated per-query latency distribution.
+    pub histogram: LatencyHistogram,
+    /// Merged resolver-pool counters (attempts, timeouts, cache
+    /// hits/misses, …).
+    pub resolver: ResolverStatsSnapshot,
+    /// Entries left in the shared cache at the end of the run.
+    pub cache_entries: usize,
+    /// Capacity bound of the shared cache.
+    pub cache_capacity: usize,
+    /// Wall-clock duration of the run, ms (host-dependent; excluded from
+    /// determinism comparisons).
+    pub elapsed_ms: f64,
+    /// Simulated duration of the run, ms: the longest worker's summed
+    /// per-query latency (deterministic).
+    pub sim_elapsed_ms: u64,
+}
+
+impl TrafficReport {
+    /// Wall-clock queries per second (host-dependent).
+    pub fn wall_qps(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            0.0
+        } else {
+            self.total as f64 / (self.elapsed_ms / 1000.0)
+        }
+    }
+
+    /// Simulated-time throughput: total queries over the longest worker's
+    /// summed simulated latency — the deterministic, machine-independent
+    /// number the scaling sweep is judged on. Each worker models one
+    /// closed-loop client pipeline, so doubling workers roughly halves
+    /// the simulated duration of the same stream.
+    pub fn sim_qps(&self) -> f64 {
+        if self.sim_elapsed_ms == 0 {
+            0.0
+        } else {
+            self.total as f64 / (self.sim_elapsed_ms as f64 / 1000.0)
+        }
+    }
+
+    /// Shared-cache hit rate over the run.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.resolver.cache_hit_rate()
+    }
+
+    /// Fraction of user queries that were cryptographically protected —
+    /// the query-weighted analogue of the paper's domain-weighted
+    /// deployment rate.
+    pub fn protection_rate(&self) -> f64 {
+        self.outcomes.secure_share()
+    }
+
+    /// The campaign summary line, including the resolver-cache counters.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "user traffic : {} queries, {:.1}% secure / {:.1}% insecure / {} bogus / {} servfail; \
+             p50 {} ms, p99 {} ms; resolver cache {:.1}% hit rate ({} hits / {} misses, {} entries)",
+            self.total,
+            100.0 * self.outcomes.secure as f64 / self.total.max(1) as f64,
+            100.0 * self.outcomes.insecure as f64 / self.total.max(1) as f64,
+            self.outcomes.bogus,
+            self.outcomes.servfail,
+            self.histogram.p50(),
+            self.histogram.p99(),
+            100.0 * self.cache_hit_rate(),
+            self.resolver.cache_hits,
+            self.resolver.cache_misses,
+            self.cache_entries,
+        )
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_add_and_merge() {
+        let mut a = OutcomeCounts::default();
+        a.add(Outcome::Secure);
+        a.add(Outcome::Secure);
+        a.add(Outcome::Bogus);
+        let mut b = OutcomeCounts::default();
+        b.add(Outcome::Insecure);
+        b.add(Outcome::ServFail);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.secure, 2);
+        assert_eq!(a.bogus, 1);
+        assert_eq!(a.insecure, 1);
+        assert_eq!(a.servfail, 1);
+        assert!((a.secure_share() - 0.4).abs() < 1e-12);
+        assert_eq!(OutcomeCounts::default().secure_share(), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The load driver: N worker threads sharding the client stream over a
+//! pool of validating resolvers behind one shared, bounded cache.
+//!
+//! ## Sharding and determinism
+//!
+//! Queries are assigned to workers by a stable FNV-1a hash of
+//! (canonical qname, qtype), **not** round-robin. Every occurrence of a
+//! given key is therefore handled by the same worker, in stream order —
+//! so whether a query hits or misses the shared cache depends only on
+//! the stream, never on cross-worker timing. Outcome counts,
+//! attribution, cache counters, and latency histograms are identical
+//! run-to-run and across thread counts (until the cache's capacity bound
+//! forces oldest-entry eviction, whose victim order is
+//! interleaving-dependent; size the bound above the working set when
+//! byte-identical histograms matter).
+//!
+//! Per-query latency is priced from the worker's own resolver
+//! accounting (UDP attempts, simulated backoff, TCP fallbacks), so a
+//! fault-plane campaign running under load shows up exactly where it
+//! would in production: in the p99/p999 tail and the ServFail column.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dsec_ecosystem::World;
+use dsec_resolver::{Cache, Resolver, RetryPolicy};
+use dsec_workloads::TrafficMix;
+
+use crate::account::{classify, OutcomeCounts, TrafficReport};
+use crate::telemetry::LatencyHistogram;
+use crate::workload::{generate_stream, PlannedQuery, TrafficPopulation};
+
+/// Fixed price of a shared-cache hit, simulated ms.
+const CACHE_HIT_MS: u32 = 1;
+/// Stub-to-resolver overhead per fresh resolution, simulated ms.
+const STUB_MS: u32 = 2;
+/// One UDP exchange with an authoritative server, simulated ms.
+const RTT_MS: u32 = 8;
+/// Extra cost of a TCP retry after truncation, simulated ms.
+const TCP_MS: u32 = 25;
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Queries in the client stream.
+    pub queries: u64,
+    /// Worker threads (each owns one resolver of the pool).
+    pub threads: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// The workload model (TLD mix, Zipf exponent, qtype mix).
+    pub mix: TrafficMix,
+    /// Capacity bound of the shared cache.
+    pub cache_capacity: usize,
+    /// How fast simulated time advances under the stream, queries per
+    /// simulated second (TTLs age as the stream runs).
+    pub sim_qps: u32,
+    /// Workers call [`Cache::enforce_capacity`] every this many queries.
+    pub evict_interval: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            queries: 20_000,
+            threads: 1,
+            seed: 0x7AF1C,
+            mix: TrafficMix::default(),
+            cache_capacity: 65_536,
+            sim_qps: 64,
+            evict_interval: 1_024,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn tiny() -> Self {
+        LoadConfig {
+            queries: 2_000,
+            ..LoadConfig::default()
+        }
+    }
+
+    /// Sets the worker count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the stream seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the stream length (builder style).
+    pub fn with_queries(mut self, queries: u64) -> Self {
+        self.queries = queries.max(1);
+        self
+    }
+}
+
+/// Stable 64-bit FNV-1a over the query key, for worker sharding.
+fn shard_of(query: &PlannedQuery, threads: usize) -> usize {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for label in query.qname.to_canonical().labels() {
+        for &b in label.as_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash ^= query.qtype.number() as u64;
+    hash = hash.wrapping_mul(0x100_0000_01b3);
+    (hash % threads as u64) as usize
+}
+
+/// One worker's private accumulators, merged after join.
+#[derive(Default)]
+struct WorkerTally {
+    outcomes: OutcomeCounts,
+    by_registrar: std::collections::BTreeMap<String, OutcomeCounts>,
+    by_operator: std::collections::BTreeMap<String, OutcomeCounts>,
+    histogram: LatencyHistogram,
+    sim_busy_ms: u64,
+    stats: dsec_resolver::ResolverStatsSnapshot,
+}
+
+/// Runs the load against `world`: plans the stream, shards it across
+/// `config.threads` workers (one [`Resolver`] each, all behind one
+/// bounded shared [`Cache`]), and returns the merged report.
+pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
+    let population = TrafficPopulation::from_world(world);
+    let stream = generate_stream(
+        &population,
+        &config.mix,
+        config.seed,
+        config.queries.max(1),
+        world.today.epoch_seconds(),
+        config.sim_qps,
+    );
+
+    let threads = config.threads.max(1);
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for (i, query) in stream.iter().enumerate() {
+        shards[shard_of(query, threads)].push(i);
+    }
+
+    let cache = Arc::new(Cache::bounded(config.cache_capacity));
+    let trust_anchor = world.trust_anchor();
+    let network = world.network.clone();
+    let evict_interval = config.evict_interval.max(1);
+
+    let started = Instant::now();
+    let tallies: Vec<WorkerTally> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let cache = Arc::clone(&cache);
+                let trust_anchor = trust_anchor.clone();
+                let network = Arc::clone(&network);
+                let stream = &stream;
+                let population = &population;
+                scope.spawn(move |_| {
+                    let resolver = Resolver::new(network, trust_anchor)
+                        .with_policy(RetryPolicy::default())
+                        .with_shared_cache(cache.clone());
+                    let mut tally = WorkerTally::default();
+                    for (done, &i) in shard.iter().enumerate() {
+                        let query = &stream[i];
+                        let before = resolver.stats();
+                        let result =
+                            resolver.resolve_cached(&query.qname, query.qtype, query.now);
+                        let after = resolver.stats();
+                        let latency = if after.cache_hits > before.cache_hits {
+                            CACHE_HIT_MS
+                        } else {
+                            STUB_MS
+                                + RTT_MS * (after.udp_attempts - before.udp_attempts) as u32
+                                + (after.backoff_ms - before.backoff_ms) as u32
+                                + TCP_MS * (after.tcp_fallbacks - before.tcp_fallbacks) as u32
+                        };
+                        tally.histogram.record(latency);
+                        tally.sim_busy_ms += latency as u64;
+
+                        let outcome = classify(&result);
+                        tally.outcomes.add(outcome);
+                        let site = &population.sites[query.site as usize];
+                        tally
+                            .by_registrar
+                            .entry(site.registrar.clone())
+                            .or_default()
+                            .add(outcome);
+                        tally
+                            .by_operator
+                            .entry(site.operator.clone())
+                            .or_default()
+                            .add(outcome);
+
+                        if (done as u64 + 1).is_multiple_of(evict_interval) {
+                            cache.enforce_capacity(query.now);
+                        }
+                    }
+                    tally.stats = resolver.stats();
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker does not panic"))
+            .collect()
+    })
+    .expect("load scope completes");
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let mut outcomes = OutcomeCounts::default();
+    let mut by_registrar = std::collections::BTreeMap::new();
+    let mut by_operator = std::collections::BTreeMap::new();
+    let mut histogram = LatencyHistogram::new();
+    let mut resolver_stats = dsec_resolver::ResolverStatsSnapshot::default();
+    let mut sim_elapsed_ms = 0u64;
+    for tally in &tallies {
+        outcomes.merge(&tally.outcomes);
+        for (k, v) in &tally.by_registrar {
+            by_registrar
+                .entry(k.clone())
+                .or_insert_with(OutcomeCounts::default)
+                .merge(v);
+        }
+        for (k, v) in &tally.by_operator {
+            by_operator
+                .entry(k.clone())
+                .or_insert_with(OutcomeCounts::default)
+                .merge(v);
+        }
+        histogram.merge(&tally.histogram);
+        resolver_stats.udp_attempts += tally.stats.udp_attempts;
+        resolver_stats.timeouts += tally.stats.timeouts;
+        resolver_stats.tcp_fallbacks += tally.stats.tcp_fallbacks;
+        resolver_stats.error_rcodes += tally.stats.error_rcodes;
+        resolver_stats.backoff_ms += tally.stats.backoff_ms;
+        resolver_stats.cache_hits += tally.stats.cache_hits;
+        resolver_stats.cache_misses += tally.stats.cache_misses;
+        sim_elapsed_ms = sim_elapsed_ms.max(tally.sim_busy_ms);
+    }
+
+    TrafficReport {
+        threads,
+        seed: config.seed,
+        total: stream.len() as u64,
+        outcomes,
+        by_registrar,
+        by_operator,
+        histogram,
+        resolver: resolver_stats,
+        cache_entries: cache.len(),
+        cache_capacity: config.cache_capacity,
+        elapsed_ms,
+        sim_elapsed_ms,
+    }
+}

@@ -1,0 +1,182 @@
+//! Latency and throughput telemetry: fixed log-bucket histograms.
+//!
+//! Latency here is *simulated* — the driver prices each query from the
+//! resolver's own accounting (attempts, simulated backoff, TCP
+//! fallbacks), the same convention the retry machinery uses. That keeps
+//! the histogram deterministic: two runs with the same seed produce the
+//! same buckets, regardless of host speed. Wall-clock time only enters
+//! the throughput numbers, which are reported separately.
+
+/// Number of power-of-two buckets: bucket 0 is `[0, 1)` ms, bucket `i`
+/// (i ≥ 1) is `[2^(i-1), 2^i)` ms; the last bucket absorbs everything
+/// above ~17 minutes.
+pub const BUCKETS: usize = 21;
+
+/// A fixed log-bucket latency histogram (milliseconds).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_ms: u64,
+}
+
+fn bucket_of(ms: u32) -> usize {
+    if ms == 0 {
+        0
+    } else {
+        (32 - ms.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of bucket `i`, used as the percentile's
+/// reported value (conservative: never under-reports).
+fn upper_bound_ms(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else {
+        1u64 << i
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one query latency.
+    pub fn record(&mut self, ms: u32) {
+        self.buckets[bucket_of(ms)] += 1;
+        self.count += 1;
+        self.total_ms += ms as u64;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded latencies, ms.
+    pub fn total_ms(&self) -> u64 {
+        self.total_ms
+    }
+
+    /// Mean latency, ms (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts (index = power-of-two bucket).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ms += other.total_ms;
+    }
+
+    /// The latency at quantile `q ∈ (0, 1]`, reported as the upper bound
+    /// of the bucket holding that sample (0 when empty).
+    pub fn quantile_ms(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return upper_bound_ms(i);
+            }
+        }
+        upper_bound_ms(BUCKETS - 1)
+    }
+
+    /// Median latency, ms.
+    pub fn p50(&self) -> u64 {
+        self.quantile_ms(0.50)
+    }
+
+    /// 90th percentile latency, ms.
+    pub fn p90(&self) -> u64 {
+        self.quantile_ms(0.90)
+    }
+
+    /// 99th percentile latency, ms.
+    pub fn p99(&self) -> u64 {
+        self.quantile_ms(0.99)
+    }
+
+    /// 99.9th percentile latency, ms.
+    pub fn p999(&self) -> u64 {
+        self.quantile_ms(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_spaced() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u32::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_counts() {
+        let mut h = LatencyHistogram::new();
+        // 90 fast queries (1ms → bucket 1), 9 at ~100ms, 1 at ~2000ms.
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(2000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 2);
+        assert_eq!(h.p90(), 2);
+        assert_eq!(h.p99(), 128);
+        assert_eq!(h.p999(), 2048);
+        assert!((h.mean_ms() - (90.0 + 900.0 + 2000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(5);
+        b.record(500);
+        b.record(5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.total_ms(), 510);
+        assert_eq!(merged.buckets()[bucket_of(5)], 2);
+        assert_eq!(merged.buckets()[bucket_of(500)], 1);
+    }
+}

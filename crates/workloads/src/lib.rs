@@ -13,4 +13,4 @@ pub mod population;
 pub mod spec;
 
 pub use population::{build, PaperWorld, PopulationConfig};
-pub use spec::{RegistrarSpec, TldLoad};
+pub use spec::{QtypeMix, RegistrarSpec, TldLoad, TrafficMix};

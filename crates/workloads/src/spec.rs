@@ -664,6 +664,63 @@ pub fn table1_totals() -> [(Tld, u64); 5] {
     ]
 }
 
+/// The user-traffic workload model consumed by the traffic plane
+/// (`dsec-traffic`): which TLD a query lands in, how popularity is
+/// distributed inside the TLD, which qtype is asked, and whether the
+/// query names the apex or the `www` host.
+///
+/// The paper measures *domains*; this spec re-expresses the same
+/// population in *query* space. Values are `// calibrated`: TLD shares
+/// follow registration volume skewed further toward .com (resolver-trace
+/// studies consistently report gTLD-dominated traffic), and the Zipf
+/// exponent sits in the 0.9–1.0 band reported for DNS query popularity.
+#[derive(Debug, Clone)]
+pub struct TrafficMix {
+    /// Zipf exponent `s` for intra-TLD domain popularity (rank-`k`
+    /// probability ∝ `1 / k^s`).
+    pub zipf_exponent: f64,
+    /// Query share per TLD; weights are normalized by the sampler, so
+    /// they need not sum to exactly 1.
+    pub tld_share: Vec<(Tld, f64)>,
+    /// Query share per qtype (normalized like `tld_share`).
+    pub qtype_share: Vec<(QtypeMix, f64)>,
+    /// Fraction of queries naming `www.<domain>` rather than the apex.
+    pub www_share: f64,
+}
+
+/// Query types the workload issues. A dedicated enum (rather than a raw
+/// rrtype number) keeps the spec independent of the wire crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QtypeMix {
+    /// IPv4 address lookups — the bulk of stub traffic.
+    A,
+    /// IPv6 address lookups.
+    Aaaa,
+    /// Mail-routing lookups (always at the apex).
+    Mx,
+}
+
+impl Default for TrafficMix {
+    fn default() -> Self {
+        TrafficMix {
+            zipf_exponent: 0.95,                    // calibrated
+            tld_share: vec![
+                (Tld::Com, 0.72),                   // calibrated
+                (Tld::Net, 0.10),
+                (Tld::Org, 0.08),
+                (Tld::Nl, 0.07),
+                (Tld::Se, 0.03),
+            ],
+            qtype_share: vec![
+                (QtypeMix::A, 0.70),                // calibrated
+                (QtypeMix::Aaaa, 0.22),
+                (QtypeMix::Mx, 0.08),
+            ],
+            www_share: 0.35,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -784,6 +841,23 @@ mod tests {
         {
             let policy = spec.policy();
             assert_eq!(policy.tlds.len(), spec.tlds.len(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn traffic_mix_defaults_are_normalized() {
+        let mix = TrafficMix::default();
+        let tld_total: f64 = mix.tld_share.iter().map(|(_, w)| w).sum();
+        let qtype_total: f64 = mix.qtype_share.iter().map(|(_, w)| w).sum();
+        assert!((tld_total - 1.0).abs() < 1e-9, "TLD shares sum to {tld_total}");
+        assert!((qtype_total - 1.0).abs() < 1e-9, "qtype shares sum to {qtype_total}");
+        assert!(mix.zipf_exponent > 0.0);
+        assert!((0.0..=1.0).contains(&mix.www_share));
+        // Every scanned TLD appears in the mix, .com heaviest.
+        assert_eq!(mix.tld_share.len(), 5);
+        assert_eq!(mix.tld_share[0].0, Tld::Com);
+        for window in mix.tld_share.windows(2) {
+            assert!(window[0].1 >= window[1].1, "shares sorted heaviest-first");
         }
     }
 }

@@ -48,6 +48,10 @@ pub use dsec_workloads as workloads;
 /// OpenINTEL-style measurement pipeline (`dsec-scanner`).
 pub use dsec_scanner as scanner;
 
+/// The user-traffic plane: query load generation, outcome accounting,
+/// and latency telemetry (`dsec-traffic`).
+pub use dsec_traffic as traffic;
+
 /// The §5.1 registrar probe harness (`dsec-probe`).
 pub use dsec_probe as probe;
 

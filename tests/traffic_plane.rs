@@ -1,0 +1,188 @@
+//! End-to-end tests of the user-traffic plane: deterministic load
+//! generation, RFC 4035 outcome accounting with registrar/operator
+//! attribution, shared-cache bounding, and composition with the fault
+//! plane.
+
+use dsec::ecosystem::Tld;
+use dsec::traffic::{run_load, LoadConfig, TrafficPopulation};
+use dsec::workloads::{build, PopulationConfig};
+
+fn tiny_world() -> dsec::workloads::PaperWorld {
+    build(&PopulationConfig::tiny())
+}
+
+#[test]
+fn fault_free_load_reports_zero_bogus_and_accounts_every_query() {
+    let pw = tiny_world();
+    let config = LoadConfig::tiny().with_threads(2);
+    let report = run_load(&pw.world, &config);
+
+    assert_eq!(report.total, config.queries);
+    assert_eq!(report.outcomes.bogus, 0, "fault-free run must not see bogus");
+    assert_eq!(report.outcomes.total(), report.total, "every query classified");
+
+    // Attribution is complete: registrar and operator counts both
+    // partition the stream.
+    let registrar_total: u64 = report.by_registrar.values().map(|c| c.total()).sum();
+    let operator_total: u64 = report.by_operator.values().map(|c| c.total()).sum();
+    assert_eq!(registrar_total, report.total);
+    assert_eq!(operator_total, report.total);
+    assert!(report.by_registrar.len() > 1, "more than one registrar queried");
+
+    // The Zipf head repeats names, so the shared cache must have served
+    // some of the stream; counters surface in the summary line.
+    assert!(report.resolver.cache_hits > 0);
+    assert!(report.resolver.cache_misses > 0);
+    assert!(report.cache_entries <= report.cache_capacity);
+    let line = report.summary_line();
+    assert!(line.contains("hit rate"), "{line}");
+    assert!(line.contains(&format!("{} hits", report.resolver.cache_hits)), "{line}");
+
+    // Latency telemetry is populated and ordered.
+    assert_eq!(report.histogram.count(), report.total);
+    assert!(report.histogram.p50() <= report.histogram.p99());
+    assert!(report.histogram.p99() <= report.histogram.p999());
+    assert!(report.sim_elapsed_ms > 0);
+}
+
+#[test]
+fn same_seed_same_threads_reproduces_outcomes_and_histogram() {
+    let pw = tiny_world();
+    let config = LoadConfig::tiny().with_threads(3).with_seed(0xDECAF);
+    let first = run_load(&pw.world, &config);
+    let second = run_load(&pw.world, &config);
+
+    assert_eq!(first.outcomes, second.outcomes);
+    assert_eq!(first.by_registrar, second.by_registrar);
+    assert_eq!(first.by_operator, second.by_operator);
+    assert_eq!(first.histogram, second.histogram, "identical latency buckets");
+    assert_eq!(first.resolver, second.resolver, "identical cache/attempt counters");
+    assert_eq!(first.sim_elapsed_ms, second.sim_elapsed_ms);
+}
+
+#[test]
+fn outcome_counts_are_invariant_across_thread_counts() {
+    let pw = tiny_world();
+    let one = run_load(&pw.world, &LoadConfig::tiny().with_threads(1));
+    let eight = run_load(&pw.world, &LoadConfig::tiny().with_threads(8));
+
+    assert_eq!(one.outcomes, eight.outcomes);
+    assert_eq!(one.by_registrar, eight.by_registrar);
+    assert_eq!(one.by_operator, eight.by_operator);
+    // Key-hash sharding makes even the latency buckets and cache
+    // counters line up while the capacity bound is never hit: a query's
+    // hit/miss depends only on the per-key stream, not the interleaving.
+    assert_eq!(one.histogram, eight.histogram);
+    assert_eq!(one.resolver.cache_hits, eight.resolver.cache_hits);
+    assert_eq!(one.resolver.cache_misses, eight.resolver.cache_misses);
+}
+
+#[test]
+fn shared_cache_stays_within_its_capacity_bound() {
+    let pw = tiny_world();
+    let mut config = LoadConfig::tiny().with_threads(2);
+    config.cache_capacity = 32;
+    config.evict_interval = 64;
+    let report = run_load(&pw.world, &config);
+    assert!(
+        report.cache_entries <= 32,
+        "cache ended at {} entries",
+        report.cache_entries
+    );
+    assert_eq!(report.outcomes.bogus, 0);
+    assert_eq!(report.outcomes.total(), report.total);
+}
+
+#[test]
+fn mismatched_ds_injection_attributes_bogus_to_the_right_registrar() {
+    let mut pw = tiny_world();
+
+    // The most popular signed .nl site: guaranteed query volume (head of
+    // the .nl Zipf) and an existing chain to break.
+    let population = TrafficPopulation::from_world(&pw.world);
+    let victim = population.ranked[&Tld::Nl]
+        .iter()
+        .map(|&i| &population.sites[i as usize])
+        .find(|site| {
+            pw.world
+                .domain(&site.name)
+                .map(|d| d.is_signed())
+                .unwrap_or(false)
+        })
+        .expect("a signed .nl site exists in the tiny population")
+        .clone();
+
+    // Abrupt key replacement without a DS update: the registry now
+    // publishes a DS matching no served DNSKEY — every query for the
+    // victim goes bogus at the validator.
+    pw.world
+        .roll_keys_abrupt(&victim.name)
+        .expect("victim is signed");
+
+    let report = run_load(&pw.world, &LoadConfig::tiny().with_threads(2));
+    assert!(
+        report.outcomes.bogus > 0,
+        "the head .nl site must be queried and fail validation"
+    );
+    let victim_counts = report.by_registrar[&victim.registrar];
+    assert_eq!(
+        victim_counts.bogus, report.outcomes.bogus,
+        "all bogus queries attribute to {}",
+        victim.registrar
+    );
+    for (registrar, counts) in &report.by_registrar {
+        if registrar != &victim.registrar {
+            assert_eq!(counts.bogus, 0, "{registrar} wrongly blamed");
+        }
+    }
+    let operator_counts = report.by_operator[&victim.operator];
+    assert_eq!(operator_counts.bogus, report.outcomes.bogus);
+}
+
+#[test]
+fn load_composes_with_the_fault_plane_and_stays_deterministic() {
+    let pw = tiny_world();
+    let clean = run_load(&pw.world, &LoadConfig::tiny().with_threads(2));
+
+    pw.world
+        .network
+        .faults()
+        .set_global_profile(dsec::authserver::FaultProfile::mixed(0.05));
+    let config = LoadConfig::tiny().with_threads(2);
+    pw.world.network.faults().enable(0xFA017);
+    let faulty = run_load(&pw.world, &config);
+    // Re-seeding resets the plane's per-(server, query) attempt counters,
+    // so an identically configured run replays the same fault schedule.
+    pw.world.network.faults().enable(0xFA017);
+    let again = run_load(&pw.world, &config);
+
+    // Chaos surfaces as retries/timeouts and a heavier latency tail, not
+    // as validation failures.
+    assert!(faulty.resolver.timeouts > 0, "fault plane injected timeouts");
+    assert_eq!(faulty.outcomes.bogus, 0);
+    assert!(
+        faulty.histogram.p999() >= clean.histogram.p999(),
+        "faults cannot shrink the tail: {} < {}",
+        faulty.histogram.p999(),
+        clean.histogram.p999()
+    );
+
+    // Same seed + same thread count stays deterministic under faults:
+    // outcomes, attribution, and total simulated work replay exactly.
+    // (Bucket-exact histograms need a single worker here — the plane's
+    // per-(server, qname) attempt counters are shared across workers, so
+    // an injected fault can land on a different query of the same
+    // exchange key depending on interleaving.)
+    assert_eq!(faulty.outcomes, again.outcomes);
+    assert_eq!(faulty.by_registrar, again.by_registrar);
+    assert_eq!(faulty.resolver, again.resolver);
+    assert_eq!(faulty.histogram.count(), again.histogram.count());
+    assert_eq!(faulty.histogram.total_ms(), again.histogram.total_ms());
+
+    pw.world.network.faults().enable(0xFA017);
+    let single = run_load(&pw.world, &LoadConfig::tiny().with_threads(1));
+    pw.world.network.faults().enable(0xFA017);
+    let single_again = run_load(&pw.world, &LoadConfig::tiny().with_threads(1));
+    assert_eq!(single.histogram, single_again.histogram);
+    assert_eq!(single.outcomes, single_again.outcomes);
+}
