@@ -88,9 +88,20 @@ fn main() {
     );
 
     let mut runs: Vec<Run> = Vec::new();
+    let reps = if smoke { 1 } else { 3 };
     for &threads in thread_counts {
         let config = base.clone().with_threads(threads);
-        let report = run_load(&pw.world, &config);
+        // Best-of-N: everything in the report except wall-clock time is
+        // deterministic, so reps differ only in `elapsed_ms` — keep the
+        // run with the least scheduler noise.
+        let mut report = run_load(&pw.world, &config);
+        for _ in 1..reps {
+            let rep = run_load(&pw.world, &config);
+            assert_eq!(rep.outcomes, report.outcomes, "reps must be deterministic");
+            if rep.elapsed_ms < report.elapsed_ms {
+                report = rep;
+            }
+        }
         assert_eq!(report.outcomes.total(), report.total, "every query classified");
         assert_eq!(report.outcomes.bogus, 0, "fault-free load must see no bogus");
         eprintln!(
@@ -125,20 +136,29 @@ fn main() {
     let first = &runs[0];
     let last = &runs[runs.len() - 1];
     let sim_speedup = last.report.sim_qps() / first.report.sim_qps();
+    // Wall-clock scaling is the contention metric: with the striped
+    // cache and per-worker accumulators, more workers must never lower
+    // real throughput. Judged only on hosts with the cores to show it.
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let wall_scaling = last.report.wall_qps() / first.report.wall_qps().max(f64::MIN_POSITIVE);
     eprintln!(
-        "simulated-time scaling {} → {} threads: {:.2}x",
-        first.threads, last.threads, sim_speedup
+        "simulated-time scaling {} → {} threads: {:.2}x | wall-clock scaling {:.2}x \
+         (host has {} hardware threads)",
+        first.threads, last.threads, sim_speedup, wall_scaling, host_threads
     );
 
     let json = format!(
         "{{\n  \"bench\": \"traffic\",\n  \"smoke\": {},\n  \"scale\": {},\n  \
-         \"domains\": {},\n  \"queries\": {},\n  \"sim_speedup_1_to_8\": {:.2},\n  \
+         \"domains\": {},\n  \"queries\": {},\n  \"host_threads\": {},\n  \
+         \"sim_speedup_1_to_8\": {:.2},\n  \"wall_qps_scaling_1_to_8\": {:.2},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
         smoke,
         population.scale,
         pw.world.domain_count(),
         base.queries,
+        host_threads,
         sim_speedup,
+        wall_scaling,
         runs.iter()
             .map(Run::to_json)
             .collect::<Vec<_>>()
@@ -158,4 +178,15 @@ fn main() {
         sim_speedup > 1.5,
         "simulated-time throughput only scaled {sim_speedup:.2}x from 1 to 8 threads"
     );
+
+    // Contention guard: where the hardware can actually run 8 workers,
+    // wall-clock throughput must not degrade as threads are added.
+    if !smoke && host_threads >= 8 {
+        assert!(
+            wall_scaling >= 1.0,
+            "wall-clock throughput fell with threads: {wall_scaling:.2}x from {} to {}",
+            first.threads,
+            last.threads
+        );
+    }
 }

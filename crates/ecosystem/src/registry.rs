@@ -19,7 +19,7 @@ use rand::RngCore;
 use dsec_authserver::Authority;
 use dsec_crypto::Algorithm;
 use dsec_dnssec::{sign_rrset, SignerConfig, ZoneKeys};
-use dsec_wire::{DsRdata, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
+use dsec_wire::{DsRdata, FnvHashMap, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
 
 use crate::tld::Tld;
 use crate::RegistrarId;
@@ -60,7 +60,11 @@ pub struct Registry {
     /// edit a scanner could observe (delegation added/removed, NS set
     /// replaced, DS set replaced). The incremental scan cache keys its
     /// entries on this so an unchanged domain is never re-queried.
-    generations: BTreeMap<Name, u64>,
+    generations: FnvHashMap<Name, u64>,
+    /// Bumped whenever the *set* of delegations changes (add/remove, not
+    /// edits). The scan cache skips its departed-domain prune — a full
+    /// rehash of the population — on days this hasn't moved.
+    population_epoch: u64,
 }
 
 impl Registry {
@@ -135,7 +139,8 @@ impl Registry {
             discounts_cents: BTreeMap::new(),
             audit_failures: BTreeMap::new(),
             sponsor: BTreeMap::new(),
-            generations: BTreeMap::new(),
+            generations: FnvHashMap::default(),
+            population_epoch: 0,
         }
     }
 
@@ -150,6 +155,14 @@ impl Registry {
 
     fn bump_generation(&mut self, domain: &Name) {
         *self.generations.entry(domain.to_canonical()).or_insert(0) += 1;
+    }
+
+    /// Folds a zone-side edit (signing, hosting change — anything the
+    /// [`World`](crate::World) observes outside the registry) into the
+    /// same per-delegation counter, so [`Registry::generation_of`] is the
+    /// single map probe on the scan hot path.
+    pub(crate) fn note_external_change(&mut self, domain: &Name) {
+        self.bump_generation(domain);
     }
 
     /// The authority serving this TLD zone (register it on the network
@@ -200,6 +213,7 @@ impl Registry {
             }
         });
         self.sponsor.insert(domain.to_canonical(), registrar);
+        self.population_epoch += 1;
         self.bump_generation(domain);
         Ok(())
     }
@@ -273,6 +287,7 @@ impl Registry {
             zone.remove_name(domain);
         });
         self.sponsor.remove(&domain.to_canonical());
+        self.population_epoch += 1;
         // Keep (and bump) the generation entry: if the name is later
         // re-registered its generation must not restart from a value a
         // stale cache entry could collide with.
@@ -335,20 +350,27 @@ impl Registry {
     }
 
     /// Every delegated second-level domain (the "zone file" the scanner
-    /// enumerates, as OpenINTEL does).
+    /// enumerates, as OpenINTEL does). Served from the sponsorship table,
+    /// which mirrors the zone's delegation set by construction — every
+    /// add/remove goes through the registry (the paper's structural
+    /// constraint), so no zone lock or record filtering is needed.
     pub fn delegations(&self) -> Vec<Name> {
-        self.authority
-            .with_zone(&self.tld.zone(), |zone| {
-                let origin = self.tld.zone();
-                let mut names: Vec<Name> = zone
-                    .owner_names()
-                    .into_iter()
-                    .filter(|n| n != &origin && n.label_count() == origin.label_count() + 1)
-                    .collect();
-                names.dedup();
-                names
-            })
-            .unwrap_or_default()
+        self.sponsor.keys().cloned().collect()
+    }
+
+    /// Borrowing form of [`Registry::delegations`]: the scan hot path
+    /// enumerates ~10⁵ names per snapshot and must not clone them. Keys
+    /// come out in canonical (RFC 4034) order, same as the zone file.
+    pub fn delegation_names(&self) -> impl Iterator<Item = &Name> {
+        self.sponsor.keys()
+    }
+
+    /// A counter that moves exactly when the delegation *set* does
+    /// (registration or removal; edits to existing delegations do not
+    /// count). Lets incremental consumers detect that no domain can have
+    /// departed since they last looked.
+    pub fn population_epoch(&self) -> u64 {
+        self.population_epoch
     }
 
     /// The sponsoring registrar of `domain`.

@@ -74,11 +74,17 @@ impl Tld {
     }
 
     /// Finds the TLD of a second-level domain name, if it is one we study.
+    ///
+    /// This is a generation-read hot path (called once per domain per
+    /// scan), so it matches the final label in place instead of
+    /// materialising `domain.parent()` and five TLD zone names per call.
     pub fn of_domain(domain: &Name) -> Option<Tld> {
-        let parent = domain.parent()?;
-        ALL_TLDS
-            .into_iter()
-            .find(|t| parent == t.zone())
+        match domain.labels() {
+            [_, tld] => ALL_TLDS
+                .into_iter()
+                .find(|t| tld.as_bytes().eq_ignore_ascii_case(t.label().as_bytes())),
+            _ => None,
+        }
     }
 }
 

@@ -14,7 +14,7 @@ use dsec_dnssec::{
     classify, ds_matches, sign_zone, DeploymentStatus, Observation, SignerConfig,
     ZoneKeys,
 };
-use dsec_wire::{DsRdata, Message, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
+use dsec_wire::{DsRdata, FnvHashMap, Message, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
 
 use crate::clock::SimDate;
 use crate::domain::{Domain, Hosting};
@@ -199,10 +199,12 @@ pub struct World {
     /// Two-phase key rollovers in progress (new keys awaiting the DS).
     pending_rollover: BTreeMap<Name, ZoneKeys>,
     /// Per-domain change generation for *served-zone* edits (signing,
-    /// re-signing, CDS publication, hosting moves). Registry-side edits
-    /// (NS/DS/delegation) are counted by each [`Registry`]; the scanner
-    /// consults the sum via [`World::domain_generation`].
-    zone_generations: BTreeMap<Name, u64>,
+    /// re-signing, CDS publication, hosting moves) on domains outside the
+    /// studied TLDs. Edits under a studied TLD are folded into that
+    /// registry's per-delegation counter instead, so the scan hot path
+    /// ([`World::domain_generation`]) costs one map probe; this overflow
+    /// map is normally empty and skipped with an O(1) check.
+    zone_generations: FnvHashMap<Name, u64>,
     /// Event log.
     pub events: EventLog,
     /// Whether a purchase from a default-signing registrar is signed
@@ -307,7 +309,7 @@ impl World {
             mass_sign_queue: Vec::new(),
             cds_first_seen: BTreeMap::new(),
             pending_rollover: BTreeMap::new(),
-            zone_generations: BTreeMap::new(),
+            zone_generations: FnvHashMap::default(),
             events: EventLog::new(),
             auto_sign_on_purchase: true,
             rng,
@@ -466,16 +468,28 @@ impl World {
     /// crate keys its entries on this value — see DESIGN.md §9 for the
     /// invalidation contract every new mutation path must honour.
     pub fn domain_generation(&self, domain: &Name) -> u64 {
+        // `Name` hashes case-insensitively (RFC 4034); no canonical copy.
         let registry_gen = Tld::of_domain(domain)
             .map(|tld| self.registries[&tld].generation_of(domain))
             .unwrap_or(0);
-        // `Name` orders case-insensitively (RFC 4034); no canonical copy.
-        let zone_gen = self.zone_generations.get(domain).copied().unwrap_or(0);
+        // Served-zone edits under a studied TLD were folded into the
+        // registry counter by `bump_zone_generation`; the overflow map is
+        // normally empty, so the scan hot path pays one probe, not two.
+        let zone_gen = if self.zone_generations.is_empty() {
+            0
+        } else {
+            self.zone_generations.get(domain).copied().unwrap_or(0)
+        };
         registry_gen + zone_gen
     }
 
     /// Records a served-zone edit for `domain` (cache invalidation).
     fn bump_zone_generation(&mut self, domain: &Name) {
+        if let Some(registry) = Tld::of_domain(domain).and_then(|tld| self.registries.get_mut(&tld))
+        {
+            registry.note_external_change(domain);
+            return;
+        }
         *self
             .zone_generations
             .entry(domain.to_canonical())

@@ -1,5 +1,6 @@
 //! A positive answer cache keyed by (qname, qtype) with TTL-based expiry
-//! and an optional capacity bound.
+//! and an optional capacity bound — lock-striped for contention-free
+//! multi-worker access.
 //!
 //! TTLs count in the same seconds as the simulation clock, so cached
 //! entries age naturally as the simulated days advance. A bounded cache
@@ -8,33 +9,74 @@
 //! the oldest-inserted live entries until the cache fits. Long-running
 //! query campaigns (the traffic plane) use this to keep resolver memory
 //! proportional to the working set instead of the population.
+//!
+//! ## Concurrency
+//!
+//! Entries live in N independently locked shards; a key's shard is chosen
+//! by [`name_hash64`], so two workers touching different names almost
+//! never contend. The capacity bound is enforced *per shard* (each shard
+//! holds at most `capacity / N` entries, expired-first/oldest-next
+//! eviction within the shard), which keeps eviction decisions local to
+//! one lock while still bounding the whole cache by `capacity`. Small
+//! caches (below [`STRIPE_THRESHOLD`]) use a single shard so the bound
+//! and eviction order are exact — the multi-shard layout is a throughput
+//! optimization for caches big enough that per-shard capacity is
+//! meaningful.
+//!
+//! Keys are interned: the cache owns a [`NameInterner`] and exposes
+//! [`Cache::key_of`], so repeat lookups of the same name hash a `u32`
+//! instead of re-hashing label bytes, and callers that plan queries ahead
+//! (the traffic driver) can precompute a [`CacheKey`] once per planned
+//! query and skip name handling entirely on the hot path. Entries hold
+//! `Arc<Answer>`, so a hit is a refcount bump under a read lock — the
+//! deep copy of the old single-lock design is gone from the critical
+//! section (and, for [`Cache::get_shared`] callers, gone entirely).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use dsec_wire::{Name, RrType};
+use dsec_wire::{name_hash64, FnvHashMap, Name, NameId, NameInterner, RrType};
 
 use crate::Answer;
 
 /// Default cap on a cached entry's lifetime, seconds (RFC 8767 spirit).
 const MAX_TTL: u32 = 86_400;
 
+/// Caches bounded below this capacity use a single shard, keeping the
+/// exact global eviction order of the old single-lock design; at or
+/// above it, per-shard capacity is large enough for striping to make
+/// sense.
+pub const STRIPE_THRESHOLD: usize = 256;
+
+/// Shard count used by striped caches (unbounded or large-capacity).
+const DEFAULT_SHARDS: usize = 16;
+
+/// A precomputed cache key: the interned qname, the qtype, and the shard
+/// the pair lives in. Only meaningful to the [`Cache`] that issued it
+/// (ids come from that cache's interner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    id: NameId,
+    qtype: u16,
+    shard: u32,
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
-    answer: Answer,
+    answer: Arc<Answer>,
     expires_at: u32,
     /// Monotonic insertion sequence number, for oldest-first eviction.
     seq: u64,
 }
 
 #[derive(Debug, Default)]
-struct Inner {
-    entries: HashMap<(Name, u16), Entry>,
+struct Shard {
+    entries: FnvHashMap<(u32, u16), Entry>,
     next_seq: u64,
 }
 
-impl Inner {
+impl Shard {
     /// Expired-first, then oldest-entry eviction down to `capacity`.
     fn enforce(&mut self, capacity: usize, now: u32) -> usize {
         if self.entries.len() <= capacity {
@@ -47,10 +89,10 @@ impl Inner {
             // Oldest `excess` insertion sequence numbers go. Collecting
             // and sorting the keys is O(n log n) but eviction is rare:
             // `put` amortizes it by evicting in batches.
-            let mut by_age: Vec<(u64, (Name, u16))> = self
+            let mut by_age: Vec<(u64, (u32, u16))> = self
                 .entries
                 .iter()
-                .map(|(k, e)| (e.seq, k.clone()))
+                .map(|(k, e)| (e.seq, *k))
                 .collect();
             by_age.sort_unstable_by_key(|entry| entry.0);
             for (_, key) in by_age.into_iter().take(excess) {
@@ -65,33 +107,53 @@ impl Inner {
     }
 }
 
-/// A thread-safe positive cache, optionally capacity-bounded.
+/// A thread-safe, lock-striped positive cache, optionally
+/// capacity-bounded. See the module docs for the sharding model.
 #[derive(Debug)]
 pub struct Cache {
-    inner: RwLock<Inner>,
+    shards: Vec<RwLock<Shard>>,
     capacity: usize,
+    per_shard_capacity: usize,
+    interner: NameInterner,
 }
 
 impl Default for Cache {
     fn default() -> Self {
-        Cache {
-            inner: RwLock::new(Inner::default()),
-            capacity: usize::MAX,
-        }
+        Self::with_shards(usize::MAX, DEFAULT_SHARDS)
     }
 }
 
 impl Cache {
-    /// An empty, unbounded cache.
+    /// An empty, unbounded cache ([`DEFAULT_SHARDS`]-way striped).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// An empty cache holding at most `capacity` entries (at least 1).
+    /// Capacities below [`STRIPE_THRESHOLD`] get a single shard (exact
+    /// bound and eviction order); larger ones are striped.
     pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = if capacity < STRIPE_THRESHOLD { 1 } else { DEFAULT_SHARDS };
+        Self::with_shards(capacity, shards)
+    }
+
+    /// An empty cache with an explicit shard count (mostly for tests that
+    /// pin down striped behavior). `shards` is clamped to at least 1; the
+    /// per-shard bound is `capacity / shards`, at least 1.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.max(1);
+        let per_shard_capacity = if capacity == usize::MAX {
+            usize::MAX
+        } else {
+            (capacity / shards).max(1)
+        };
         Cache {
-            inner: RwLock::new(Inner::default()),
-            capacity: capacity.max(1),
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            capacity,
+            per_shard_capacity,
+            interner: NameInterner::new(),
         }
     }
 
@@ -100,22 +162,53 @@ impl Cache {
         self.capacity
     }
 
-    /// Looks up a live entry.
-    pub fn get(&self, qname: &Name, qtype: RrType, now: u32) -> Option<Answer> {
-        let key = (qname.to_canonical(), qtype.number());
-        let inner = self.inner.read();
-        let entry = inner.entries.get(&key)?;
+    /// Number of shards the key space is striped over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Interns `qname` and returns the precomputed key for
+    /// (`qname`, `qtype`). The first call for a name pays one label hash
+    /// and a possible interner insert; afterwards the key is a couple of
+    /// integer operations. Keys from one cache must not be used on
+    /// another.
+    pub fn key_of(&self, qname: &Name, qtype: RrType) -> CacheKey {
+        let hash = name_hash64(qname);
+        let id = self.interner.intern(qname);
+        let qtype = qtype.number();
+        CacheKey {
+            id,
+            qtype,
+            shard: ((hash ^ (qtype as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                % self.shards.len() as u64) as u32,
+        }
+    }
+
+    /// Looks up a live entry by precomputed key, sharing the stored
+    /// answer (no deep copy).
+    pub fn get_shared(&self, key: CacheKey, now: u32) -> Option<Arc<Answer>> {
+        let shard = self.shards[key.shard as usize].read();
+        let entry = shard.entries.get(&(key.id.raw(), key.qtype))?;
         if entry.expires_at <= now {
             return None;
         }
-        Some(entry.answer.clone())
+        Some(Arc::clone(&entry.answer))
     }
 
-    /// Stores an answer; lifetime is the minimum record TTL, capped at one
-    /// day. Negative and empty answers are cached for 60 seconds. On a
-    /// bounded cache the insert never leaves more than `capacity` entries:
-    /// expired ones are dropped first, then the oldest.
-    pub fn put(&self, qname: &Name, qtype: RrType, answer: &Answer, now: u32) {
+    /// Looks up a live entry (compat wrapper: interns the name and deep-
+    /// copies the answer; hot paths should use [`Cache::key_of`] +
+    /// [`Cache::get_shared`]).
+    pub fn get(&self, qname: &Name, qtype: RrType, now: u32) -> Option<Answer> {
+        self.get_shared(self.key_of(qname, qtype), now)
+            .map(|answer| (*answer).clone())
+    }
+
+    /// Stores an answer under a precomputed key; lifetime is the minimum
+    /// record TTL, capped at one day. Negative and empty answers are
+    /// cached for 60 seconds. On a bounded cache the insert never leaves
+    /// more than the shard's slice of `capacity` in the shard: expired
+    /// entries are dropped first, then the oldest.
+    pub fn put_shared(&self, key: CacheKey, answer: &Arc<Answer>, now: u32) {
         let ttl = answer
             .records
             .iter()
@@ -123,54 +216,73 @@ impl Cache {
             .min()
             .unwrap_or(60)
             .clamp(1, MAX_TTL);
-        let key = (qname.to_canonical(), qtype.number());
-        let mut inner = self.inner.write();
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        inner.entries.insert(
-            key,
+        let per_shard_capacity = self.per_shard_capacity;
+        let mut shard = self.shards[key.shard as usize].write();
+        let seq = shard.next_seq;
+        shard.next_seq += 1;
+        shard.entries.insert(
+            (key.id.raw(), key.qtype),
             Entry {
-                answer: answer.clone(),
+                answer: Arc::clone(answer),
                 expires_at: now.saturating_add(ttl),
                 seq,
             },
         );
-        let capacity = self.capacity;
-        inner.enforce(capacity, now);
+        shard.enforce(per_shard_capacity, now);
     }
 
-    /// Drops expired entries; returns how many were evicted.
+    /// Stores an answer (compat wrapper over [`Cache::put_shared`]; one
+    /// deep copy to move the answer behind an `Arc`).
+    pub fn put(&self, qname: &Name, qtype: RrType, answer: &Answer, now: u32) {
+        self.put_shared(self.key_of(qname, qtype), &Arc::new(answer.clone()), now);
+    }
+
+    /// Drops expired entries; returns how many were evicted. Walks the
+    /// shards one at a time — no global lock.
     pub fn evict_expired(&self, now: u32) -> usize {
-        let mut inner = self.inner.write();
-        let before = inner.entries.len();
-        inner.entries.retain(|_, e| e.expires_at > now);
-        before - inner.entries.len()
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mut shard = shard.write();
+                let before = shard.entries.len();
+                shard.entries.retain(|_, e| e.expires_at > now);
+                before - shard.entries.len()
+            })
+            .sum()
     }
 
-    /// Evicts down to the capacity bound — expired entries first, then the
-    /// oldest-inserted — and returns how many were dropped. A no-op on an
-    /// unbounded or not-yet-full cache. The traffic driver calls this
-    /// periodically so a shared cache stays bounded even between inserts.
+    /// Evicts down to the capacity bound — expired entries first, then
+    /// the oldest-inserted, per shard — and returns how many were
+    /// dropped. A no-op on an unbounded or not-yet-full cache. The
+    /// traffic driver calls this periodically so a shared cache stays
+    /// bounded even between inserts. Shards are enforced one lock at a
+    /// time; concurrent readers of other shards are never blocked.
     pub fn enforce_capacity(&self, now: u32) -> usize {
         if self.capacity == usize::MAX {
             return 0;
         }
-        self.inner.write().enforce(self.capacity, now)
+        self.shards
+            .iter()
+            .map(|shard| shard.write().enforce(self.per_shard_capacity, now))
+            .sum()
     }
 
-    /// Number of entries (live or not-yet-evicted).
+    /// Number of entries (live or not-yet-evicted), summed shard by
+    /// shard.
     pub fn len(&self) -> usize {
-        self.inner.read().entries.len()
+        self.shards.iter().map(|shard| shard.read().entries.len()).sum()
     }
 
     /// True when the cache holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().entries.is_empty()
+        self.shards.iter().all(|shard| shard.read().entries.is_empty())
     }
 
-    /// Removes everything.
+    /// Removes every entry (interned ids remain valid).
     pub fn clear(&self) {
-        self.inner.write().entries.clear();
+        for shard in &self.shards {
+            shard.write().entries.clear();
+        }
     }
 }
 
@@ -211,6 +323,10 @@ mod tests {
         cache.put(&name("www.example.com"), RrType::A, &answer(300), 0);
         assert!(cache.get(&name("WWW.EXAMPLE.COM"), RrType::A, 10).is_some());
         assert!(cache.get(&name("www.example.com"), RrType::Aaaa, 10).is_none());
+        assert_eq!(
+            cache.key_of(&name("WWW.EXAMPLE.COM"), RrType::A),
+            cache.key_of(&name("www.example.com"), RrType::A),
+        );
     }
 
     #[test]
@@ -250,6 +366,7 @@ mod tests {
     #[test]
     fn bounded_cache_never_exceeds_capacity() {
         let cache = Cache::bounded(4);
+        assert_eq!(cache.shard_count(), 1, "small bound stays single-shard");
         for i in 0..32 {
             cache.put(&name(&format!("d{i}.example.com")), RrType::A, &answer(300), 0);
             assert!(cache.len() <= 4, "len {} after insert {i}", cache.len());
@@ -299,5 +416,94 @@ mod tests {
         // The insert itself enforced the bound (8 expired dropped).
         assert_eq!(cache.len(), 1);
         assert_eq!(Cache::new().enforce_capacity(100), 0);
+    }
+
+    #[test]
+    fn large_bounds_are_striped() {
+        let cache = Cache::bounded(STRIPE_THRESHOLD);
+        assert_eq!(cache.shard_count(), 16);
+        assert_eq!(Cache::new().shard_count(), 16, "unbounded is striped too");
+    }
+
+    #[test]
+    fn striped_capacity_bound_holds_under_concurrent_insert() {
+        let cache = Cache::with_shards(1024, 16);
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        let qname = name(&format!("w{worker}-d{i}.example.com"));
+                        cache.put(&qname, RrType::A, &answer(600), 0);
+                        assert!(cache.len() <= 1024, "bound violated mid-insert");
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 1024, "final len {} over bound", cache.len());
+        // Plenty was inserted: the shards actually filled up.
+        assert!(cache.len() >= 1024 / 2, "final len {} suspiciously small", cache.len());
+    }
+
+    #[test]
+    fn striped_eviction_prefers_expired_within_each_shard() {
+        // 4 shards × 16 per-shard capacity. Flood with expired entries,
+        // then insert a handful of live ones late: every live insert
+        // overflows its shard, and the expired residents must go first.
+        let cache = Cache::with_shards(64, 4);
+        for i in 0..120 {
+            cache.put(&name(&format!("stale{i}.example.com")), RrType::A, &answer(100), 0);
+        }
+        let live: Vec<Name> = (0..8).map(|i| name(&format!("live{i}.example.com"))).collect();
+        for qname in &live {
+            cache.put(qname, RrType::A, &answer(600), 500);
+        }
+        for qname in &live {
+            assert!(
+                cache.get(qname, RrType::A, 500).is_some(),
+                "{qname} evicted while expired entries remained in its shard"
+            );
+        }
+        assert!(cache.len() <= 64);
+    }
+
+    #[test]
+    fn striped_and_single_shard_agree_on_hits() {
+        // Same deterministic workload against a 1-shard and a 16-shard
+        // cache with capacity above the working set: every get must
+        // agree, so a resolver's hit/miss counters are identical no
+        // matter the shard layout.
+        let single = Cache::with_shards(100_000, 1);
+        let striped = Cache::with_shards(100_000, 16);
+        let mut hits = 0u64;
+        let mut state = 0x9E37_79B9u64;
+        for step in 0..4_000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let domain = name(&format!("d{}.example.com", state % 257));
+            let qtype = if state & 1 == 0 { RrType::A } else { RrType::Aaaa };
+            let now = step / 4;
+            let (a, b) = (single.get(&domain, qtype, now), striped.get(&domain, qtype, now));
+            assert_eq!(a.is_some(), b.is_some(), "hit/miss diverged at step {step}");
+            if a.is_some() {
+                hits += 1;
+            } else {
+                let fresh = answer(120);
+                single.put(&domain, qtype, &fresh, now);
+                striped.put(&domain, qtype, &fresh, now);
+            }
+        }
+        assert!(hits > 0, "workload produced no hits at all");
+        assert_eq!(single.len(), striped.len());
+    }
+
+    #[test]
+    fn shared_answers_are_not_deep_copied() {
+        let cache = Cache::new();
+        let key = cache.key_of(&name("www.example.com"), RrType::A);
+        cache.put_shared(key, &Arc::new(answer(300)), 0);
+        let first = cache.get_shared(key, 10).unwrap();
+        let second = cache.get_shared(key, 10).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hits share one allocation");
+        assert!(cache.get_shared(key, 301).is_none(), "TTL still applies");
     }
 }

@@ -25,7 +25,7 @@ use dsec_wire::{
     group_rrsets, DnskeyRdata, DsRdata, Message, Name, RData, Rcode, Record, RrSet, RrType,
 };
 
-pub use cache::Cache;
+pub use cache::{Cache, CacheKey};
 pub use diagnose::{diagnose, Diagnosis, DsLink, SignatureState, ZoneDiagnosis};
 pub use retry::{HealthCache, ResolverStats, ResolverStatsSnapshot, RetryPolicy};
 
@@ -110,6 +110,12 @@ pub struct RobustAnswer {
 }
 
 /// A validating iterative resolver bound to a network.
+///
+/// A `Resolver` is a per-worker object: its stats and query-id counters
+/// are unsynchronized (`Cell`-based), so it is `Send` but not `Sync`.
+/// Pools share state through the [`Cache`] (see
+/// [`Resolver::with_shared_cache`]), which *is* designed for concurrent
+/// use — lock-striped, contention-free across workers.
 pub struct Resolver {
     network: Arc<Network>,
     /// Trust anchor: DS records for the root KSK. Empty → no validation.
@@ -119,7 +125,7 @@ pub struct Resolver {
     /// Step budget for referrals + CNAME chases.
     max_steps: usize,
     cache: Arc<Cache>,
-    next_id: std::sync::atomic::AtomicU16,
+    next_id: std::cell::Cell<u16>,
     /// Retry/backoff knobs for each zone-cut exchange.
     policy: retry::RetryPolicy,
     /// Per-server penalty cache steering retries toward live servers.
@@ -138,7 +144,7 @@ impl Resolver {
             checking_disabled: false,
             max_steps: 48,
             cache: Arc::new(Cache::new()),
-            next_id: std::sync::atomic::AtomicU16::new(1),
+            next_id: std::cell::Cell::new(1),
             policy: retry::RetryPolicy::default(),
             health: retry::HealthCache::new(),
             stats: retry::ResolverStats::new(),
@@ -182,13 +188,31 @@ impl Resolver {
         qtype: RrType,
         now: u32,
     ) -> Result<Answer, ResolveError> {
-        if let Some(hit) = self.cache.get(qname, qtype, now) {
+        let key = self.cache.key_of(qname, qtype);
+        self.resolve_cached_keyed(key, qname, qtype, now)
+            .map(|answer| (*answer).clone())
+    }
+
+    /// Like [`Resolver::resolve_cached`], but with a precomputed
+    /// [`CacheKey`] (from this resolver's cache's [`Cache::key_of`]) and
+    /// a shared, copy-free answer. The traffic driver plans its whole
+    /// stream ahead of time and keys every query once, so the per-query
+    /// hot path is a striped-shard probe plus a refcount bump — no name
+    /// hashing, no record cloning.
+    pub fn resolve_cached_keyed(
+        &self,
+        key: CacheKey,
+        qname: &Name,
+        qtype: RrType,
+        now: u32,
+    ) -> Result<Arc<Answer>, ResolveError> {
+        if let Some(hit) = self.cache.get_shared(key, now) {
             self.stats.count_cache_hit();
             return Ok(hit);
         }
         self.stats.count_cache_miss();
-        let answer = self.resolve(qname, qtype, now)?;
-        self.cache.put(qname, qtype, &answer, now);
+        let answer = Arc::new(self.resolve(qname, qtype, now)?);
+        self.cache.put_shared(key, &answer, now);
         Ok(answer)
     }
 
@@ -439,9 +463,8 @@ impl Resolver {
     /// its rcode to the caller (as the pre-retry resolver did), while a
     /// healthier server later in the rotation can still win.
     fn query_any(&self, servers: &[Name], qname: &Name, qtype: RrType) -> Option<Message> {
-        let id = self
-            .next_id
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let id = self.next_id.get();
+        self.next_id.set(id.wrapping_add(1));
         let query = Message::query(id, qname.clone(), qtype, true);
         if servers.is_empty() {
             return None;
@@ -450,45 +473,48 @@ impl Resolver {
         let mut retries = 0u32;
         let mut last_error_response: Option<Message> = None;
         while attempts < self.policy.max_attempts {
-            for ns in self.health.order(servers) {
+            // Index-based healthiest-first order: on the fault-free path
+            // this is the identity permutation with zero name clones.
+            for idx in self.health.order_indices(servers) {
+                let ns = &servers[idx];
                 if attempts >= self.policy.max_attempts {
                     break;
                 }
                 attempts += 1;
                 self.stats.count_attempt();
-                match self.network.query_udp(&ns, &query, self.policy.deadline_ms) {
+                match self.network.query_udp(ns, &query, self.policy.deadline_ms) {
                     QueryOutcome::Unreachable => {
                         // Not registered: retrying cannot help this server.
-                        self.health.record_failure(&ns);
+                        self.health.record_failure(ns);
                     }
                     QueryOutcome::Timeout => {
                         self.stats.count_timeout();
-                        self.health.record_failure(&ns);
+                        self.health.record_failure(ns);
                         self.stats.count_backoff(self.policy.backoff_ms(retries));
                         retries += 1;
                     }
                     QueryOutcome::Answered { response, .. } => {
                         if response.flags.truncated {
                             self.stats.count_tcp_fallback();
-                            match self.network.query_tcp(&ns, &query) {
+                            match self.network.query_tcp(ns, &query) {
                                 QueryOutcome::Answered { response, .. } => {
-                                    self.health.record_success(&ns);
+                                    self.health.record_success(ns);
                                     return Some(response);
                                 }
                                 _ => {
                                     self.stats.count_timeout();
-                                    self.health.record_failure(&ns);
+                                    self.health.record_failure(ns);
                                     continue;
                                 }
                             }
                         }
                         if matches!(response.rcode, Rcode::ServFail | Rcode::Refused) {
                             self.stats.count_error_rcode();
-                            self.health.record_failure(&ns);
+                            self.health.record_failure(ns);
                             last_error_response.get_or_insert(response);
                             continue;
                         }
-                        self.health.record_success(&ns);
+                        self.health.record_success(ns);
                         return Some(response);
                     }
                 }

@@ -11,8 +11,8 @@
 //! waited instead of sleeping, so tests and million-domain campaigns stay
 //! fast while latency accounting stays meaningful.
 
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -124,11 +124,25 @@ impl HealthCache {
     /// with no recorded failures the caller's order is preserved —
     /// keeping fault-free resolution identical to the pre-retry code.
     pub fn order(&self, servers: &[Name]) -> Vec<Name> {
-        let mut ordered: Vec<Name> = servers.to_vec();
+        self.order_indices(servers)
+            .into_iter()
+            .map(|i| servers[i].clone())
+            .collect()
+    }
+
+    /// Like [`HealthCache::order`], but returns positions into `servers`
+    /// instead of cloned names. With no tracked failures (the fault-free
+    /// hot path) this is the identity permutation and touches no name
+    /// bytes at all — the per-query cost is one short mutex hold.
+    pub fn order_indices(&self, servers: &[Name]) -> Vec<usize> {
         let penalties = self.servers.lock();
-        ordered.sort_by_key(|ns| {
+        if penalties.is_empty() {
+            return (0..servers.len()).collect();
+        }
+        let mut ordered: Vec<usize> = (0..servers.len()).collect();
+        ordered.sort_by_key(|&i| {
             penalties
-                .get(&ns.to_canonical())
+                .get(&servers[i].to_canonical())
                 .map(|h| h.penalty)
                 .unwrap_or(0)
         });
@@ -137,15 +151,27 @@ impl HealthCache {
 }
 
 /// Monotonic counters describing how hard the resolver had to work.
+///
+/// Counters are plain [`Cell`]s, not atomics: each [`Resolver`] — and
+/// therefore each worker thread of a pool — accumulates privately with
+/// zero synchronization, and callers merge [`snapshot`]s once at the end
+/// of a run (the traffic driver sums its workers' snapshots after join).
+/// This removes the last shared read-modify-write from the per-query
+/// path; the trade-off is that `ResolverStats` (and `Resolver`) are no
+/// longer `Sync`, which nothing required — workers always owned their
+/// resolver.
+///
+/// [`Resolver`]: crate::Resolver
+/// [`snapshot`]: ResolverStats::snapshot
 #[derive(Debug, Default)]
 pub struct ResolverStats {
-    udp_attempts: AtomicU64,
-    timeouts: AtomicU64,
-    tcp_fallbacks: AtomicU64,
-    error_rcodes: AtomicU64,
-    backoff_ms: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    udp_attempts: Cell<u64>,
+    timeouts: Cell<u64>,
+    tcp_fallbacks: Cell<u64>,
+    error_rcodes: Cell<u64>,
+    backoff_ms: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
 }
 
 /// A point-in-time copy of [`ResolverStats`].
@@ -193,43 +219,43 @@ impl ResolverStats {
     }
 
     pub(crate) fn count_attempt(&self) {
-        self.udp_attempts.fetch_add(1, Ordering::Relaxed);
+        self.udp_attempts.set(self.udp_attempts.get() + 1);
     }
 
     pub(crate) fn count_timeout(&self) {
-        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.timeouts.set(self.timeouts.get() + 1);
     }
 
     pub(crate) fn count_tcp_fallback(&self) {
-        self.tcp_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.tcp_fallbacks.set(self.tcp_fallbacks.get() + 1);
     }
 
     pub(crate) fn count_error_rcode(&self) {
-        self.error_rcodes.fetch_add(1, Ordering::Relaxed);
+        self.error_rcodes.set(self.error_rcodes.get() + 1);
     }
 
     pub(crate) fn count_backoff(&self, ms: u32) {
-        self.backoff_ms.fetch_add(ms as u64, Ordering::Relaxed);
+        self.backoff_ms.set(self.backoff_ms.get() + ms as u64);
     }
 
     pub(crate) fn count_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.set(self.cache_hits.get() + 1);
     }
 
     pub(crate) fn count_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.set(self.cache_misses.get() + 1);
     }
 
     /// A copy of the current counter values.
     pub fn snapshot(&self) -> ResolverStatsSnapshot {
         ResolverStatsSnapshot {
-            udp_attempts: self.udp_attempts.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            tcp_fallbacks: self.tcp_fallbacks.load(Ordering::Relaxed),
-            error_rcodes: self.error_rcodes.load(Ordering::Relaxed),
-            backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            udp_attempts: self.udp_attempts.get(),
+            timeouts: self.timeouts.get(),
+            tcp_fallbacks: self.tcp_fallbacks.get(),
+            error_rcodes: self.error_rcodes.get(),
+            backoff_ms: self.backoff_ms.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
         }
     }
 }

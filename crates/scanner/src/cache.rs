@@ -25,10 +25,9 @@
 //! [`Name`] hashes and compares case-insensitively, so lookups need no
 //! canonical copy of the key — the hot path is allocation-free.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use dsec_wire::Name;
+use dsec_wire::{FnvHashMap, FnvHashSet, Name};
 
 use crate::snapshot::OperatorStats;
 
@@ -65,11 +64,16 @@ impl CacheStats {
 }
 
 /// Cross-snapshot cache of classified per-domain scan results.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ScanCache {
-    entries: HashMap<Name, CacheEntry>,
+    entries: FnvHashMap<Name, CacheEntry>,
     hits: u64,
     misses: u64,
+    /// (scan-scope fingerprint, summed registry population epoch) at the
+    /// last departed-domain prune. The prune rehashes the whole
+    /// population, so scans skip it while no delegation was added or
+    /// removed — the epoch moves exactly when the population set does.
+    pruned_at: Option<(u64, u64)>,
 }
 
 impl ScanCache {
@@ -93,9 +97,26 @@ impl ScanCache {
         }
     }
 
-    /// Counts a forced miss (a `force_full` scan bypassing lookup).
-    pub(crate) fn count_forced_miss(&mut self) {
-        self.misses += 1;
+    /// The cached (operator key, stats cell) for `domain` if it was
+    /// classified at exactly `generation`, **without** touching the
+    /// hit/miss counters. This is the shared-read half of the parallel
+    /// cache pass: workers peek through `&ScanCache` concurrently and
+    /// tally hits/misses privately, then the merge step records them
+    /// once via [`ScanCache::note_lookups`].
+    pub fn peek(&self, domain: &Name, generation: u64) -> Option<(Arc<str>, OperatorStats)> {
+        match self.entries.get(domain) {
+            Some(entry) if entry.generation == generation => {
+                Some((entry.operator.clone(), entry.stats))
+            }
+            _ => None,
+        }
+    }
+
+    /// Folds externally tallied lookup counts (from [`ScanCache::peek`]
+    /// passes) into the effectiveness counters.
+    pub(crate) fn note_lookups(&mut self, hits: u64, misses: u64) {
+        self.hits += hits;
+        self.misses += misses;
     }
 
     /// Stores the classified cell for `domain` at `generation`. Callers
@@ -125,8 +146,22 @@ impl ScanCache {
 
     /// Drops entries for domains not in `live`: keeps the cache bounded
     /// by the current population.
-    pub fn retain_live(&mut self, live: &HashSet<&Name>) {
+    pub fn retain_live(&mut self, live: &FnvHashSet<&Name>) {
         self.entries.retain(|name, _| live.contains(name));
+    }
+
+    /// Whether a departed-domain prune is due for a scan scope identified
+    /// by `fingerprint` whose registries sum to `epoch`: true unless the
+    /// last prune saw the exact same (scope, epoch), i.e. unless no
+    /// delegation can have been added or removed since.
+    pub(crate) fn needs_prune(&self, fingerprint: u64, epoch: u64) -> bool {
+        self.pruned_at != Some((fingerprint, epoch))
+    }
+
+    /// Records that the cache was pruned against the population state
+    /// identified by (`fingerprint`, `epoch`).
+    pub(crate) fn note_pruned(&mut self, fingerprint: u64, epoch: u64) {
+        self.pruned_at = Some((fingerprint, epoch));
     }
 
     /// Number of cached domains.
@@ -144,6 +179,7 @@ impl ScanCache {
         self.entries.clear();
         self.hits = 0;
         self.misses = 0;
+        self.pruned_at = None;
     }
 
     /// Current effectiveness counters.
@@ -207,7 +243,7 @@ mod tests {
         cache.insert(&name("a.com"), 1, op("x.net"), cell(1));
         cache.insert(&name("b.com"), 1, op("x.net"), cell(1));
         let a = name("a.com");
-        let live: HashSet<&Name> = [&a].into();
+        let live: FnvHashSet<&Name> = [&a].into_iter().collect();
         cache.retain_live(&live);
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup(&name("a.com"), 1).is_some());

@@ -3,14 +3,14 @@
 //! and fetch the DNSKEY RRset + RRSIGs with a real DO-bit query; classify
 //! and aggregate per (operator, TLD).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use dsec_dnssec::{classify, DeploymentStatus};
 use dsec_ecosystem::{ObservationQuality, SimDate, Tld, World, ALL_TLDS};
-use dsec_wire::Name;
+use dsec_wire::{FnvHashSet, Name};
 
 use crate::cache::ScanCache;
 use crate::operator_id::operator_of;
@@ -161,14 +161,15 @@ impl Snapshot {
         mut cache: Option<&mut ScanCache>,
     ) -> Snapshot {
         let now = world.today.epoch_seconds();
-        // Enumerate the population from the zone files.
-        let pairs: Vec<(Name, Tld)> = tlds
+        // Enumerate the population by *borrowing* each registry's
+        // delegation table — ~10⁵ names per snapshot, so cloning them
+        // here used to cost more than the whole warm cache pass.
+        let pairs: Vec<(&Name, Tld)> = tlds
             .iter()
             .flat_map(|&tld| {
                 world
                     .registry(tld)
-                    .delegations()
-                    .into_iter()
+                    .delegation_names()
                     .map(move |domain| (domain, tld))
             })
             .collect();
@@ -179,28 +180,33 @@ impl Snapshot {
         // allocation per distinct cell.
         let mut agg: HashMap<(Arc<str>, Tld), OperatorStats> = HashMap::new();
 
-        // Change generations, fanned across the worker pool: on a warm
-        // cache these reads are the scan's dominant cost.
-        let generations: Vec<u64> = if cache.is_some() {
-            run_generations(world, &pairs, options.threads)
-        } else {
-            Vec::new()
-        };
-
-        // Cache pass: serve unchanged domains from the cache and shrink
-        // the scan list to the rest. `Name` hashes case-insensitively,
-        // so this is pure map lookups — no canonical copies.
+        // Fused cache pass: generation read + cache peek + partial
+        // aggregation in one parallel sweep over contiguous chunks. On a
+        // warm cache the generation reads are the scan's dominant cost,
+        // and the old design serialized the lookups behind them; here
+        // each worker peeks through a shared `&ScanCache` (hit tallies
+        // stay worker-private) and only the small merge step touches the
+        // cache mutably. Chunks re-join in spawn order, so `to_scan`
+        // comes out in ascending pair order — identical to a sequential
+        // sweep.
+        let mut generation_at: Vec<u64> = vec![0; pairs.len()];
         let mut to_scan: Vec<usize> = Vec::with_capacity(pairs.len());
         if let Some(cache) = cache.as_deref_mut() {
-            for (i, (domain, tld)) in pairs.iter().enumerate() {
-                if options.force_full {
-                    cache.count_forced_miss();
-                } else if let Some((operator, stats)) = cache.lookup(domain, generations[i]) {
-                    agg.entry((operator, *tld)).or_default().absorb(&stats);
-                    continue;
+            let partials =
+                run_cache_pass(world, &pairs, cache, options.force_full, options.threads);
+            let (mut hits, mut misses) = (0u64, 0u64);
+            for part in partials {
+                for (key, stats) in part.agg {
+                    agg.entry(key).or_default().absorb(&stats);
                 }
-                to_scan.push(i);
+                for (i, generation) in part.to_scan {
+                    generation_at[i] = generation;
+                    to_scan.push(i);
+                }
+                hits += part.hits;
+                misses += part.misses;
             }
+            cache.note_lookups(hits, misses);
         } else {
             to_scan.extend(0..pairs.len());
         }
@@ -254,15 +260,36 @@ impl Snapshot {
             if let Some(cache) = cache.as_deref_mut() {
                 // Unreachable/indeterminate outcomes are never cached.
                 if !failed {
-                    cache.insert(domain, generations[i], operator.clone(), stats);
+                    cache.insert(domain, generation_at[i], operator.clone(), stats);
                 }
             }
             agg.entry((operator, *tld)).or_default().absorb(&stats);
         }
 
         if let Some(cache) = cache {
-            let live: HashSet<&Name> = pairs.iter().map(|(domain, _)| domain).collect();
-            cache.retain_live(&live);
+            // Prune departed domains — but only when some delegation was
+            // actually added or removed since the last prune of this
+            // scope. The prune rehashes the entire population, which on
+            // an unchanged day costs about as much as the cache pass
+            // itself; the registries' population epochs move exactly when
+            // the delegation set does, so skipping is exact, not a
+            // heuristic. (Stale entries can never be *served* regardless:
+            // a re-registered name resumes at a strictly larger
+            // generation.)
+            let fingerprint = tlds
+                .iter()
+                .fold(0u64, |acc, &tld| {
+                    acc.wrapping_mul(31).wrapping_add(tld as u64 + 1)
+                });
+            let epoch = tlds
+                .iter()
+                .map(|&tld| world.registry(tld).population_epoch())
+                .fold(0u64, u64::wrapping_add);
+            if cache.needs_prune(fingerprint, epoch) {
+                let live: FnvHashSet<&Name> = pairs.iter().map(|&(domain, _)| domain).collect();
+                cache.retain_live(&live);
+                cache.note_pruned(fingerprint, epoch);
+            }
         }
 
         let cells: BTreeMap<(String, Tld), OperatorStats> = agg
@@ -343,29 +370,69 @@ impl Metric {
     }
 }
 
-/// The threaded generation pass: one change-generation read per (domain,
-/// TLD) pair, for the cache lookups. Pure reads of ecosystem state, so
-/// chunking across workers cannot change the result; chunks are re-joined
-/// in spawn order.
-fn run_generations(world: &World, pairs: &[(Name, Tld)], threads: usize) -> Vec<u64> {
-    let generation_of = |(domain, _): &(Name, Tld)| world.domain_generation(domain);
+/// One worker's share of the fused cache pass: partially aggregated warm
+/// hits, the chunk's cold work-list with the generations already read,
+/// and private lookup tallies.
+struct CachePassPart {
+    agg: HashMap<(Arc<str>, Tld), OperatorStats>,
+    /// (pair index, change generation) for domains that must be scanned.
+    to_scan: Vec<(usize, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The fused threaded cache pass: change-generation read, cache peek, and
+/// warm-hit aggregation in one sweep. Workers share the cache immutably
+/// ([`ScanCache::peek`] never counts) and everything mutable is chunk-
+/// private; chunks are contiguous and re-joined in spawn order, so the
+/// concatenated work-lists are in ascending pair order. Pure reads of
+/// ecosystem and cache state — threading cannot change the result.
+fn run_cache_pass(
+    world: &World,
+    pairs: &[(&Name, Tld)],
+    cache: &ScanCache,
+    force_full: bool,
+    threads: usize,
+) -> Vec<CachePassPart> {
+    let sweep = |base: usize, part: &[(&Name, Tld)]| -> CachePassPart {
+        let mut out = CachePassPart {
+            agg: HashMap::new(),
+            to_scan: Vec::with_capacity(part.len()),
+            hits: 0,
+            misses: 0,
+        };
+        for (offset, (domain, tld)) in part.iter().enumerate() {
+            let generation = world.domain_generation(domain);
+            if !force_full {
+                if let Some((operator, stats)) = cache.peek(domain, generation) {
+                    out.hits += 1;
+                    out.agg.entry((operator, *tld)).or_default().absorb(&stats);
+                    continue;
+                }
+            }
+            out.misses += 1;
+            out.to_scan.push((base + offset, generation));
+        }
+        out
+    };
     let threads = threads.max(1).min(pairs.len().max(1));
     if threads == 1 {
-        return pairs.iter().map(generation_of).collect();
+        return vec![sweep(0, pairs)];
     }
     let chunk = pairs.len().div_ceil(threads);
-    let partials = crossbeam::thread::scope(|scope| {
+    let sweep = &sweep;
+    crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = pairs
             .chunks(chunk)
-            .map(|part| scope.spawn(move |_| part.iter().map(generation_of).collect::<Vec<_>>()))
+            .enumerate()
+            .map(|(n, part)| scope.spawn(move |_| sweep(n * chunk, part)))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("generation worker does not panic"))
+            .map(|h| h.join().expect("cache-pass worker does not panic"))
             .collect::<Vec<_>>()
     })
-    .expect("generation scope completes");
-    partials.into_iter().flatten().collect()
+    .expect("cache-pass scope completes")
 }
 
 /// The threaded operator pass: NS lookup + operator identification for
@@ -374,7 +441,7 @@ fn run_generations(world: &World, pairs: &[(Name, Tld)], threads: usize) -> Vec<
 /// passes.
 fn run_operators(
     world: &World,
-    pairs: &[(Name, Tld)],
+    pairs: &[(&Name, Tld)],
     indices: &[usize],
     threads: usize,
 ) -> Vec<Arc<str>> {
@@ -411,7 +478,7 @@ fn run_operators(
 /// scheduling cannot reorder them.
 fn run_pass(
     world: &World,
-    pairs: &[(Name, Tld)],
+    pairs: &[(&Name, Tld)],
     indices: &[usize],
     now: u32,
     rounds: u32,
@@ -422,7 +489,7 @@ fn run_pass(
         return indices
             .iter()
             .map(|&i| {
-                let (stats, failed) = scan_domain(world, &pairs[i].0, now, rounds);
+                let (stats, failed) = scan_domain(world, pairs[i].0, now, rounds);
                 (i, stats, failed)
             })
             .collect();
@@ -435,7 +502,7 @@ fn run_pass(
                 scope.spawn(move |_| {
                     part.iter()
                         .map(|&i| {
-                            let (stats, failed) = scan_domain(world, &pairs[i].0, now, rounds);
+                            let (stats, failed) = scan_domain(world, pairs[i].0, now, rounds);
                             (i, stats, failed)
                         })
                         .collect::<Vec<_>>()

@@ -40,13 +40,20 @@ pub enum Outcome {
 pub fn classify(result: &Result<Answer, ResolveError>) -> Outcome {
     match result {
         Err(_) => Outcome::ServFail,
-        Ok(answer) => match &answer.security {
-            Security::Bogus(_) => Outcome::Bogus,
-            Security::Secure if answer.rcode == Rcode::ServFail => Outcome::ServFail,
-            Security::Insecure if answer.rcode == Rcode::ServFail => Outcome::ServFail,
-            Security::Secure => Outcome::Secure,
-            Security::Insecure => Outcome::Insecure,
-        },
+        Ok(answer) => classify_answer(answer),
+    }
+}
+
+/// Classifies a successfully returned answer into an [`Outcome`]. Split
+/// out from [`classify`] so callers holding shared (`Arc`) answers from
+/// the striped cache can classify without materialising a `Result`.
+pub fn classify_answer(answer: &Answer) -> Outcome {
+    match &answer.security {
+        Security::Bogus(_) => Outcome::Bogus,
+        Security::Secure if answer.rcode == Rcode::ServFail => Outcome::ServFail,
+        Security::Insecure if answer.rcode == Rcode::ServFail => Outcome::ServFail,
+        Security::Secure => Outcome::Secure,
+        Security::Insecure => Outcome::Insecure,
     }
 }
 

@@ -1,18 +1,29 @@
 //! The load driver: N worker threads sharding the client stream over a
-//! pool of validating resolvers behind one shared, bounded cache.
+//! pool of validating resolvers behind one shared, striped cache.
 //!
 //! ## Sharding and determinism
 //!
-//! Queries are assigned to workers by a stable FNV-1a hash of
-//! (canonical qname, qtype), **not** round-robin. Every occurrence of a
-//! given key is therefore handled by the same worker, in stream order —
-//! so whether a query hits or misses the shared cache depends only on
-//! the stream, never on cross-worker timing. Outcome counts,
-//! attribution, cache counters, and latency histograms are identical
-//! run-to-run and across thread counts (until the cache's capacity bound
-//! forces oldest-entry eviction, whose victim order is
-//! interleaving-dependent; size the bound above the working set when
-//! byte-identical histograms matter).
+//! Queries are assigned to workers by the same stable case-folded FNV-1a
+//! name hash ([`dsec_wire::name_hash64`]) the cache stripes on, **not**
+//! round-robin. Every occurrence of a given key is therefore handled by
+//! the same worker, in stream order — so whether a query hits or misses
+//! the shared cache depends only on the stream, never on cross-worker
+//! timing. Outcome counts, attribution, cache counters, and latency
+//! histograms are identical run-to-run and across thread counts (until
+//! the cache's capacity bound forces oldest-entry eviction, whose victim
+//! order is interleaving-dependent; size the bound above the working set
+//! when byte-identical histograms matter).
+//!
+//! ## Contention-free hot path
+//!
+//! Cache keys are interned once, single-threaded, before the timed
+//! region: workers look up precomputed [`CacheKey`]s instead of hashing
+//! and cloning names per query, cache hits hand back `Arc`-shared
+//! answers, and all accounting (outcome tallies, per-actor attribution,
+//! histograms, resolver counters) lives in worker-private accumulators
+//! indexed by dense registrar/operator ids — merged once after join.
+//! The only cross-thread traffic left in the loop is the sharded cache
+//! itself.
 //!
 //! Per-query latency is priced from the worker's own resolver
 //! accounting (UDP attempts, simulated backoff, TCP fallbacks), so a
@@ -23,10 +34,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dsec_ecosystem::World;
-use dsec_resolver::{Cache, Resolver, RetryPolicy};
+use dsec_resolver::{Cache, CacheKey, Resolver, RetryPolicy};
+use dsec_wire::name_hash64;
 use dsec_workloads::TrafficMix;
 
-use crate::account::{classify, OutcomeCounts, TrafficReport};
+use crate::account::{classify_answer, Outcome, OutcomeCounts, TrafficReport};
 use crate::telemetry::LatencyHistogram;
 use crate::workload::{generate_stream, PlannedQuery, TrafficPopulation};
 
@@ -101,31 +113,38 @@ impl LoadConfig {
     }
 }
 
-/// Stable 64-bit FNV-1a over the query key, for worker sharding.
+/// Stable worker shard for a query: the cache's case-folded name hash
+/// mixed with the qtype, so each (name, type) key belongs to exactly one
+/// worker regardless of thread count.
 fn shard_of(query: &PlannedQuery, threads: usize) -> usize {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for label in query.qname.to_canonical().labels() {
-        for &b in label.as_bytes() {
-            hash ^= b as u64;
-            hash = hash.wrapping_mul(0x100_0000_01b3);
-        }
-        hash ^= 0xff;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash ^= query.qtype.number() as u64;
-    hash = hash.wrapping_mul(0x100_0000_01b3);
+    let hash = name_hash64(&query.qname)
+        ^ (query.qtype.number() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     (hash % threads as u64) as usize
 }
 
-/// One worker's private accumulators, merged after join.
-#[derive(Default)]
+/// One worker's private accumulators, merged after join. Attribution is
+/// a dense `Vec` indexed by registrar/operator id — no per-query String
+/// hashing or tree walks.
 struct WorkerTally {
     outcomes: OutcomeCounts,
-    by_registrar: std::collections::BTreeMap<String, OutcomeCounts>,
-    by_operator: std::collections::BTreeMap<String, OutcomeCounts>,
+    by_registrar: Vec<OutcomeCounts>,
+    by_operator: Vec<OutcomeCounts>,
     histogram: LatencyHistogram,
     sim_busy_ms: u64,
     stats: dsec_resolver::ResolverStatsSnapshot,
+}
+
+impl WorkerTally {
+    fn new(registrars: usize, operators: usize) -> WorkerTally {
+        WorkerTally {
+            outcomes: OutcomeCounts::default(),
+            by_registrar: vec![OutcomeCounts::default(); registrars],
+            by_operator: vec![OutcomeCounts::default(); operators],
+            histogram: LatencyHistogram::new(),
+            sim_busy_ms: 0,
+            stats: dsec_resolver::ResolverStatsSnapshot::default(),
+        }
+    }
 }
 
 /// Runs the load against `world`: plans the stream, shards it across
@@ -149,6 +168,12 @@ pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
     }
 
     let cache = Arc::new(Cache::bounded(config.cache_capacity));
+    // Intern every query name once, single-threaded, before the clock
+    // starts: workers index this table instead of hashing names.
+    let keys: Vec<CacheKey> = stream
+        .iter()
+        .map(|q| cache.key_of(&q.qname, q.qtype))
+        .collect();
     let trust_anchor = world.trust_anchor();
     let network = world.network.clone();
     let evict_interval = config.evict_interval.max(1);
@@ -162,17 +187,23 @@ pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
                 let trust_anchor = trust_anchor.clone();
                 let network = Arc::clone(&network);
                 let stream = &stream;
+                let keys = &keys;
                 let population = &population;
                 scope.spawn(move |_| {
                     let resolver = Resolver::new(network, trust_anchor)
                         .with_policy(RetryPolicy::default())
                         .with_shared_cache(cache.clone());
-                    let mut tally = WorkerTally::default();
+                    let mut tally =
+                        WorkerTally::new(population.registrars.len(), population.operators.len());
                     for (done, &i) in shard.iter().enumerate() {
                         let query = &stream[i];
                         let before = resolver.stats();
-                        let result =
-                            resolver.resolve_cached(&query.qname, query.qtype, query.now);
+                        let result = resolver.resolve_cached_keyed(
+                            keys[i],
+                            &query.qname,
+                            query.qtype,
+                            query.now,
+                        );
                         let after = resolver.stats();
                         let latency = if after.cache_hits > before.cache_hits {
                             CACHE_HIT_MS
@@ -185,19 +216,14 @@ pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
                         tally.histogram.record(latency);
                         tally.sim_busy_ms += latency as u64;
 
-                        let outcome = classify(&result);
+                        let outcome = match &result {
+                            Ok(answer) => classify_answer(answer),
+                            Err(_) => Outcome::ServFail,
+                        };
                         tally.outcomes.add(outcome);
                         let site = &population.sites[query.site as usize];
-                        tally
-                            .by_registrar
-                            .entry(site.registrar.clone())
-                            .or_default()
-                            .add(outcome);
-                        tally
-                            .by_operator
-                            .entry(site.operator.clone())
-                            .or_default()
-                            .add(outcome);
+                        tally.by_registrar[site.registrar_id as usize].add(outcome);
+                        tally.by_operator[site.operator_id as usize].add(outcome);
 
                         if (done as u64 + 1).is_multiple_of(evict_interval) {
                             cache.enforce_capacity(query.now);
@@ -224,17 +250,21 @@ pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
     let mut sim_elapsed_ms = 0u64;
     for tally in &tallies {
         outcomes.merge(&tally.outcomes);
-        for (k, v) in &tally.by_registrar {
-            by_registrar
-                .entry(k.clone())
-                .or_insert_with(OutcomeCounts::default)
-                .merge(v);
+        for (id, v) in tally.by_registrar.iter().enumerate() {
+            if v.total() > 0 {
+                by_registrar
+                    .entry(population.registrars[id].clone())
+                    .or_insert_with(OutcomeCounts::default)
+                    .merge(v);
+            }
         }
-        for (k, v) in &tally.by_operator {
-            by_operator
-                .entry(k.clone())
-                .or_insert_with(OutcomeCounts::default)
-                .merge(v);
+        for (id, v) in tally.by_operator.iter().enumerate() {
+            if v.total() > 0 {
+                by_operator
+                    .entry(population.operators[id].clone())
+                    .or_insert_with(OutcomeCounts::default)
+                    .merge(v);
+            }
         }
         histogram.merge(&tally.histogram);
         resolver_stats.udp_attempts += tally.stats.udp_attempts;

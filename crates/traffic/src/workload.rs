@@ -11,7 +11,7 @@
 //! ([`TrafficMix`], seed, world) triple always yields the same query
 //! stream, byte for byte.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -115,6 +115,11 @@ pub struct Site {
     pub registrar: String,
     /// The DNS operator key (same grouping as the scanner's snapshots).
     pub operator: String,
+    /// Dense index into [`TrafficPopulation::registrars`] — lets hot-path
+    /// accounting use a `Vec` slot instead of hashing the display name.
+    pub registrar_id: u32,
+    /// Dense index into [`TrafficPopulation::operators`].
+    pub operator_id: u32,
 }
 
 /// The SLD population indexed for popularity sampling.
@@ -124,6 +129,11 @@ pub struct TrafficPopulation {
     pub sites: Vec<Site>,
     /// Per-TLD site indices in popularity-rank order (head first).
     pub ranked: BTreeMap<Tld, Vec<u32>>,
+    /// Registrar display names, indexed by [`Site::registrar_id`]
+    /// (first-occurrence order over the site list).
+    pub registrars: Vec<String>,
+    /// Operator keys, indexed by [`Site::operator_id`].
+    pub operators: Vec<String>,
 }
 
 impl TrafficPopulation {
@@ -134,18 +144,33 @@ impl TrafficPopulation {
     pub fn from_world(world: &World) -> TrafficPopulation {
         let mut sites = Vec::with_capacity(world.domain_count());
         let mut operator_sizes: BTreeMap<String, u64> = BTreeMap::new();
+        let mut registrars: Vec<String> = Vec::new();
+        let mut operators: Vec<String> = Vec::new();
+        let mut registrar_ids: HashMap<String, u32> = HashMap::new();
+        let mut operator_ids: HashMap<String, u32> = HashMap::new();
         for d in world.domains() {
             let ns = world.registry(d.tld).ns_of(&d.name);
             let operator = operator_of(&ns)
                 .map(|n| n.to_string())
                 .unwrap_or_else(|| "(undelegated)".to_string());
             *operator_sizes.entry(operator.clone()).or_insert(0) += 1;
+            let registrar = world.registrar(d.registrar).name.clone();
+            let registrar_id = *registrar_ids.entry(registrar.clone()).or_insert_with(|| {
+                registrars.push(registrar.clone());
+                (registrars.len() - 1) as u32
+            });
+            let operator_id = *operator_ids.entry(operator.clone()).or_insert_with(|| {
+                operators.push(operator.clone());
+                (operators.len() - 1) as u32
+            });
             sites.push(Site {
                 www: d.name.child("www").expect("www label fits"),
                 name: d.name.clone(),
                 tld: d.tld,
-                registrar: world.registrar(d.registrar).name.clone(),
+                registrar,
                 operator,
+                registrar_id,
+                operator_id,
             });
         }
 
@@ -163,7 +188,12 @@ impl TrafficPopulation {
                     .then_with(|| sa.operator.cmp(&sb.operator))
             });
         }
-        TrafficPopulation { sites, ranked }
+        TrafficPopulation {
+            sites,
+            ranked,
+            registrars,
+            operators,
+        }
     }
 
     /// Total query-eligible domains.

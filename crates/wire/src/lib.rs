@@ -5,6 +5,9 @@
 //! no runtime, and explicit typed errors.
 //!
 //! - [`name`]: domain names with RFC 4034 §6.1 canonical ordering;
+//! - [`intern`]: a striped name interner giving hot paths dense `u32`
+//!   keys and a stable cross-run name hash;
+//! - [`fnv`]: an FNV-1a hasher for simulator-internal Name-keyed maps;
 //! - [`rrtype`]: TYPE/CLASS registries and the NSEC type bitmap;
 //! - [`rdata`]: typed RDATA for A/AAAA/NS/CNAME/SOA/MX/TXT/DNSKEY/DS/
 //!   RRSIG/NSEC/CDS/CDNSKEY plus an opaque RFC 3597 fallback;
@@ -16,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fnv;
+pub mod intern;
 pub mod message;
 pub mod name;
 pub mod rdata;
@@ -24,6 +29,8 @@ pub mod rrtype;
 pub mod wire;
 pub mod zone;
 
+pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
+pub use intern::{name_hash64, NameId, NameInterner};
 pub use message::{Edns, Flags, Message, Opcode, Question, Rcode};
 pub use name::{Label, Name};
 pub use rdata::{DnskeyRdata, DsRdata, RData, RrsigRdata, SoaRdata};

@@ -138,6 +138,22 @@ impl Zone {
         names
     }
 
+    /// Distinct owner names exactly one label below the origin, canonical
+    /// order — a parent zone's delegation points. Clones only the
+    /// matching names, so enumerating a TLD zone's 10⁵ delegations does
+    /// not also copy every other owner in the zone.
+    pub fn child_names(&self) -> Vec<Name> {
+        let depth = self.origin.label_count() + 1;
+        let mut names: Vec<Name> = self
+            .records
+            .keys()
+            .filter(|(n, _)| n.label_count() == depth)
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.dedup();
+        names
+    }
+
     /// The types present at `name`, as an NSEC-style bitmap.
     pub fn types_at(&self, name: &Name) -> TypeBitmap {
         let canon = name.to_canonical();

@@ -78,6 +78,40 @@ fn outcome_counts_are_invariant_across_thread_counts() {
 }
 
 #[test]
+fn striped_cache_matches_single_shard_at_the_resolver_level() {
+    // The lock-striped cache must be observationally identical to a
+    // single-lock cache: same answers, same hit/miss counters, same
+    // entry count — striping may only change who holds which lock.
+    let pw = tiny_world();
+    let population = TrafficPopulation::from_world(&pw.world);
+    let now = pw.world.today.epoch_seconds();
+    let trust = pw.world.trust_anchor();
+
+    let run = |shards: usize| {
+        let cache = std::sync::Arc::new(dsec::resolver::Cache::with_shards(4096, shards));
+        assert_eq!(cache.shard_count(), shards);
+        let resolver = dsec::resolver::Resolver::new(pw.world.network.clone(), trust.clone())
+            .with_shared_cache(cache.clone());
+        let mut answers = Vec::new();
+        // Two passes over the same names: the second must be all hits.
+        for _ in 0..2 {
+            for site in population.sites.iter().take(64) {
+                answers.push(resolver.resolve_cached(&site.name, dsec::wire::RrType::A, now));
+                answers.push(resolver.resolve_cached(&site.www, dsec::wire::RrType::A, now));
+            }
+        }
+        (answers, resolver.stats(), cache.len())
+    };
+
+    let (answers_1, stats_1, len_1) = run(1);
+    let (answers_16, stats_16, len_16) = run(16);
+    assert_eq!(answers_1, answers_16, "answers independent of shard count");
+    assert_eq!(stats_1, stats_16, "hit/miss counters independent of shard count");
+    assert_eq!(len_1, len_16);
+    assert!(stats_1.cache_hits >= 128, "second pass served from cache");
+}
+
+#[test]
 fn shared_cache_stays_within_its_capacity_bound() {
     let pw = tiny_world();
     let mut config = LoadConfig::tiny().with_threads(2);
