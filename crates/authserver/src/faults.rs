@@ -212,6 +212,12 @@ pub struct FaultPlane {
     flaps: RwLock<HashMap<Name, FlapSchedule>>,
     /// Servers administratively forced down.
     down: RwLock<HashMap<Name, bool>>,
+    /// Scheduled down-windows per server: half-open `[from_s, until_s)`
+    /// intervals in simulated epoch seconds, consulted by the sim-time-
+    /// aware query paths ([`crate::Network::query_udp_at`]). Purely
+    /// declarative — membership is a function of the query's sim clock,
+    /// so outage behavior is deterministic and thread-order independent.
+    windows: RwLock<HashMap<Name, Vec<(u32, u32)>>>,
     /// Scripted outcomes consumed FIFO per server (deterministic tests).
     scripts: Mutex<HashMap<Name, VecDeque<Fault>>>,
     /// Per-(server, qname, qtype) attempt counters: make draws
@@ -291,6 +297,55 @@ impl FaultPlane {
         } else {
             self.down.write().remove(&ns.to_canonical());
         }
+    }
+
+    /// Schedules a down-window for `ns`: the server times out for every
+    /// sim-time-aware query with `from_s <= now < until_s`. Windows
+    /// accumulate (a server may go down repeatedly — flapping scenarios
+    /// install many short windows).
+    pub fn schedule_down(&self, ns: &Name, from_s: u32, until_s: u32) {
+        if from_s >= until_s {
+            return;
+        }
+        self.windows
+            .write()
+            .entry(ns.to_canonical())
+            .or_default()
+            .push((from_s, until_s));
+    }
+
+    /// Removes every scheduled down-window for `ns`.
+    pub fn clear_schedule(&self, ns: &Name) {
+        self.windows.write().remove(&ns.to_canonical());
+    }
+
+    /// Removes all scheduled down-windows.
+    pub fn clear_schedules(&self) {
+        self.windows.write().clear();
+    }
+
+    /// Whether a scheduled window has `ns` down at sim-time `now_s`.
+    /// Pure configuration lookup: no counters, no enable gate — used by
+    /// scenario harnesses to print outage timelines.
+    pub fn scheduled_down(&self, ns: &Name, now_s: u32) -> bool {
+        self.windows
+            .read()
+            .get(&ns.to_canonical())
+            .map(|ws| ws.iter().any(|&(from, until)| now_s >= from && now_s < until))
+            .unwrap_or(false)
+    }
+
+    /// Whether a scheduled window has `ns` down at sim-time `now_s`,
+    /// counting a downtime drop when it does (the query path).
+    pub(crate) fn window_down(&self, ns: &Name, now_s: u32) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let down = self.scheduled_down(ns, now_s);
+        if down {
+            self.counters.downtime_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        down
     }
 
     /// Queues forced fault outcomes for the next UDP queries to `ns`,
@@ -560,6 +615,37 @@ mod tests {
             })
             .collect();
         assert_eq!(down_days.iter().filter(|&&d| d).count(), 2, "{down_days:?}");
+    }
+
+    #[test]
+    fn scheduled_windows_are_half_open_and_accumulate() {
+        let plane = FaultPlane::new();
+        plane.enable(9);
+        let ns = name("ns1.op.net");
+        plane.schedule_down(&ns, 100, 200);
+        plane.schedule_down(&ns, 300, 400);
+        plane.schedule_down(&ns, 500, 400); // empty interval ignored
+        assert!(!plane.window_down(&ns, 99));
+        assert!(plane.window_down(&ns, 100), "start inclusive");
+        assert!(plane.window_down(&ns, 199));
+        assert!(!plane.window_down(&ns, 200), "end exclusive");
+        assert!(plane.window_down(&ns, 350), "second window");
+        assert!(!plane.window_down(&ns, 450));
+        assert_eq!(plane.stats().downtime_drops, 3);
+        plane.clear_schedule(&ns);
+        assert!(!plane.window_down(&ns, 150));
+    }
+
+    #[test]
+    fn disabled_plane_ignores_windows_but_scheduled_down_reads_config() {
+        let plane = FaultPlane::new();
+        let ns = name("ns1.op.net");
+        plane.schedule_down(&ns, 0, 1000);
+        assert!(!plane.window_down(&ns, 500), "dormant plane injects nothing");
+        assert!(plane.scheduled_down(&ns, 500), "pure config lookup");
+        assert_eq!(plane.stats().downtime_drops, 0);
+        plane.clear_schedules();
+        assert!(!plane.scheduled_down(&ns, 500));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 pub mod authority;
 pub mod faults;
 pub mod network;
+pub mod outage;
 
 pub use authority::Authority;
 pub use faults::{Fault, FaultPlane, FaultProfile, FaultStats, FlapSchedule};
 pub use network::{Network, QueryOutcome, BASE_LATENCY_MS};
+pub use outage::{OutageScenario, OutageWindow};

@@ -119,11 +119,37 @@ impl Network {
     /// Sends `query` to the server at `ns` over simulated UDP, waiting at
     /// most `deadline_ms` for the response.
     pub fn query_udp(&self, ns: &Name, query: &Message, deadline_ms: u32) -> QueryOutcome {
+        self.query_udp_inner(ns, query, deadline_ms, None)
+    }
+
+    /// Like [`Network::query_udp`], additionally stamped with the query's
+    /// simulated epoch seconds so scheduled down-windows
+    /// ([`FaultPlane::schedule_down`]) apply. Timing-oblivious callers
+    /// keep using [`Network::query_udp`] and never see windows.
+    pub fn query_udp_at(
+        &self,
+        ns: &Name,
+        query: &Message,
+        deadline_ms: u32,
+        now_s: u32,
+    ) -> QueryOutcome {
+        self.query_udp_inner(ns, query, deadline_ms, Some(now_s))
+    }
+
+    fn query_udp_inner(
+        &self,
+        ns: &Name,
+        query: &Message,
+        deadline_ms: u32,
+        now_s: Option<u32>,
+    ) -> QueryOutcome {
         let Some(authority) = self.authority(ns) else {
             return QueryOutcome::Unreachable;
         };
         self.queries.fetch_add(1, Ordering::Relaxed);
-        if self.faults.server_down(ns) {
+        if self.faults.server_down(ns)
+            || now_s.is_some_and(|t| self.faults.window_down(ns, t))
+        {
             return QueryOutcome::Timeout;
         }
         let (qname, qtype) = match query.questions.first() {
@@ -181,11 +207,23 @@ impl Network {
     /// (flaps, kill switch) affects it; the per-packet fault profile and
     /// scripted UDP faults do not apply.
     pub fn query_tcp(&self, ns: &Name, query: &Message) -> QueryOutcome {
+        self.query_tcp_inner(ns, query, None)
+    }
+
+    /// Like [`Network::query_tcp`], stamped with sim-time so scheduled
+    /// down-windows apply (a downed server accepts no TCP either).
+    pub fn query_tcp_at(&self, ns: &Name, query: &Message, now_s: u32) -> QueryOutcome {
+        self.query_tcp_inner(ns, query, Some(now_s))
+    }
+
+    fn query_tcp_inner(&self, ns: &Name, query: &Message, now_s: Option<u32>) -> QueryOutcome {
         let Some(authority) = self.authority(ns) else {
             return QueryOutcome::Unreachable;
         };
         self.tcp_queries.fetch_add(1, Ordering::Relaxed);
-        if self.faults.server_down(ns) {
+        if self.faults.server_down(ns)
+            || now_s.is_some_and(|t| self.faults.window_down(ns, t))
+        {
             return QueryOutcome::Timeout;
         }
         QueryOutcome::Answered {
@@ -420,6 +458,30 @@ mod tests {
         assert_eq!(net.query(&name("ns1.op.net"), &q).unwrap().answers.len(), 1);
         net.faults().clear_server_profile(&name("ns1.op.net"));
         assert_eq!(net.query(&name("ns1.op.net"), &q).unwrap().answers.len(), 2);
+    }
+
+    #[test]
+    fn scheduled_window_downs_sim_time_queries_only() {
+        let net = Network::new();
+        net.register(name("ns1.op.net"), simple_authority());
+        net.faults().enable(12);
+        net.faults().schedule_down(&name("ns1.op.net"), 1000, 2000);
+        let q = Message::query(1, name("www.example.com"), RrType::A, false);
+        // Inside the window the sim-time path times out over UDP and TCP.
+        assert_eq!(
+            net.query_udp_at(&name("ns1.op.net"), &q, 500, 1500),
+            QueryOutcome::Timeout
+        );
+        assert_eq!(
+            net.query_tcp_at(&name("ns1.op.net"), &q, 1500),
+            QueryOutcome::Timeout
+        );
+        // Before and after the window, service is normal.
+        assert!(net.query_udp_at(&name("ns1.op.net"), &q, 500, 999).into_response().is_some());
+        assert!(net.query_udp_at(&name("ns1.op.net"), &q, 500, 2000).into_response().is_some());
+        // The timing-oblivious path never consults windows.
+        assert!(net.query_udp(&name("ns1.op.net"), &q, 500).into_response().is_some());
+        assert_eq!(net.faults().stats().downtime_drops, 2);
     }
 
     #[test]

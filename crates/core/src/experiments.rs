@@ -2,14 +2,20 @@
 //! returns an [`ExperimentResult`] with the paper's checkpoint values next
 //! to the measured ones (see DESIGN.md's experiment index E-T1…E-F8).
 
-use dsec_ecosystem::{Tld, ALL_TLDS};
+use std::sync::Arc;
+
+use dsec_authserver::OutageScenario;
+use dsec_ecosystem::{Tld, World, ALL_TLDS};
 use dsec_probe::{Finding, ProbeReport};
 use dsec_reports::{
     figure3, figure8, figure_series, table1, table2, table3, ExperimentResult, GTLDS,
 };
+use dsec_resolver::{BreakerPolicy, Cache};
 use dsec_scanner::{
-    operators_to_cover, LongitudinalStore, Metric, ScanCache, ScanOptions, Snapshot,
+    operator_of, operators_to_cover, LongitudinalStore, Metric, ScanCache, ScanOptions, Snapshot,
 };
+use dsec_traffic::{run_load_shared, LoadConfig, TrafficReport};
+use dsec_wire::Name;
 use dsec_workloads::{build, PopulationConfig};
 
 /// The paper's top-20 registrar list (Table 2 order).
@@ -514,6 +520,267 @@ fn last_full_pct(store: &LongitudinalStore, operator: &str, tlds: &[Tld]) -> f64
         .last()
         .map(|p| 100.0 * p.full_fraction())
         .unwrap_or(0.0)
+}
+
+/// E-R2 stream seed (also seeds the — otherwise inert — fault plane).
+const OUTAGE_SEED: u64 = 0x0A7A6E;
+/// Queries per phase (warm-up and outage replay the same stream).
+const OUTAGE_QUERIES: u64 = 2_048;
+/// Stream pacing: 4 queries per simulated second ⇒ 512 s per phase, well
+/// past the ecosystem's 300 s record TTLs, so warm entries expire *into*
+/// the outage window.
+const OUTAGE_QPS: u32 = 4;
+/// Serve-stale horizon for the degraded arms: long enough that every
+/// phase-1 entry survives to the end of phase 2.
+const OUTAGE_MAX_STALE: u32 = 7_200;
+
+/// The largest DNS operator by hosted-domain count (the Zipf head — the
+/// operator whose outage hurts the most user queries) and its full
+/// nameserver fleet, deterministically tie-broken by operator key.
+fn largest_operator_fleet(world: &World) -> (String, Vec<Name>) {
+    let mut sizes: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut fleets: std::collections::BTreeMap<String, std::collections::BTreeSet<Name>> =
+        std::collections::BTreeMap::new();
+    for d in world.domains() {
+        let ns = world.registry(d.tld).ns_of(&d.name);
+        let Some(op) = operator_of(&ns) else { continue };
+        let key = op.to_string();
+        *sizes.entry(key.clone()).or_insert(0) += 1;
+        fleets.entry(key).or_default().extend(ns);
+    }
+    let victim = sizes
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(k, _)| k.clone())
+        .unwrap_or_default();
+    let fleet = fleets
+        .remove(&victim)
+        .unwrap_or_default()
+        .into_iter()
+        .collect();
+    (victim, fleet)
+}
+
+/// Runs the two-phase load for one E-R2 arm: a warm-up phase over a clean
+/// network, then the identical stream (same seed, sim clock advanced by
+/// one phase span) inside the installed outage window — all over one
+/// shared cache so phase-1 entries are the phase-2 working set. Returns
+/// the outage-phase report and how many queries the dead authorities
+/// actually absorbed during it (the fault plane's downtime-drop delta —
+/// the number the circuit breaker is judged on).
+fn outage_phases(
+    world: &World,
+    span_s: u32,
+    threads: usize,
+    max_stale: u32,
+    breaker: Option<BreakerPolicy>,
+) -> (TrafficReport, u64) {
+    let mut config = LoadConfig::default()
+        .with_queries(OUTAGE_QUERIES)
+        .with_threads(threads)
+        .with_seed(OUTAGE_SEED)
+        .with_max_stale(max_stale);
+    config.sim_qps = OUTAGE_QPS;
+    if let Some(policy) = breaker {
+        config = config.with_breaker(policy);
+    }
+    let cache = Arc::new(Cache::bounded(config.cache_capacity).with_max_stale(max_stale));
+    run_load_shared(world, &config, Arc::clone(&cache));
+    let drops_before = world.fault_plane().stats().downtime_drops;
+    let outage = run_load_shared(world, &config.clone().with_now_offset(span_s), cache);
+    let drops = world.fault_plane().stats().downtime_drops - drops_before;
+    (outage, drops)
+}
+
+fn outage_row(artifact: &mut String, scenario: &str, arm: &str, report: &TrafficReport, drops: u64) {
+    let pct = |n: u64| 100.0 * n as f64 / report.total.max(1) as f64;
+    artifact.push_str(&format!(
+        "{scenario:<18} {arm:<14} {:>6.1} {:>6.1} {:>9.1} {:>5.1} {:>6} {:>9} {:>10}\n",
+        100.0 * report.availability(),
+        pct(report.outcomes.stale),
+        pct(report.outcomes.servfail),
+        pct(report.outcomes.negative),
+        report.resolver.breaker_trips,
+        report.resolver.breaker_short_circuits,
+        drops,
+    ));
+}
+
+/// E-R2 — robustness: graceful degradation under sustained outages.
+///
+/// Three declarative outage scenarios (a sustained single-operator
+/// outage, a TLD-wide registry outage, correlated flapping) are played
+/// against the user-traffic plane in two phases over one shared resolver
+/// cache: a clean warm-up, then the identical query stream inside the
+/// outage window. Checkpoints pin the degradation contract:
+///
+/// * with serve-stale (RFC 8767), warm-cache availability for the victim
+///   operator stays ≥ 90% through a sustained fleet outage that the
+///   no-degradation baseline turns into ServFail;
+/// * negative caching (RFC 2308) answers repeat NODATA/NXDOMAIN from
+///   memory;
+/// * per-authority circuit breakers cut the load hammered onto dead
+///   authorities by ≥ 5× without changing a single outcome;
+/// * every tally is byte-identical across 1 and 8 worker threads.
+pub fn experiment_outage(population: &PopulationConfig) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E-R2",
+        "Robustness: serve-stale, negative caching, and circuit breakers under outages",
+    );
+    let span = (OUTAGE_QUERIES / OUTAGE_QPS as u64) as u32;
+    let breaker = BreakerPolicy {
+        failure_threshold: 3,
+        probe_interval_s: 30,
+    };
+
+    // Scenario 1: the biggest operator's whole fleet down for all of
+    // phase 2. One world serves every arm — loads never mutate it, and
+    // the dead-authority pressure is measured as per-arm counter deltas.
+    let pw = build(population);
+    let world = &pw.world;
+    let base = world.today.epoch_seconds();
+    let (victim, fleet) = largest_operator_fleet(world);
+    world.fault_plane().enable(OUTAGE_SEED);
+    OutageScenario::operator_outage(
+        "operator-outage",
+        fleet.clone(),
+        base + span,
+        base + 2 * span + 60,
+    )
+    .install(world.fault_plane());
+
+    let (baseline, drops_baseline) = outage_phases(world, span, 1, 0, None);
+    let (stale1, drops_bare) = outage_phases(world, span, 1, OUTAGE_MAX_STALE, None);
+    let (stale8, _) = outage_phases(world, span, 8, OUTAGE_MAX_STALE, None);
+    let (brk1, drops_breaker) = outage_phases(world, span, 1, OUTAGE_MAX_STALE, Some(breaker));
+    let (brk8, _) = outage_phases(world, span, 8, OUTAGE_MAX_STALE, Some(breaker));
+
+    let victim_counts = |r: &TrafficReport| r.by_operator.get(&victim).copied().unwrap_or_default();
+    let v_base = victim_counts(&baseline);
+    let v_stale = victim_counts(&stale1);
+    result.check(
+        "serve-stale victim availability ≥ 90% through the outage",
+        1.0,
+        f64::from(v_stale.availability() >= 0.90),
+        0.0,
+    );
+    result.check(
+        "baseline victim queries collapse to ServFail without serve-stale",
+        1.0,
+        f64::from(v_base.servfail > 0 && v_base.availability() + 0.1 <= v_stale.availability()),
+        0.0,
+    );
+    result.check(
+        "stale serves appear only in the degraded arm",
+        1.0,
+        f64::from(baseline.outcomes.stale == 0 && stale1.outcomes.stale > 0),
+        0.0,
+    );
+    result.check(
+        "negative cache answers repeat NODATA from memory",
+        1.0,
+        f64::from(stale1.resolver.negative_hits > 0),
+        0.0,
+    );
+    result.check(
+        "circuit breaker cuts dead-authority load ≥ 5×",
+        1.0,
+        f64::from(drops_breaker > 0 && drops_bare >= 5 * drops_breaker),
+        0.0,
+    );
+    result.check(
+        "breaker tripped and short-circuited during the outage",
+        1.0,
+        f64::from(brk1.resolver.breaker_trips > 0 && brk1.resolver.breaker_short_circuits > 0),
+        0.0,
+    );
+    result.check(
+        "breaker is outcome-neutral (identical tallies with and without)",
+        1.0,
+        f64::from(
+            brk1.outcomes == stale1.outcomes
+                && brk1.by_registrar == stale1.by_registrar
+                && brk1.by_operator == stale1.by_operator,
+        ),
+        0.0,
+    );
+    result.check(
+        "tallies byte-identical across 1 and 8 worker threads",
+        1.0,
+        f64::from(
+            stale1.outcomes == stale8.outcomes
+                && stale1.by_registrar == stale8.by_registrar
+                && stale1.by_operator == stale8.by_operator
+                && stale1.histogram == stale8.histogram
+                && brk1.outcomes == brk8.outcomes
+                && brk1.by_registrar == brk8.by_registrar
+                && brk1.by_operator == brk8.by_operator,
+        ),
+        0.0,
+    );
+
+    // Scenarios 2 and 3 for the record: a TLD-wide registry outage and
+    // correlated flapping of the victim fleet, both under the full
+    // degradation stack.
+    let pw_tld = build(population);
+    let tld_world = &pw_tld.world;
+    let tld_base = tld_world.today.epoch_seconds();
+    tld_world.fault_plane().enable(OUTAGE_SEED);
+    OutageScenario::window(
+        "tld-wide(.com)",
+        vec![Tld::Com.registry_ns()],
+        tld_base + span,
+        tld_base + 2 * span + 60,
+    )
+    .install(tld_world.fault_plane());
+    let (tld_run, tld_drops) = outage_phases(tld_world, span, 1, OUTAGE_MAX_STALE, Some(breaker));
+
+    let pw_flap = build(population);
+    let flap_world = &pw_flap.world;
+    let flap_base = flap_world.today.epoch_seconds();
+    let (_, flap_fleet) = largest_operator_fleet(flap_world);
+    flap_world.fault_plane().enable(OUTAGE_SEED);
+    OutageScenario::flapping(
+        "flapping",
+        flap_fleet,
+        flap_base + span,
+        span / 8,
+        span / 8,
+        4,
+    )
+    .install(flap_world.fault_plane());
+    let (flap_run, flap_drops) = outage_phases(flap_world, span, 1, OUTAGE_MAX_STALE, Some(breaker));
+    result.check(
+        "flapping: breaker re-closes and fresh answers return between windows",
+        1.0,
+        f64::from(
+            flap_run.outcomes.stale > 0
+                && flap_run.outcomes.stale < stale1.outcomes.stale
+                && flap_run.availability() >= stale1.availability(),
+        ),
+        0.0,
+    );
+
+    let mut artifact = format!(
+        "victim operator {victim}: availability {:.1}% baseline → {:.1}% with serve-stale \
+         over {} victim queries in the outage window\n\
+         dead-authority queries during the outage: {} bare ladder → {} with breaker\n\n",
+        100.0 * v_base.availability(),
+        100.0 * v_stale.availability(),
+        v_stale.total(),
+        drops_bare,
+        drops_breaker,
+    );
+    artifact.push_str(
+        "scenario           arm            avail% stale% servfail%  neg%  trips  short-cir  dead-drops\n",
+    );
+    outage_row(&mut artifact, "operator-outage", "baseline", &baseline, drops_baseline);
+    outage_row(&mut artifact, "operator-outage", "serve-stale", &stale1, drops_bare);
+    outage_row(&mut artifact, "operator-outage", "stale+breaker", &brk1, drops_breaker);
+    outage_row(&mut artifact, "tld-wide(.com)", "stale+breaker", &tld_run, tld_drops);
+    outage_row(&mut artifact, "flapping", "stale+breaker", &flap_run, flap_drops);
+    result.artifact = artifact;
+    result
 }
 
 /// E-U1 — the user-traffic view of deployment. The paper measures what

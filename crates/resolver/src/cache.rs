@@ -43,6 +43,13 @@ use crate::Answer;
 /// Default cap on a cached entry's lifetime, seconds (RFC 8767 spirit).
 const MAX_TTL: u32 = 86_400;
 
+/// Cap on a negative entry's lifetime, seconds (RFC 2308 §5 recommends
+/// 1–3 hours; we take the upper bound).
+pub const MAX_NEGATIVE_TTL: u32 = 10_800;
+
+/// Negative/empty answers with no SOA-derived TTL fall back to this.
+const DEFAULT_NEGATIVE_TTL: u32 = 60;
+
 /// Caches bounded below this capacity use a single shard, keeping the
 /// exact global eviction order of the old single-lock design; at or
 /// above it, per-shard capacity is large enough for striping to make
@@ -78,12 +85,17 @@ struct Shard {
 
 impl Shard {
     /// Expired-first, then oldest-entry eviction down to `capacity`.
-    fn enforce(&mut self, capacity: usize, now: u32) -> usize {
+    /// Entries still inside their serve-stale horizon (`expires_at +
+    /// max_stale > now`) count as live for the expiry sweep, so a
+    /// bounded cache keeps stale-servable entries around unless the
+    /// capacity bound forces the oldest out.
+    fn enforce(&mut self, capacity: usize, now: u32, max_stale: u32) -> usize {
         if self.entries.len() <= capacity {
             return 0;
         }
         let before = self.entries.len();
-        self.entries.retain(|_, e| e.expires_at > now);
+        self.entries
+            .retain(|_, e| e.expires_at.saturating_add(max_stale) > now);
         let mut excess = self.entries.len().saturating_sub(capacity);
         if excess > 0 {
             // Oldest `excess` insertion sequence numbers go. Collecting
@@ -115,6 +127,10 @@ pub struct Cache {
     capacity: usize,
     per_shard_capacity: usize,
     interner: NameInterner,
+    /// Serve-stale horizon (RFC 8767): how long past expiry an entry
+    /// stays readable via [`Cache::get_stale`]. 0 disables serve-stale
+    /// and restores strict at-expiry eviction.
+    max_stale: u32,
 }
 
 impl Default for Cache {
@@ -154,7 +170,22 @@ impl Cache {
             capacity,
             per_shard_capacity,
             interner: NameInterner::new(),
+            max_stale: 0,
         }
+    }
+
+    /// Sets the serve-stale horizon, in seconds past expiry (RFC 8767).
+    /// Expired entries within the horizon survive expiry sweeps and are
+    /// readable through [`Cache::get_stale`]; 0 (the default) disables
+    /// serve-stale entirely.
+    pub fn with_max_stale(mut self, max_stale: u32) -> Self {
+        self.max_stale = max_stale;
+        self
+    }
+
+    /// The configured serve-stale horizon, seconds (0 = disabled).
+    pub fn max_stale(&self) -> u32 {
+        self.max_stale
     }
 
     /// The capacity bound (`usize::MAX` when unbounded).
@@ -195,6 +226,22 @@ impl Cache {
         Some(Arc::clone(&entry.answer))
     }
 
+    /// Looks up an entry that may be *expired* but is still within the
+    /// serve-stale horizon (`expires_at + max_stale > now`). Fresh
+    /// entries qualify too, so a caller falling back after a failed
+    /// refresh never loses a race against a concurrent insert. Returns
+    /// `None` when serve-stale is disabled (`max_stale == 0`) and the
+    /// entry is expired, or when the entry is past the horizon — a
+    /// stale read never resurrects anything beyond `max_stale`.
+    pub fn get_stale(&self, key: CacheKey, now: u32) -> Option<Arc<Answer>> {
+        let shard = self.shards[key.shard as usize].read();
+        let entry = shard.entries.get(&(key.id.raw(), key.qtype))?;
+        if entry.expires_at.saturating_add(self.max_stale) <= now {
+            return None;
+        }
+        Some(Arc::clone(&entry.answer))
+    }
+
     /// Looks up a live entry (compat wrapper: interns the name and deep-
     /// copies the answer; hot paths should use [`Cache::key_of`] +
     /// [`Cache::get_shared`]).
@@ -205,17 +252,19 @@ impl Cache {
 
     /// Stores an answer under a precomputed key; lifetime is the minimum
     /// record TTL, capped at one day. Negative and empty answers are
-    /// cached for 60 seconds. On a bounded cache the insert never leaves
-    /// more than the shard's slice of `capacity` in the shard: expired
-    /// entries are dropped first, then the oldest.
+    /// cached under the RFC 2308 TTL — the SOA-minimum-derived
+    /// [`Answer::negative_ttl`] when the resolution captured one, capped
+    /// at [`MAX_NEGATIVE_TTL`], else 60 seconds. On a bounded cache the
+    /// insert never leaves more than the shard's slice of `capacity` in
+    /// the shard: expired entries are dropped first, then the oldest.
     pub fn put_shared(&self, key: CacheKey, answer: &Arc<Answer>, now: u32) {
-        let ttl = answer
-            .records
-            .iter()
-            .map(|r| r.ttl)
-            .min()
-            .unwrap_or(60)
-            .clamp(1, MAX_TTL);
+        let ttl = match answer.records.iter().map(|r| r.ttl).min() {
+            Some(ttl) => ttl.clamp(1, MAX_TTL),
+            None => answer
+                .negative_ttl
+                .unwrap_or(DEFAULT_NEGATIVE_TTL)
+                .clamp(1, MAX_NEGATIVE_TTL),
+        };
         let per_shard_capacity = self.per_shard_capacity;
         let mut shard = self.shards[key.shard as usize].write();
         let seq = shard.next_seq;
@@ -228,7 +277,7 @@ impl Cache {
                 seq,
             },
         );
-        shard.enforce(per_shard_capacity, now);
+        shard.enforce(per_shard_capacity, now, self.max_stale);
     }
 
     /// Stores an answer (compat wrapper over [`Cache::put_shared`]; one
@@ -237,15 +286,19 @@ impl Cache {
         self.put_shared(self.key_of(qname, qtype), &Arc::new(answer.clone()), now);
     }
 
-    /// Drops expired entries; returns how many were evicted. Walks the
+    /// Drops entries past their serve-stale horizon (plain expiry when
+    /// `max_stale` is 0); returns how many were evicted. Walks the
     /// shards one at a time — no global lock.
     pub fn evict_expired(&self, now: u32) -> usize {
+        let max_stale = self.max_stale;
         self.shards
             .iter()
             .map(|shard| {
                 let mut shard = shard.write();
                 let before = shard.entries.len();
-                shard.entries.retain(|_, e| e.expires_at > now);
+                shard
+                    .entries
+                    .retain(|_, e| e.expires_at.saturating_add(max_stale) > now);
                 before - shard.entries.len()
             })
             .sum()
@@ -263,7 +316,7 @@ impl Cache {
         }
         self.shards
             .iter()
-            .map(|shard| shard.write().enforce(self.per_shard_capacity, now))
+            .map(|shard| shard.write().enforce(self.per_shard_capacity, now, self.max_stale))
             .sum()
     }
 
@@ -306,6 +359,17 @@ mod tests {
             rcode: Rcode::NoError,
             security: Security::Insecure,
             chain: Vec::new(),
+            negative_ttl: None,
+        }
+    }
+
+    fn negative(negative_ttl: Option<u32>) -> Answer {
+        Answer {
+            records: Vec::new(),
+            rcode: Rcode::NxDomain,
+            security: Security::Insecure,
+            chain: Vec::new(),
+            negative_ttl,
         }
     }
 
@@ -332,15 +396,56 @@ mod tests {
     #[test]
     fn empty_answers_get_short_ttl() {
         let cache = Cache::new();
-        let empty = Answer {
-            records: Vec::new(),
-            rcode: Rcode::NxDomain,
-            security: Security::Insecure,
-            chain: Vec::new(),
-        };
-        cache.put(&name("gone.example.com"), RrType::A, &empty, 0);
+        cache.put(&name("gone.example.com"), RrType::A, &negative(None), 0);
         assert!(cache.get(&name("gone.example.com"), RrType::A, 59).is_some());
         assert!(cache.get(&name("gone.example.com"), RrType::A, 61).is_none());
+    }
+
+    #[test]
+    fn negative_answers_use_soa_minimum_ttl() {
+        let cache = Cache::new();
+        cache.put(&name("gone.example.com"), RrType::A, &negative(Some(300)), 0);
+        assert!(cache.get(&name("gone.example.com"), RrType::A, 299).is_some());
+        assert!(cache.get(&name("gone.example.com"), RrType::A, 300).is_none());
+        // RFC 2308 cap: an absurd SOA minimum is clamped to 3 hours.
+        cache.put(&name("huge.example.com"), RrType::A, &negative(Some(1_000_000)), 0);
+        assert!(cache.get(&name("huge.example.com"), RrType::A, MAX_NEGATIVE_TTL - 1).is_some());
+        assert!(cache.get(&name("huge.example.com"), RrType::A, MAX_NEGATIVE_TTL).is_none());
+    }
+
+    #[test]
+    fn stale_reads_only_within_horizon() {
+        let cache = Cache::bounded(16).with_max_stale(600);
+        let key = cache.key_of(&name("www.example.com"), RrType::A);
+        cache.put_shared(key, &Arc::new(answer(300)), 0);
+        // Fresh: both paths hit.
+        assert!(cache.get_shared(key, 299).is_some());
+        assert!(cache.get_stale(key, 299).is_some());
+        // Expired but within max_stale: only the stale path hits.
+        assert!(cache.get_shared(key, 500).is_none());
+        assert!(cache.get_stale(key, 500).is_some());
+        // Past expires_at + max_stale: gone for good.
+        assert!(cache.get_stale(key, 900).is_none());
+    }
+
+    #[test]
+    fn zero_max_stale_disables_stale_reads() {
+        let cache = Cache::new();
+        let key = cache.key_of(&name("www.example.com"), RrType::A);
+        cache.put_shared(key, &Arc::new(answer(300)), 0);
+        assert!(cache.get_stale(key, 299).is_some(), "fresh still readable");
+        assert!(cache.get_stale(key, 300).is_none());
+    }
+
+    #[test]
+    fn expiry_sweep_respects_stale_horizon() {
+        let cache = Cache::bounded(16).with_max_stale(600);
+        let key = cache.key_of(&name("www.example.com"), RrType::A);
+        cache.put_shared(key, &Arc::new(answer(300)), 0);
+        assert_eq!(cache.evict_expired(500), 0, "stale-servable entry survives");
+        assert!(cache.get_stale(key, 500).is_some());
+        assert_eq!(cache.evict_expired(901), 1, "past horizon it goes");
+        assert!(cache.get_stale(key, 901).is_none());
     }
 
     #[test]
@@ -494,6 +599,66 @@ mod tests {
         }
         assert!(hits > 0, "workload produced no hits at all");
         assert_eq!(single.len(), striped.len());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+            /// A stale read never resurrects an entry past its
+            /// `expires_at + max_stale` horizon, for any TTL, horizon,
+            /// and probe time — and within the horizon, stale reads are
+            /// a superset of fresh reads.
+            #[test]
+            fn stale_reads_never_outlive_max_stale(
+                ttl in 1u32..100_000,
+                max_stale in 0u32..100_000,
+                inserted_at in 0u32..1_000_000,
+                probe_offset in 0u32..400_000,
+            ) {
+                let cache = Cache::bounded(16).with_max_stale(max_stale);
+                let key = cache.key_of(&name("p.example.com"), RrType::A);
+                cache.put_shared(key, &Arc::new(answer(ttl)), inserted_at);
+                let expires_at = inserted_at
+                    .saturating_add(ttl.clamp(1, 86_400));
+                let now = inserted_at.saturating_add(probe_offset);
+                let stale = cache.get_stale(key, now);
+                let fresh = cache.get_shared(key, now);
+                if now >= expires_at.saturating_add(max_stale) {
+                    prop_assert!(stale.is_none(), "served past the stale horizon");
+                }
+                if fresh.is_some() {
+                    prop_assert!(stale.is_some(), "stale path lost a fresh entry");
+                }
+                // Sweeping at `now` never removes what get_stale would
+                // still serve.
+                let served_before = cache.get_stale(key, now).is_some();
+                cache.evict_expired(now);
+                prop_assert_eq!(cache.get_stale(key, now).is_some(), served_before);
+            }
+
+            /// Negative-cache TTLs are clamped to the SOA minimum the
+            /// resolution captured, never exceeding the RFC 2308 cap.
+            #[test]
+            fn negative_ttls_clamp_to_soa_minimum(
+                soa_minimum in 0u32..200_000,
+                probe in 0u32..200_000,
+            ) {
+                let cache = Cache::new();
+                let key = cache.key_of(&name("n.example.com"), RrType::A);
+                cache.put_shared(key, &Arc::new(negative(Some(soa_minimum))), 0);
+                let effective = soa_minimum.clamp(1, MAX_NEGATIVE_TTL);
+                prop_assert_eq!(
+                    cache.get_shared(key, probe).is_some(),
+                    probe < effective,
+                    "negative entry lifetime must be exactly min(SOA minimum, {})",
+                    MAX_NEGATIVE_TTL
+                );
+            }
+        }
     }
 
     #[test]

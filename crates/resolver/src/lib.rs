@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod diagnose;
 pub mod retry;
@@ -25,6 +26,7 @@ use dsec_wire::{
     group_rrsets, DnskeyRdata, DsRdata, Message, Name, RData, Rcode, Record, RrSet, RrType,
 };
 
+pub use breaker::{BreakerEvent, BreakerPolicy, BreakerSet, Transition};
 pub use cache::{Cache, CacheKey};
 pub use diagnose::{diagnose, Diagnosis, DsLink, SignatureState, ZoneDiagnosis};
 pub use retry::{HealthCache, ResolverStats, ResolverStatsSnapshot, RetryPolicy};
@@ -59,6 +61,11 @@ pub struct Answer {
     pub security: Security,
     /// Referral chain walked, outermost first (for diagnostics).
     pub chain: Vec<Name>,
+    /// For negative (empty-answer) responses: the RFC 2308 negative TTL,
+    /// `min(SOA record TTL, SOA minimum)` captured from the authority
+    /// section. `None` when the response carried no SOA (or the answer
+    /// is positive) — the cache falls back to a short default.
+    pub negative_ttl: Option<u32>,
 }
 
 /// Errors that abort resolution before any answer.
@@ -132,6 +139,11 @@ pub struct Resolver {
     health: retry::HealthCache,
     /// Attempt/timeout/fallback accounting.
     stats: retry::ResolverStats,
+    /// Per-authority circuit breakers (None = always query).
+    breaker: Option<breaker::BreakerSet>,
+    /// Simulated ms spent so far in the current top-level resolution,
+    /// checked against [`RetryPolicy::budget_ms`].
+    budget_spent: std::cell::Cell<u32>,
 }
 
 impl Resolver {
@@ -148,6 +160,8 @@ impl Resolver {
             policy: retry::RetryPolicy::default(),
             health: retry::HealthCache::new(),
             stats: retry::ResolverStats::new(),
+            breaker: None,
+            budget_spent: std::cell::Cell::new(0),
         }
     }
 
@@ -155,6 +169,19 @@ impl Resolver {
     pub fn with_policy(mut self, policy: retry::RetryPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Enables per-authority circuit breaking (builder style). Breaker
+    /// state is private to this resolver — pool workers learn about an
+    /// outage independently, keeping tallies deterministic per worker.
+    pub fn with_breaker(mut self, policy: breaker::BreakerPolicy) -> Self {
+        self.breaker = Some(breaker::BreakerSet::new(policy));
+        self
+    }
+
+    /// The circuit-breaker set, when enabled.
+    pub fn breaker(&self) -> Option<&breaker::BreakerSet> {
+        self.breaker.as_ref()
     }
 
     /// Replaces the positive cache with a caller-owned one (builder
@@ -208,16 +235,54 @@ impl Resolver {
     ) -> Result<Arc<Answer>, ResolveError> {
         if let Some(hit) = self.cache.get_shared(key, now) {
             self.stats.count_cache_hit();
+            if hit.records.is_empty() && matches!(hit.rcode, Rcode::NxDomain | Rcode::NoError) {
+                // A cached NXDOMAIN/NODATA served without touching
+                // authorities (RFC 2308).
+                self.stats.count_negative_hit();
+            }
             return Ok(hit);
         }
         self.stats.count_cache_miss();
-        let answer = Arc::new(self.resolve(qname, qtype, now)?);
-        self.cache.put_shared(key, &answer, now);
-        Ok(answer)
+        match self.resolve(qname, qtype, now) {
+            Ok(answer) => {
+                let answer = Arc::new(answer);
+                self.cache.put_shared(key, &answer, now);
+                Ok(answer)
+            }
+            Err(e) => {
+                // RFC 8767 serve-stale: on *transport* failure only (a
+                // bogus chain still SERVFAILs through the Ok path above —
+                // staleness must never mask a validation failure), fall
+                // back to an expired entry within the stale horizon.
+                if let Some(stale) = self.cache.get_stale(key, now) {
+                    self.stats.count_stale_hit();
+                    return Ok(stale);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Resolves (qname, qtype) from the roots, validating along the way.
+    /// The whole walk — every zone cut, DNSKEY fetch, retry, backoff, and
+    /// CNAME chase — shares one [`RetryPolicy::budget_ms`] latency
+    /// budget; once the accumulated simulated time crosses it, remaining
+    /// retry ladders are cut short (counted as budget-exhausted).
     pub fn resolve(&self, qname: &Name, qtype: RrType, now: u32) -> Result<Answer, ResolveError> {
+        self.budget_spent.set(0);
+        let result = self.resolve_within_budget(qname, qtype, now);
+        if self.budget_spent.get() >= self.policy.budget_ms {
+            self.stats.count_budget_exhausted();
+        }
+        result
+    }
+
+    fn resolve_within_budget(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        now: u32,
+    ) -> Result<Answer, ResolveError> {
         let mut chain = Vec::new();
         let mut cname_budget = 8;
         let mut current_qname = qname.clone();
@@ -272,7 +337,7 @@ impl Resolver {
         for _ in 0..self.max_steps {
             chain.push(zone.clone());
             let resp = self
-                .query_any(&servers, qname, qtype)
+                .query_any(&servers, qname, qtype, now)
                 .ok_or_else(|| ResolveError::AllServersUnreachable(zone.to_string()))?;
 
             // Referral?
@@ -358,6 +423,17 @@ impl Resolver {
                 _ => None,
             });
             let has_direct_answer = resp.answers.iter().any(|r| r.rtype() == qtype);
+            // RFC 2308: a negative answer's cacheable lifetime is
+            // min(SOA record TTL, SOA minimum), taken from the SOA the
+            // authority attached to the NXDOMAIN/NODATA response.
+            let negative_ttl = if resp.answers.is_empty() {
+                resp.authorities.iter().find_map(|r| match &r.rdata {
+                    RData::Soa(soa) => Some(r.ttl.min(soa.minimum)),
+                    _ => None,
+                })
+            } else {
+                None
+            };
             let records = resp
                 .answers
                 .iter()
@@ -370,6 +446,7 @@ impl Resolver {
                     rcode: resp.rcode,
                     security,
                     chain: Vec::new(),
+                    negative_ttl,
                 },
                 if has_direct_answer { None } else { cname_target },
             ));
@@ -386,7 +463,7 @@ impl Resolver {
         ds_records: &[DsRdata],
         now: u32,
     ) -> Result<Vec<DnskeyRdata>, Security> {
-        let Some(resp) = self.query_any(servers, zone, RrType::Dnskey) else {
+        let Some(resp) = self.query_any(servers, zone, RrType::Dnskey, now) else {
             return Err(Security::Bogus(ValidationError::MissingDnskey));
         };
         let dnskey_records: Vec<Record> = resp
@@ -452,6 +529,29 @@ impl Resolver {
         Security::Secure
     }
 
+    /// Records a transport-level failure against `ns` with the breaker,
+    /// counting a trip when this failure opened it.
+    fn note_upstream_failure(&self, ns: &Name, now: u32) {
+        if let Some(breaker) = &self.breaker {
+            if breaker.record_failure(ns, now) {
+                self.stats.count_breaker_trip();
+            }
+        }
+    }
+
+    /// Records a live response from `ns` with the breaker (any response —
+    /// even an error rcode — proves the server is up).
+    fn note_upstream_success(&self, ns: &Name, now: u32) {
+        if let Some(breaker) = &self.breaker {
+            breaker.record_success(ns, now);
+        }
+    }
+
+    /// Charges `ms` of simulated latency against the resolution budget.
+    fn spend(&self, ms: u32) {
+        self.budget_spent.set(self.budget_spent.get().saturating_add(ms));
+    }
+
     /// Queries the zone cut's servers with retries, backoff, health-aware
     /// rotation, and TCP fallback on truncation.
     ///
@@ -462,7 +562,14 @@ impl Resolver {
     /// kept as a last resort so a lame-but-responding fleet still yields
     /// its rcode to the caller (as the pre-retry resolver did), while a
     /// healthier server later in the rotation can still win.
-    fn query_any(&self, servers: &[Name], qname: &Name, qtype: RrType) -> Option<Message> {
+    ///
+    /// Two degradation guards bound the ladder: the resolution-wide
+    /// latency budget ([`RetryPolicy::budget_ms`]) cuts it off once the
+    /// accumulated simulated time (answer latencies, timeout deadlines,
+    /// backoff) crosses the budget, and an enabled circuit breaker
+    /// ([`Resolver::with_breaker`]) skips servers whose breaker is open,
+    /// letting one half-open probe through per probe interval.
+    fn query_any(&self, servers: &[Name], qname: &Name, qtype: RrType, now: u32) -> Option<Message> {
         let id = self.next_id.get();
         self.next_id.set(id.wrapping_add(1));
         let query = Message::query(id, qname.clone(), qtype, true);
@@ -473,6 +580,7 @@ impl Resolver {
         let mut retries = 0u32;
         let mut last_error_response: Option<Message> = None;
         while attempts < self.policy.max_attempts {
+            let attempts_at_round_start = attempts;
             // Index-based healthiest-first order: on the fault-free path
             // this is the identity permutation with zero name clones.
             for idx in self.health.order_indices(servers) {
@@ -480,34 +588,59 @@ impl Resolver {
                 if attempts >= self.policy.max_attempts {
                     break;
                 }
+                if self.budget_spent.get() >= self.policy.budget_ms {
+                    return last_error_response;
+                }
+                if let Some(breaker) = &self.breaker {
+                    if !breaker.allow(ns, now) {
+                        self.stats.count_breaker_short_circuit();
+                        continue;
+                    }
+                }
                 attempts += 1;
                 self.stats.count_attempt();
-                match self.network.query_udp(ns, &query, self.policy.deadline_ms) {
+                match self
+                    .network
+                    .query_udp_at(ns, &query, self.policy.deadline_ms, now)
+                {
                     QueryOutcome::Unreachable => {
                         // Not registered: retrying cannot help this server.
                         self.health.record_failure(ns);
+                        self.note_upstream_failure(ns, now);
                     }
                     QueryOutcome::Timeout => {
                         self.stats.count_timeout();
                         self.health.record_failure(ns);
-                        self.stats.count_backoff(self.policy.backoff_ms(retries));
+                        self.note_upstream_failure(ns, now);
+                        let backoff = self.policy.backoff_ms(retries);
+                        self.stats.count_backoff(backoff);
+                        self.spend(self.policy.deadline_ms.saturating_add(backoff));
                         retries += 1;
                     }
-                    QueryOutcome::Answered { response, .. } => {
+                    QueryOutcome::Answered { response, latency_ms } => {
+                        self.spend(latency_ms);
                         if response.flags.truncated {
                             self.stats.count_tcp_fallback();
-                            match self.network.query_tcp(ns, &query) {
-                                QueryOutcome::Answered { response, .. } => {
+                            match self.network.query_tcp_at(ns, &query, now) {
+                                QueryOutcome::Answered { response, latency_ms } => {
+                                    self.spend(latency_ms);
                                     self.health.record_success(ns);
+                                    self.note_upstream_success(ns, now);
                                     return Some(response);
                                 }
                                 _ => {
                                     self.stats.count_timeout();
                                     self.health.record_failure(ns);
+                                    self.note_upstream_failure(ns, now);
+                                    self.spend(self.policy.deadline_ms);
                                     continue;
                                 }
                             }
                         }
+                        // Any response — even an error rcode — proves the
+                        // server is alive: the breaker only guards against
+                        // transport-level outages.
+                        self.note_upstream_success(ns, now);
                         if matches!(response.rcode, Rcode::ServFail | Rcode::Refused) {
                             self.stats.count_error_rcode();
                             self.health.record_failure(ns);
@@ -518,6 +651,11 @@ impl Resolver {
                         return Some(response);
                     }
                 }
+            }
+            // Every candidate short-circuited by an open breaker: another
+            // round in the same sim-second cannot make progress.
+            if attempts == attempts_at_round_start {
+                break;
             }
             // A round with zero live candidates cannot improve: stop early.
             if servers
@@ -564,6 +702,7 @@ impl Resolver {
                     rcode: Rcode::ServFail,
                     security: Security::Insecure,
                     chain: vec![Name::parse(&zone).unwrap_or_else(|_| Name::root())],
+                    negative_ttl: None,
                 },
                 degradation: Degradation::Unreachable,
             }),
@@ -1090,6 +1229,125 @@ mod tests {
             resolver.health().penalty(&name("ns1.operator.net")) < penalty_while_down,
             "successes decay the penalty"
         );
+    }
+
+    #[test]
+    fn negative_answers_cached_under_soa_minimum() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let first = resolver
+            .resolve_cached(&name("missing.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(first.rcode, Rcode::NxDomain);
+        assert_eq!(first.negative_ttl, Some(300), "min(SOA TTL 3600, minimum 300)");
+        let queries = w.network.query_count();
+        // Within the SOA minimum, the repeat miss is a negative hit.
+        let hit = resolver
+            .resolve_cached(&name("missing.example.com"), RrType::A, NOW + 299)
+            .unwrap();
+        assert_eq!(hit.rcode, Rcode::NxDomain);
+        assert_eq!(w.network.query_count(), queries, "served from negative cache");
+        assert_eq!(resolver.stats().negative_hits, 1);
+        // Past it, authorities are consulted again.
+        let _ = resolver
+            .resolve_cached(&name("missing.example.com"), RrType::A, NOW + 300)
+            .unwrap();
+        assert!(w.network.query_count() > queries);
+    }
+
+    #[test]
+    fn stale_answer_served_during_outage_window() {
+        let w = build_world(true, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys))
+            .with_shared_cache(Arc::new(Cache::bounded(64).with_max_stale(3600)));
+        let warm = resolver
+            .resolve_cached(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(warm.security, Security::Secure);
+        // Whole fleet goes dark; the www A record (TTL 300) has expired.
+        w.network.faults().enable(21);
+        for ns in ["a.root-servers.net", "a.gtld-servers.net", "ns1.operator.net"] {
+            w.network.faults().set_down(&name(ns), true);
+        }
+        let stale = resolver
+            .resolve_cached(&name("www.example.com"), RrType::A, NOW + 400)
+            .unwrap();
+        assert_eq!(stale.records, warm.records, "stale serve returns the old data");
+        assert_eq!(resolver.stats().stale_hits, 1);
+        // Past the stale horizon, the transport failure propagates:
+        // serve-stale never resurrects entries beyond max_stale.
+        assert!(resolver
+            .resolve_cached(&name("www.example.com"), RrType::A, NOW + 300 + 3600 + 10)
+            .is_err());
+    }
+
+    #[test]
+    fn stale_serve_does_not_mask_bogus_servfail() {
+        // DS uploaded but the zone unsigned: validation fails, answers
+        // SERVFAIL through the Ok path — and the SERVFAIL is what gets
+        // cached and re-served, never a stale "good" answer.
+        let w = build_world(false, true);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys))
+            .with_shared_cache(Arc::new(Cache::bounded(64).with_max_stale(3600)));
+        let bogus = resolver
+            .resolve_cached(&name("www.example.com"), RrType::A, NOW)
+            .unwrap();
+        assert_eq!(bogus.rcode, Rcode::ServFail);
+        assert_eq!(resolver.stats().stale_hits, 0);
+    }
+
+    #[test]
+    fn breaker_trips_during_window_and_recloses_after() {
+        let w = build_world(true, true);
+        w.network.faults().enable(22);
+        let ns = name("ns1.operator.net");
+        w.network.faults().schedule_down(&ns, NOW, NOW + 100);
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys))
+            .with_breaker(BreakerPolicy::default());
+        // During the window, failures accumulate and the breaker trips;
+        // further attempts in the same sim-second short-circuit.
+        let _ = resolver.resolve(&name("www.example.com"), RrType::A, NOW + 10);
+        assert!(resolver.stats().breaker_trips >= 1);
+        assert_eq!(resolver.breaker().unwrap().open_count(), 1);
+        let _ = resolver.resolve(&name("www.example.com"), RrType::A, NOW + 10);
+        assert!(resolver.stats().breaker_short_circuits > 0);
+        // After the window, the first probe succeeds and the breaker
+        // re-closes — full recovery, validated answer.
+        let answer = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW + 200)
+            .unwrap();
+        assert_eq!(answer.security, Security::Secure);
+        assert_eq!(resolver.breaker().unwrap().open_count(), 0);
+        let kinds: Vec<Transition> = resolver
+            .breaker()
+            .unwrap()
+            .transitions()
+            .iter()
+            .map(|e| e.transition)
+            .collect();
+        assert!(kinds.contains(&Transition::Trip));
+        assert!(kinds.contains(&Transition::Probe));
+        assert!(kinds.contains(&Transition::Close));
+    }
+
+    #[test]
+    fn sustained_outage_exhausts_latency_budget() {
+        let w = build_world(true, true);
+        w.network.faults().enable(23);
+        for ns in ["a.root-servers.net", "a.gtld-servers.net", "ns1.operator.net"] {
+            w.network.faults().set_down(&name(ns), true);
+        }
+        let resolver = Resolver::new(w.network.clone(), trust_anchor_for(&w.root_keys));
+        let err = resolver
+            .resolve(&name("www.example.com"), RrType::A, NOW)
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::AllServersUnreachable(_)));
+        let stats = resolver.stats();
+        assert_eq!(stats.budget_exhausted, 1, "the 3s budget was crossed once");
+        // Without the budget, the walk would burn 8 attempts on the root
+        // DNSKEY fetch and 8 more on the root zone cut; the budget cuts
+        // it off well before that.
+        assert!(stats.udp_attempts <= 6, "attempts {} not clamped", stats.udp_attempts);
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub struct RetryPolicy {
     pub base_backoff_ms: u32,
     /// Backoff ceiling, in simulated ms.
     pub max_backoff_ms: u32,
+    /// Total simulated-time budget for one top-level resolution, in ms.
+    /// Per-attempt deadlines bound a single exchange, but a sustained
+    /// outage can stack NS rotations, backoff, and TCP fallback far past
+    /// any realistic client deadline; once the accumulated simulated
+    /// latency of a resolution crosses this budget, the retry ladder
+    /// stops cold and the query fails fast (counted as budget-exhausted).
+    pub budget_ms: u32,
 }
 
 impl Default for RetryPolicy {
@@ -39,6 +46,7 @@ impl Default for RetryPolicy {
             deadline_ms: 500,
             base_backoff_ms: 50,
             max_backoff_ms: 800,
+            budget_ms: 3_000,
         }
     }
 }
@@ -172,6 +180,11 @@ pub struct ResolverStats {
     backoff_ms: Cell<u64>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
+    stale_hits: Cell<u64>,
+    negative_hits: Cell<u64>,
+    budget_exhausted: Cell<u64>,
+    breaker_trips: Cell<u64>,
+    breaker_short_circuits: Cell<u64>,
 }
 
 /// A point-in-time copy of [`ResolverStats`].
@@ -193,6 +206,21 @@ pub struct ResolverStatsSnapshot {
     /// [`resolve_cached`](crate::Resolver::resolve_cached) lookups that
     /// had to resolve from the roots.
     pub cache_misses: u64,
+    /// Expired-but-servable answers returned after upstream resolution
+    /// failed (RFC 8767 serve-stale).
+    pub stale_hits: u64,
+    /// Cached NXDOMAIN/NODATA answers served without touching
+    /// authorities (RFC 2308 negative caching). Also counted in
+    /// `cache_hits`.
+    pub negative_hits: u64,
+    /// Resolutions aborted because accumulated simulated latency crossed
+    /// [`RetryPolicy::budget_ms`].
+    pub budget_exhausted: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_trips: u64,
+    /// Upstream attempts skipped because an authority's breaker was
+    /// open (and the probe slot for the current interval was spent).
+    pub breaker_short_circuits: u64,
 }
 
 impl ResolverStatsSnapshot {
@@ -246,6 +274,26 @@ impl ResolverStats {
         self.cache_misses.set(self.cache_misses.get() + 1);
     }
 
+    pub(crate) fn count_stale_hit(&self) {
+        self.stale_hits.set(self.stale_hits.get() + 1);
+    }
+
+    pub(crate) fn count_negative_hit(&self) {
+        self.negative_hits.set(self.negative_hits.get() + 1);
+    }
+
+    pub(crate) fn count_budget_exhausted(&self) {
+        self.budget_exhausted.set(self.budget_exhausted.get() + 1);
+    }
+
+    pub(crate) fn count_breaker_trip(&self) {
+        self.breaker_trips.set(self.breaker_trips.get() + 1);
+    }
+
+    pub(crate) fn count_breaker_short_circuit(&self) {
+        self.breaker_short_circuits.set(self.breaker_short_circuits.get() + 1);
+    }
+
     /// A copy of the current counter values.
     pub fn snapshot(&self) -> ResolverStatsSnapshot {
         ResolverStatsSnapshot {
@@ -256,6 +304,11 @@ impl ResolverStats {
             backoff_ms: self.backoff_ms.get(),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
+            stale_hits: self.stale_hits.get(),
+            negative_hits: self.negative_hits.get(),
+            budget_exhausted: self.budget_exhausted.get(),
+            breaker_trips: self.breaker_trips.get(),
+            breaker_short_circuits: self.breaker_short_circuits.get(),
         }
     }
 }

@@ -9,7 +9,12 @@
 //! - **Bogus** — a chain exists but fails validation (mismatched DS,
 //!   abrupt rollover); a validating resolver SERVFAILs the user;
 //! - **ServFail** — no usable answer for non-DNSSEC reasons (all
-//!   nameservers unreachable, lame delegations).
+//!   nameservers unreachable, lame delegations);
+//! - **Stale** — upstream resolution failed but an expired cache entry
+//!   within the serve-stale horizon answered (RFC 8767): degraded but
+//!   available;
+//! - **NegativeHit** — a cached NXDOMAIN/NODATA served under its SOA-
+//!   minimum TTL without touching authorities (RFC 2308).
 //!
 //! Counts are attributed to the *registrar* the domain was bought from
 //! (whose policy decides whether a DS ever reaches the registry) and to
@@ -23,7 +28,7 @@ use dsec_wire::Rcode;
 
 use crate::telemetry::LatencyHistogram;
 
-/// The four terminal states of one user query.
+/// The terminal states of one user query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// Chain validated end to end.
@@ -34,6 +39,12 @@ pub enum Outcome {
     Bogus,
     /// No usable answer (network/lameness, not validation).
     ServFail,
+    /// Served from an expired cache entry after upstream failure
+    /// (RFC 8767 serve-stale): the user got an answer during an outage.
+    Stale,
+    /// Served from the negative cache (RFC 2308): a remembered
+    /// NXDOMAIN/NODATA without an upstream round trip.
+    NegativeHit,
 }
 
 /// Classifies a resolution result into an [`Outcome`].
@@ -68,12 +79,16 @@ pub struct OutcomeCounts {
     pub bogus: u64,
     /// Failed for non-validation reasons.
     pub servfail: u64,
+    /// Served stale from an expired cache entry during upstream failure.
+    pub stale: u64,
+    /// Served from the negative cache.
+    pub negative: u64,
 }
 
 impl OutcomeCounts {
     /// Total queries accounted.
     pub fn total(&self) -> u64 {
-        self.secure + self.insecure + self.bogus + self.servfail
+        self.secure + self.insecure + self.bogus + self.servfail + self.stale + self.negative
     }
 
     /// Adds one outcome.
@@ -83,6 +98,8 @@ impl OutcomeCounts {
             Outcome::Insecure => self.insecure += 1,
             Outcome::Bogus => self.bogus += 1,
             Outcome::ServFail => self.servfail += 1,
+            Outcome::Stale => self.stale += 1,
+            Outcome::NegativeHit => self.negative += 1,
         }
     }
 
@@ -92,6 +109,8 @@ impl OutcomeCounts {
         self.insecure += other.insecure;
         self.bogus += other.bogus;
         self.servfail += other.servfail;
+        self.stale += other.stale;
+        self.negative += other.negative;
     }
 
     /// Fraction of queries that were cryptographically protected.
@@ -101,6 +120,19 @@ impl OutcomeCounts {
             0.0
         } else {
             self.secure as f64 / total as f64
+        }
+    }
+
+    /// Fraction of queries the user got *an answer* for: everything but
+    /// validation refusals (Bogus) and hard failures (ServFail). Stale
+    /// and negative-cache serves count as available — that is the whole
+    /// point of graceful degradation.
+    pub fn availability(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.secure + self.insecure + self.stale + self.negative) as f64 / total as f64
         }
     }
 }
@@ -172,16 +204,26 @@ impl TrafficReport {
         self.outcomes.secure_share()
     }
 
-    /// The campaign summary line, including the resolver-cache counters.
+    /// Fraction of user queries that got an answer at all (Secure +
+    /// Insecure + Stale + NegativeHit).
+    pub fn availability(&self) -> f64 {
+        self.outcomes.availability()
+    }
+
+    /// The campaign summary line, including the resolver-cache counters
+    /// and the degradation (stale / negative-hit) rates.
     pub fn summary_line(&self) -> String {
         format!(
             "user traffic : {} queries, {:.1}% secure / {:.1}% insecure / {} bogus / {} servfail; \
+             {:.1}% stale / {:.1}% negative-hit; \
              p50 {} ms, p99 {} ms; resolver cache {:.1}% hit rate ({} hits / {} misses, {} entries)",
             self.total,
             100.0 * self.outcomes.secure as f64 / self.total.max(1) as f64,
             100.0 * self.outcomes.insecure as f64 / self.total.max(1) as f64,
             self.outcomes.bogus,
             self.outcomes.servfail,
+            100.0 * self.outcomes.stale as f64 / self.total.max(1) as f64,
+            100.0 * self.outcomes.negative as f64 / self.total.max(1) as f64,
             self.histogram.p50(),
             self.histogram.p99(),
             100.0 * self.cache_hit_rate(),
@@ -214,5 +256,25 @@ mod tests {
         assert_eq!(a.servfail, 1);
         assert!((a.secure_share() - 0.4).abs() < 1e-12);
         assert_eq!(OutcomeCounts::default().secure_share(), 0.0);
+    }
+
+    #[test]
+    fn degraded_outcomes_count_toward_availability() {
+        let mut counts = OutcomeCounts::default();
+        counts.add(Outcome::Secure);
+        counts.add(Outcome::Stale);
+        counts.add(Outcome::NegativeHit);
+        counts.add(Outcome::ServFail);
+        counts.add(Outcome::Bogus);
+        assert_eq!(counts.total(), 5);
+        assert_eq!(counts.stale, 1);
+        assert_eq!(counts.negative, 1);
+        assert!((counts.availability() - 0.6).abs() < 1e-12, "3 of 5 answered");
+        // secure_share stays honest: stale serves are not "secure".
+        assert!((counts.secure_share() - 0.2).abs() < 1e-12);
+        assert_eq!(OutcomeCounts::default().availability(), 0.0);
+        let mut merged = OutcomeCounts::default();
+        merged.merge(&counts);
+        assert_eq!(merged, counts, "merge carries the degraded columns");
     }
 }

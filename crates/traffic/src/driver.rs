@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dsec_ecosystem::World;
-use dsec_resolver::{Cache, CacheKey, Resolver, RetryPolicy};
+use dsec_resolver::{BreakerPolicy, Cache, CacheKey, Resolver, RetryPolicy};
 use dsec_wire::name_hash64;
 use dsec_workloads::TrafficMix;
 
@@ -69,6 +69,17 @@ pub struct LoadConfig {
     pub sim_qps: u32,
     /// Workers call [`Cache::enforce_capacity`] every this many queries.
     pub evict_interval: u64,
+    /// Serve-stale horizon (RFC 8767), seconds past expiry an entry may
+    /// still answer when upstream fails. 0 disables serve-stale.
+    pub max_stale: u32,
+    /// Per-authority circuit-breaker policy for the worker resolvers.
+    /// `None` runs the bare retry ladder.
+    pub breaker: Option<BreakerPolicy>,
+    /// Offset added to the world's epoch when planning the stream,
+    /// simulated seconds. Lets a follow-up phase (e.g. an outage window
+    /// replayed over a warm shared cache) start where the previous
+    /// phase's sim clock left off.
+    pub now_offset_s: u32,
 }
 
 impl Default for LoadConfig {
@@ -81,6 +92,9 @@ impl Default for LoadConfig {
             cache_capacity: 65_536,
             sim_qps: 64,
             evict_interval: 1_024,
+            max_stale: 0,
+            breaker: None,
+            now_offset_s: 0,
         }
     }
 }
@@ -110,6 +124,31 @@ impl LoadConfig {
     pub fn with_queries(mut self, queries: u64) -> Self {
         self.queries = queries.max(1);
         self
+    }
+
+    /// Sets the serve-stale horizon (builder style).
+    pub fn with_max_stale(mut self, max_stale: u32) -> Self {
+        self.max_stale = max_stale;
+        self
+    }
+
+    /// Arms per-authority circuit breakers on every worker resolver
+    /// (builder style).
+    pub fn with_breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker = Some(policy);
+        self
+    }
+
+    /// Sets the sim-clock offset for the stream start (builder style).
+    pub fn with_now_offset(mut self, now_offset_s: u32) -> Self {
+        self.now_offset_s = now_offset_s;
+        self
+    }
+
+    /// Sim seconds the stream spans at `sim_qps` (how far the clock
+    /// advances from the first query to the last).
+    pub fn stream_span_s(&self) -> u32 {
+        (self.queries.max(1) / self.sim_qps.max(1) as u64) as u32
     }
 }
 
@@ -151,13 +190,24 @@ impl WorkerTally {
 /// `config.threads` workers (one [`Resolver`] each, all behind one
 /// bounded shared [`Cache`]), and returns the merged report.
 pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
+    let cache = Arc::new(Cache::bounded(config.cache_capacity).with_max_stale(config.max_stale));
+    run_load_shared(world, config, cache)
+}
+
+/// Like [`run_load`] but over a caller-supplied shared cache, so
+/// multi-phase campaigns (warm-up, then an outage window) can carry cache
+/// state between phases. The caller owns the cache's serve-stale horizon;
+/// `config.max_stale` is ignored here. Combine with
+/// [`LoadConfig::with_now_offset`] so the follow-up phase's sim clock
+/// continues where the previous phase ended.
+pub fn run_load_shared(world: &World, config: &LoadConfig, cache: Arc<Cache>) -> TrafficReport {
     let population = TrafficPopulation::from_world(world);
     let stream = generate_stream(
         &population,
         &config.mix,
         config.seed,
         config.queries.max(1),
-        world.today.epoch_seconds(),
+        world.today.epoch_seconds().saturating_add(config.now_offset_s),
         config.sim_qps,
     );
 
@@ -167,7 +217,6 @@ pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
         shards[shard_of(query, threads)].push(i);
     }
 
-    let cache = Arc::new(Cache::bounded(config.cache_capacity));
     // Intern every query name once, single-threaded, before the clock
     // starts: workers index this table instead of hashing names.
     let keys: Vec<CacheKey> = stream
@@ -190,9 +239,12 @@ pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
                 let keys = &keys;
                 let population = &population;
                 scope.spawn(move |_| {
-                    let resolver = Resolver::new(network, trust_anchor)
+                    let mut resolver = Resolver::new(network, trust_anchor)
                         .with_policy(RetryPolicy::default())
                         .with_shared_cache(cache.clone());
+                    if let Some(policy) = config.breaker {
+                        resolver = resolver.with_breaker(policy);
+                    }
                     let mut tally =
                         WorkerTally::new(population.registrars.len(), population.operators.len());
                     for (done, &i) in shard.iter().enumerate() {
@@ -217,6 +269,13 @@ pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
                         tally.sim_busy_ms += latency as u64;
 
                         let outcome = match &result {
+                            // Degraded serves outrank the RFC 4035 class:
+                            // a stale answer is "available during outage",
+                            // whatever its original validation state.
+                            Ok(_) if after.stale_hits > before.stale_hits => Outcome::Stale,
+                            Ok(_) if after.negative_hits > before.negative_hits => {
+                                Outcome::NegativeHit
+                            }
                             Ok(answer) => classify_answer(answer),
                             Err(_) => Outcome::ServFail,
                         };
@@ -274,6 +333,11 @@ pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
         resolver_stats.backoff_ms += tally.stats.backoff_ms;
         resolver_stats.cache_hits += tally.stats.cache_hits;
         resolver_stats.cache_misses += tally.stats.cache_misses;
+        resolver_stats.stale_hits += tally.stats.stale_hits;
+        resolver_stats.negative_hits += tally.stats.negative_hits;
+        resolver_stats.budget_exhausted += tally.stats.budget_exhausted;
+        resolver_stats.breaker_trips += tally.stats.breaker_trips;
+        resolver_stats.breaker_short_circuits += tally.stats.breaker_short_circuits;
         sim_elapsed_ms = sim_elapsed_ms.max(tally.sim_busy_ms);
     }
 

@@ -38,10 +38,11 @@ pub mod telemetry;
 pub mod workload;
 
 pub use account::{Outcome, OutcomeCounts, TrafficReport};
-pub use driver::{run_load, LoadConfig};
+pub use driver::{run_load, run_load_shared, LoadConfig};
 pub use telemetry::LatencyHistogram;
 pub use workload::{PlannedQuery, TrafficPopulation, Zipf};
 
 // Re-exported so report consumers can build/inspect a [`TrafficReport`]
-// without depending on the resolver crate directly.
-pub use dsec_resolver::ResolverStatsSnapshot;
+// (or arm the degradation machinery) without depending on the resolver
+// crate directly.
+pub use dsec_resolver::{BreakerPolicy, Cache, ResolverStatsSnapshot};

@@ -1,19 +1,129 @@
 //! Chaos campaign: the measurement pipeline under a degraded network.
 //!
-//! Builds the same tiny population twice, runs one scan campaign over a
-//! clean network and one with the fault plane injecting a 5%
-//! drop/SERVFAIL mix plus a flapping nameserver fleet, then compares the
-//! two with experiment E-R1 and prints the degradation record.
+//! Part 1 (E-R1): builds the same tiny population twice, runs one scan
+//! campaign over a clean network and one with the fault plane injecting
+//! a 5% drop/SERVFAIL mix plus a flapping nameserver fleet, then
+//! compares the two and prints the degradation record.
+//!
+//! Part 2 (E-R2): graceful degradation under sustained outages — the
+//! serve-stale / negative-caching / circuit-breaker contract against
+//! declarative outage scenarios, plus a live breaker transition log and
+//! a phase-by-phase availability timeline.
+//!
+//! Exits nonzero unless both robustness experiments reproduce (the CI
+//! chaos-smoke job runs this binary).
 //!
 //! Run with: `cargo run --release --example chaos_campaign`
 
-use dsec::authserver::FaultProfile;
-use dsec::core::experiment_chaos;
-use dsec::ecosystem::Tld;
-use dsec::scanner::{scan_campaign, CampaignConfig};
+use std::sync::Arc;
+
+use dsec::authserver::{FaultProfile, OutageScenario};
+use dsec::core::{experiment_chaos, experiment_outage};
+use dsec::ecosystem::{Tld, World};
+use dsec::resolver::{BreakerPolicy, Cache, Resolver};
+use dsec::scanner::{operator_of, scan_campaign, CampaignConfig};
+use dsec::traffic::{run_load_shared, LoadConfig};
+use dsec::wire::{Name, RrType};
 use dsec::workloads::{build, PopulationConfig};
 
 const CHAOS_SEED: u64 = 0xC4A05;
+
+/// The biggest DNS operator (by hosted domains) and its nameserver fleet.
+fn largest_operator(world: &World) -> (String, Vec<Name>) {
+    let mut sizes: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut fleets: std::collections::BTreeMap<String, std::collections::BTreeSet<Name>> =
+        std::collections::BTreeMap::new();
+    for d in world.domains() {
+        let ns = world.registry(d.tld).ns_of(&d.name);
+        let Some(op) = operator_of(&ns) else { continue };
+        let key = op.to_string();
+        *sizes.entry(key.clone()).or_insert(0) += 1;
+        fleets.entry(key).or_default().extend(ns);
+    }
+    let victim = sizes
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(k, _)| k.clone())
+        .expect("populated world");
+    let fleet = fleets.remove(&victim).unwrap_or_default().into_iter().collect();
+    (victim, fleet)
+}
+
+/// Prints the E-R2 demo: breaker transition log + availability timeline.
+fn degradation_demo() {
+    let pw = build(&PopulationConfig::tiny());
+    let world = &pw.world;
+    let base = world.today.epoch_seconds();
+    let queries: u64 = 2_048;
+    let qps: u32 = 4;
+    let span = (queries / qps as u64) as u32;
+    let (victim, fleet) = largest_operator(world);
+
+    world.fault_plane().enable(CHAOS_SEED);
+    OutageScenario::operator_outage("operator-outage", fleet.clone(), base + span, base + 2 * span)
+        .install(world.fault_plane());
+
+    // Live breaker transition log: one resolver staring at the dead
+    // fleet through the window.
+    let victim_domain = world
+        .domains()
+        .find(|d| {
+            let ns = world.registry(d.tld).ns_of(&d.name);
+            ns.first().is_some_and(|first| fleet.contains(first))
+        })
+        .map(|d| d.name.clone())
+        .expect("victim operator hosts a domain");
+    let resolver = Resolver::new(world.network.clone(), world.trust_anchor()).with_breaker(
+        BreakerPolicy {
+            failure_threshold: 3,
+            probe_interval_s: 60,
+        },
+    );
+    for t in (0..=(2 * span + 120)).step_by(64) {
+        let _ = resolver.resolve(&victim_domain, RrType::A, base + span / 2 + t);
+    }
+    println!("breaker transitions ({victim_domain} via {victim}):");
+    for event in resolver.breaker().expect("breaker armed").transitions() {
+        println!(
+            "  t+{:>5}s  {:<28} {}",
+            event.at - base,
+            event.authority.to_string(),
+            event.transition.label(),
+        );
+    }
+
+    // Availability timeline: the same stream replayed warm → outage →
+    // recovery over one shared serve-stale cache.
+    let mut config = LoadConfig::default()
+        .with_queries(queries)
+        .with_seed(CHAOS_SEED)
+        .with_max_stale(7_200)
+        .with_breaker(BreakerPolicy {
+            failure_threshold: 3,
+            probe_interval_s: 30,
+        });
+    config.sim_qps = qps;
+    let cache = Arc::new(Cache::bounded(config.cache_capacity).with_max_stale(7_200));
+    println!("\navailability timeline (victim fleet down t+{span}s..t+{}s):", 2 * span);
+    println!("  phase      window          avail%  stale%  servfail%  breaker-trips");
+    for (label, offset) in [
+        ("warm-up", 0),
+        ("outage", span),
+        ("recovery", 2 * span + 60),
+    ] {
+        let report = run_load_shared(world, &config.clone().with_now_offset(offset), Arc::clone(&cache));
+        println!(
+            "  {:<9} t+{:>5}s..{:>5}s {:>6.1} {:>7.1} {:>10.1} {:>14}",
+            label,
+            offset,
+            offset + span,
+            100.0 * report.availability(),
+            100.0 * report.outcomes.stale as f64 / report.total.max(1) as f64,
+            100.0 * report.outcomes.servfail as f64 / report.total.max(1) as f64,
+            report.resolver.breaker_trips,
+        );
+    }
+}
 
 fn main() {
     // Clean baseline.
@@ -60,4 +170,21 @@ fn main() {
             "artifact drifted beyond tolerance (see table above)"
         }
     );
+
+    // Part 2: graceful degradation under sustained outages.
+    let outage = experiment_outage(&PopulationConfig::tiny());
+    println!("\n{}", outage.to_markdown());
+    degradation_demo();
+    println!(
+        "\nverdict: {}",
+        if outage.reproduced() {
+            "graceful degradation held (E-R2 reproduced)"
+        } else {
+            "degradation contract broken (see table above)"
+        }
+    );
+
+    if !result.reproduced() || !outage.reproduced() {
+        std::process::exit(1);
+    }
 }

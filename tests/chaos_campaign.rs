@@ -7,12 +7,39 @@
 //!   nonzero unreachable/indeterminate counts, and never loses domains;
 //! * same seed → byte-identical snapshots, regardless of thread count.
 
-use dsec::authserver::FaultProfile;
-use dsec::ecosystem::{Tld, ALL_TLDS};
-use dsec::scanner::{scan_campaign, CampaignConfig, OperatorStats};
+use std::sync::Arc;
+
+use dsec::authserver::{FaultProfile, OutageScenario};
+use dsec::ecosystem::{Tld, World, ALL_TLDS};
+use dsec::resolver::{BreakerPolicy, Cache, Resolver};
+use dsec::scanner::{operator_of, scan_campaign, CampaignConfig, OperatorStats};
+use dsec::traffic::{run_load_shared, LoadConfig};
+use dsec::wire::{Name, RrType};
 use dsec::workloads::{build, PopulationConfig};
 
 const CHAOS_SEED: u64 = 0xC4A05;
+
+/// The biggest DNS operator's key and nameserver fleet — the outage
+/// victim whose domains are guaranteed a healthy share of the Zipf head.
+fn largest_operator(world: &World) -> (String, Vec<Name>) {
+    let mut sizes: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut fleets: std::collections::BTreeMap<String, std::collections::BTreeSet<Name>> =
+        std::collections::BTreeMap::new();
+    for d in world.domains() {
+        let ns = world.registry(d.tld).ns_of(&d.name);
+        let Some(op) = operator_of(&ns) else { continue };
+        let key = op.to_string();
+        *sizes.entry(key.clone()).or_insert(0) += 1;
+        fleets.entry(key).or_default().extend(ns);
+    }
+    let victim = sizes
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(k, _)| k.clone())
+        .expect("populated world");
+    let fleet = fleets.remove(&victim).unwrap_or_default().into_iter().collect();
+    (victim, fleet)
+}
 
 fn total_degraded(stats: &OperatorStats) -> u64 {
     stats.unreachable + stats.indeterminate
@@ -93,6 +120,113 @@ fn chaos_campaign_completes_and_records_degradation() {
         pw.world.fault_plane().stats().total() > 0,
         "faults actually fired"
     );
+}
+
+#[test]
+fn outage_load_serves_stale_during_window_and_recovers() {
+    let pw = build(&PopulationConfig::tiny());
+    let world = &pw.world;
+    let base = world.today.epoch_seconds();
+    let queries: u64 = 2_048;
+    let qps: u32 = 4;
+    let span = (queries / qps as u64) as u32;
+    let (victim_key, fleet) = largest_operator(world);
+
+    world.fault_plane().enable(CHAOS_SEED);
+    OutageScenario::operator_outage("mid-campaign", fleet, base + span, base + 2 * span + 60)
+        .install(world.fault_plane());
+
+    let mut config = LoadConfig::default()
+        .with_queries(queries)
+        .with_seed(CHAOS_SEED)
+        .with_max_stale(7_200)
+        .with_breaker(BreakerPolicy {
+            failure_threshold: 3,
+            probe_interval_s: 30,
+        });
+    config.sim_qps = qps;
+    let cache = Arc::new(Cache::bounded(config.cache_capacity).with_max_stale(7_200));
+
+    // Phase 1 — clean warm-up: nothing stale, nothing failing.
+    let warm = run_load_shared(world, &config, Arc::clone(&cache));
+    assert_eq!(warm.outcomes.stale, 0, "no stale serves before the outage");
+    assert_eq!(warm.outcomes.servfail, 0, "clean network answers everything");
+
+    // Phase 2 — the same stream inside the outage window: expired victim
+    // entries are served stale, the breaker trips, and the victim
+    // operator's warm-cache availability survives the dead fleet.
+    let outage = run_load_shared(world, &config.clone().with_now_offset(span), Arc::clone(&cache));
+    assert!(outage.outcomes.stale > 0, "stale serves during the window");
+    assert!(outage.resolver.stale_hits > 0);
+    assert!(outage.resolver.breaker_trips > 0, "breaker tripped on the dead fleet");
+    let victim = outage
+        .by_operator
+        .get(&victim_key)
+        .copied()
+        .unwrap_or_default();
+    assert!(victim.total() > 0, "victim operator got queries");
+    assert!(
+        victim.availability() >= 0.90,
+        "victim warm-cache availability {:.3} under sustained outage",
+        victim.availability()
+    );
+
+    // Phase 3 — after the window: upstream answers again, stale serves
+    // stop, and nothing is left failing.
+    let recovered = run_load_shared(world, &config.clone().with_now_offset(2 * span + 120), cache);
+    assert_eq!(recovered.outcomes.stale, 0, "no stale serves after recovery");
+    assert_eq!(recovered.outcomes.servfail, 0, "full recovery after the window");
+}
+
+#[test]
+fn breaker_trips_during_outage_and_recloses_after() {
+    let pw = build(&PopulationConfig::tiny());
+    let world = &pw.world;
+    let base = world.today.epoch_seconds();
+    let (_, fleet) = largest_operator(world);
+    let victim_domain = world
+        .domains()
+        .find(|d| {
+            let ns = world.registry(d.tld).ns_of(&d.name);
+            ns.first().is_some_and(|first| fleet.contains(first))
+        })
+        .map(|d| d.name.clone())
+        .expect("victim operator hosts a domain");
+
+    world.fault_plane().enable(CHAOS_SEED);
+    OutageScenario::operator_outage("op-down", fleet, base + 100, base + 400)
+        .install(world.fault_plane());
+
+    let resolver = Resolver::new(world.network.clone(), world.trust_anchor()).with_breaker(
+        BreakerPolicy {
+            failure_threshold: 2,
+            probe_interval_s: 60,
+        },
+    );
+
+    // Before the window: resolves cleanly, breaker stays closed.
+    assert!(resolver.resolve(&victim_domain, RrType::A, base).is_ok());
+    assert_eq!(resolver.breaker().expect("breaker armed").open_count(), 0);
+
+    // Inside the window: failures accumulate, the breaker trips, and
+    // subsequent resolves short-circuit instead of hammering the fleet.
+    for i in 0..6 {
+        let _ = resolver.resolve(&victim_domain, RrType::A, base + 150 + i);
+    }
+    let set = resolver.breaker().expect("breaker armed");
+    assert!(set.open_count() >= 1, "breaker open during the outage");
+    let stats = resolver.stats();
+    assert!(stats.breaker_trips >= 1);
+    assert!(stats.breaker_short_circuits > 0, "open breaker skipped attempts");
+
+    // After the window: the scheduled half-open probe reaches the healthy
+    // fleet again and the breaker re-closes.
+    assert!(resolver.resolve(&victim_domain, RrType::A, base + 500).is_ok());
+    assert_eq!(set.open_count(), 0, "breaker re-closed after recovery");
+    let labels: Vec<&str> = set.transitions().iter().map(|e| e.transition.label()).collect();
+    assert!(labels.contains(&"trip"), "{labels:?}");
+    assert!(labels.contains(&"half-open probe"), "{labels:?}");
+    assert!(labels.contains(&"close"), "{labels:?}");
 }
 
 #[test]
