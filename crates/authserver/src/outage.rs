@@ -37,6 +37,11 @@ impl OutageWindow {
     pub fn duration_s(&self) -> u32 {
         self.until_s.saturating_sub(self.from_s)
     }
+
+    /// Whether simulated time `t` falls inside the half-open window.
+    pub fn contains(&self, t: u32) -> bool {
+        t >= self.from_s && t < self.until_s
+    }
 }
 
 /// A named, declarative outage: a list of windows installed together.
@@ -125,6 +130,14 @@ impl OutageScenario {
     pub fn ends_at(&self) -> u32 {
         self.windows.iter().map(|w| w.until_s).max().unwrap_or(0)
     }
+
+    /// Whether any window is active at simulated time `t` — lets a
+    /// campaign align load phases with the scenario (e.g. "does this
+    /// rollover day overlap the outage?") without re-deriving window
+    /// arithmetic.
+    pub fn active_at(&self, t: u32) -> bool {
+        self.windows.iter().any(|w| w.contains(t))
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +162,20 @@ mod tests {
         assert_eq!(scenario.starts_at(), 100);
         assert_eq!(scenario.ends_at(), 400);
         assert_eq!(scenario.windows[0].duration_s(), 300);
+        assert!(scenario.windows[0].contains(100));
+        assert!(!scenario.windows[0].contains(400));
+        assert!(scenario.active_at(250));
+        assert!(!scenario.active_at(99));
+    }
+
+    #[test]
+    fn active_at_spans_gaps_between_flap_cycles() {
+        let scenario =
+            OutageScenario::flapping("flap", vec![name("ns1.op.net")], 1000, 60, 40, 2);
+        assert!(scenario.active_at(1030), "first down window");
+        assert!(!scenario.active_at(1070), "up gap is not active");
+        assert!(scenario.active_at(1130), "second down window");
+        assert!(!scenario.active_at(1160), "after the last window");
     }
 
     #[test]

@@ -38,7 +38,8 @@ impl Run {
             "    {{\"threads\": {}, \"queries\": {}, \"sim_qps\": {:.1}, \"wall_qps\": {:.1}, \
              \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
              \"mean_ms\": {:.2}, \"cache_hit_rate\": {:.4}, \
-             \"secure\": {}, \"insecure\": {}, \"bogus\": {}, \"servfail\": {}}}",
+             \"secure\": {}, \"insecure\": {}, \"bogus\": {}, \"servfail\": {}, \
+             \"stale\": {}, \"negative\": {}}}",
             self.threads,
             r.total,
             r.sim_qps(),
@@ -53,6 +54,8 @@ impl Run {
             r.outcomes.insecure,
             r.outcomes.bogus,
             r.outcomes.servfail,
+            r.outcomes.stale,
+            r.outcomes.negative,
         )
     }
 }
@@ -104,6 +107,17 @@ fn main() {
         }
         assert_eq!(report.outcomes.total(), report.total, "every query classified");
         assert_eq!(report.outcomes.bogus, 0, "fault-free load must see no bogus");
+        // The seeded per-query RTT jitter must keep the tail percentiles
+        // distinct — a collapsed p50 == p99 == p999 means the latency
+        // model degenerated back to a constant.
+        assert!(
+            report.histogram.p50() < report.histogram.p99()
+                && report.histogram.p99() < report.histogram.p999(),
+            "degenerate latency percentiles: p50 {} p99 {} p999 {}",
+            report.histogram.p50(),
+            report.histogram.p99(),
+            report.histogram.p999(),
+        );
         eprintln!(
             "threads={:<2} sim {:>8.1} q/s | wall {:>8.1} q/s | p50 {:>4} ms p99 {:>4} ms \
              p999 {:>4} ms | hit rate {:.1}% | {:.1}% secure",

@@ -523,21 +523,26 @@ fn last_full_pct(store: &LongitudinalStore, operator: &str, tlds: &[Tld]) -> f64
 }
 
 /// E-R2 stream seed (also seeds the — otherwise inert — fault plane).
-const OUTAGE_SEED: u64 = 0x0A7A6E;
+pub(crate) const OUTAGE_SEED: u64 = 0x0A7A6E;
 /// Queries per phase (warm-up and outage replay the same stream).
-const OUTAGE_QUERIES: u64 = 2_048;
+pub(crate) const OUTAGE_QUERIES: u64 = 2_048;
 /// Stream pacing: 4 queries per simulated second ⇒ 512 s per phase, well
 /// past the ecosystem's 300 s record TTLs, so warm entries expire *into*
 /// the outage window.
-const OUTAGE_QPS: u32 = 4;
+pub(crate) const OUTAGE_QPS: u32 = 4;
 /// Serve-stale horizon for the degraded arms: long enough that every
 /// phase-1 entry survives to the end of phase 2.
-const OUTAGE_MAX_STALE: u32 = 7_200;
+pub(crate) const OUTAGE_MAX_STALE: u32 = 7_200;
 
 /// The largest DNS operator by hosted-domain count (the Zipf head — the
 /// operator whose outage hurts the most user queries) and its full
 /// nameserver fleet, deterministically tie-broken by operator key.
-fn largest_operator_fleet(world: &World) -> (String, Vec<Name>) {
+/// `exclude` skips one operator (E-K1 hosts its roller outside the
+/// outage victim's fleet, so the victim is the largest *other* fleet).
+pub(crate) fn largest_operator_fleet(
+    world: &World,
+    exclude: Option<&str>,
+) -> (String, Vec<Name>) {
     let mut sizes: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
     let mut fleets: std::collections::BTreeMap<String, std::collections::BTreeSet<Name>> =
         std::collections::BTreeMap::new();
@@ -550,6 +555,7 @@ fn largest_operator_fleet(world: &World) -> (String, Vec<Name>) {
     }
     let victim = sizes
         .iter()
+        .filter(|(k, _)| exclude != Some(k.as_str()))
         .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
         .map(|(k, _)| k.clone())
         .unwrap_or_default();
@@ -568,7 +574,7 @@ fn largest_operator_fleet(world: &World) -> (String, Vec<Name>) {
 /// the outage-phase report and how many queries the dead authorities
 /// actually absorbed during it (the fault plane's downtime-drop delta —
 /// the number the circuit breaker is judged on).
-fn outage_phases(
+pub(crate) fn outage_phases(
     world: &World,
     span_s: u32,
     threads: usize,
@@ -639,7 +645,7 @@ pub fn experiment_outage(population: &PopulationConfig) -> ExperimentResult {
     let pw = build(population);
     let world = &pw.world;
     let base = world.today.epoch_seconds();
-    let (victim, fleet) = largest_operator_fleet(world);
+    let (victim, fleet) = largest_operator_fleet(world, None);
     world.fault_plane().enable(OUTAGE_SEED);
     OutageScenario::operator_outage(
         "operator-outage",
@@ -738,7 +744,7 @@ pub fn experiment_outage(population: &PopulationConfig) -> ExperimentResult {
     let pw_flap = build(population);
     let flap_world = &pw_flap.world;
     let flap_base = flap_world.today.epoch_seconds();
-    let (_, flap_fleet) = largest_operator_fleet(flap_world);
+    let (_, flap_fleet) = largest_operator_fleet(flap_world, None);
     flap_world.fault_plane().enable(OUTAGE_SEED);
     OutageScenario::flapping(
         "flapping",

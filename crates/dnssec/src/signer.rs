@@ -77,6 +77,89 @@ pub fn sign_rrset(
     )
 }
 
+/// The key material for one signing pass, generalised to mid-rollover
+/// states where two key sets coexist (RFC 6781 §4): which DNSKEYs to
+/// publish, which keys sign the DNSKEY RRset (KSK side), and which keys
+/// sign everything else (ZSK side).
+///
+/// A steady-state zone is `SigningSet::single`; a double-signature
+/// rollover serves `SigningSet::double` (both generations published and
+/// signing, so validation succeeds under *either* parent DS); a
+/// pre-publish ZSK rollover serves `SigningSet::prepublish` (the incoming
+/// ZSK is published so caches learn it, but only the active keys sign).
+#[derive(Debug, Clone)]
+pub struct SigningSet {
+    /// Zone the set signs.
+    pub zone: Name,
+    /// DNSKEY RDATAs to publish at the apex.
+    pub dnskeys: Vec<dsec_wire::DnskeyRdata>,
+    /// Keys (with their tags) producing RRSIGs over the DNSKEY RRset.
+    pub ksk_signers: Vec<(SigningKey, u16)>,
+    /// Keys (with their tags) producing RRSIGs over every other RRset.
+    pub zsk_signers: Vec<(SigningKey, u16)>,
+}
+
+impl SigningSet {
+    /// Steady state: one KSK/ZSK pair, exactly what [`sign_zone`] does.
+    pub fn single(keys: &ZoneKeys) -> Self {
+        SigningSet {
+            zone: keys.zone.clone(),
+            dnskeys: vec![keys.ksk_dnskey(), keys.zsk_dnskey()],
+            ksk_signers: vec![(keys.ksk.clone(), keys.ksk_tag())],
+            zsk_signers: vec![(keys.zsk.clone(), keys.zsk_tag())],
+        }
+    }
+
+    /// Double-signature rollover (RFC 6781 §4.1.2, also the conservative
+    /// algorithm-rollover shape of RFC 6781 §4.1.4): both generations are
+    /// published and *both* sign, so the DNSKEY RRset authenticates under
+    /// the old DS and the new DS alike, and every answer carries an RRSIG
+    /// from each ZSK. The parent DS can swap at any point in the window
+    /// without a bogus moment.
+    pub fn double(old: &ZoneKeys, new: &ZoneKeys) -> Result<Self, DnssecError> {
+        if old.zone != new.zone {
+            return Err(DnssecError::KeyZoneMismatch {
+                key_zone: new.zone.to_string(),
+                zone: old.zone.to_string(),
+            });
+        }
+        Ok(SigningSet {
+            zone: old.zone.clone(),
+            dnskeys: vec![
+                old.ksk_dnskey(),
+                old.zsk_dnskey(),
+                new.ksk_dnskey(),
+                new.zsk_dnskey(),
+            ],
+            ksk_signers: vec![(old.ksk.clone(), old.ksk_tag()), (new.ksk.clone(), new.ksk_tag())],
+            zsk_signers: vec![(old.zsk.clone(), old.zsk_tag()), (new.zsk.clone(), new.zsk_tag())],
+        })
+    }
+
+    /// Pre-publish ZSK rollover (RFC 6781 §4.1.1.1): the incoming ZSK is
+    /// published next to the active pair so caches learn it one TTL ahead
+    /// of use, but only the active keys produce signatures. The KSK (and
+    /// hence the DS) does not change.
+    pub fn prepublish(active: &ZoneKeys, incoming: &ZoneKeys) -> Result<Self, DnssecError> {
+        if active.zone != incoming.zone {
+            return Err(DnssecError::KeyZoneMismatch {
+                key_zone: incoming.zone.to_string(),
+                zone: active.zone.to_string(),
+            });
+        }
+        Ok(SigningSet {
+            zone: active.zone.clone(),
+            dnskeys: vec![
+                active.ksk_dnskey(),
+                active.zsk_dnskey(),
+                incoming.zsk_dnskey(),
+            ],
+            ksk_signers: vec![(active.ksk.clone(), active.ksk_tag())],
+            zsk_signers: vec![(active.zsk.clone(), active.zsk_tag())],
+        })
+    }
+}
+
 /// Signs a zone in place: publishes the DNSKEY RRset, signs every
 /// authoritative RRset (KSK over DNSKEY, ZSK over the rest), and builds
 /// the NSEC chain when configured.
@@ -84,9 +167,20 @@ pub fn sign_rrset(
 /// Skips what RFC 4035 says must not be signed: delegation NS RRsets and
 /// glue (names at/below a zone cut other than the cut's DS/NSEC).
 pub fn sign_zone(zone: &mut Zone, keys: &ZoneKeys, config: &SignerConfig) -> Result<(), DnssecError> {
-    if keys.zone != *zone.origin() {
+    sign_zone_set(zone, &SigningSet::single(keys), config)
+}
+
+/// Signs a zone with an arbitrary [`SigningSet`] — the rollover-aware
+/// generalisation of [`sign_zone`]. Every RRset gets one RRSIG per
+/// applicable signer.
+pub fn sign_zone_set(
+    zone: &mut Zone,
+    set: &SigningSet,
+    config: &SignerConfig,
+) -> Result<(), DnssecError> {
+    if set.zone != *zone.origin() {
         return Err(DnssecError::KeyZoneMismatch {
-            key_zone: keys.zone.to_string(),
+            key_zone: set.zone.to_string(),
             zone: zone.origin().to_string(),
         });
     }
@@ -97,12 +191,17 @@ pub fn sign_zone(zone: &mut Zone, keys: &ZoneKeys, config: &SignerConfig) -> Res
         zone.remove_rrset(owner, RrType::Nsec);
         zone.remove_rrset(owner, RrType::Nsec3);
     }
-    zone.remove_rrset(&keys.zone, RrType::Dnskey);
-    zone.remove_rrset(&keys.zone, RrType::Nsec3Param);
+    zone.remove_rrset(&set.zone, RrType::Dnskey);
+    zone.remove_rrset(&set.zone, RrType::Nsec3Param);
 
     // Publish DNSKEYs.
-    for record in keys.dnskey_records(config.dnskey_ttl) {
-        zone.add(record).map_err(DnssecError::Wire)?;
+    for dnskey in &set.dnskeys {
+        zone.add(Record::new(
+            set.zone.clone(),
+            config.dnskey_ttl,
+            RData::Dnskey(dnskey.clone()),
+        ))
+        .map_err(DnssecError::Wire)?;
     }
 
     // Identify zone cuts so delegations and glue are left unsigned.
@@ -158,7 +257,7 @@ pub fn sign_zone(zone: &mut Zone, keys: &ZoneKeys, config: &SignerConfig) -> Res
             .map_err(DnssecError::Wire)?;
         }
         zone.add(Record::new(
-            keys.zone.clone(),
+            set.zone.clone(),
             config.dnskey_ttl,
             RData::Nsec3Param(Nsec3ParamRdata {
                 hash_algorithm: 1,
@@ -193,9 +292,7 @@ pub fn sign_zone(zone: &mut Zone, keys: &ZoneKeys, config: &SignerConfig) -> Res
         }
     }
 
-    // Sign every authoritative RRset.
-    let ksk_tag = keys.ksk_tag();
-    let zsk_tag = keys.zsk_tag();
+    // Sign every authoritative RRset: one RRSIG per applicable signer.
     let rrsets: Vec<RrSet> = zone.rrsets().collect();
     for rrset in rrsets {
         if !is_authoritative(rrset.name(), zone.origin(), &cuts) {
@@ -206,12 +303,15 @@ pub fn sign_zone(zone: &mut Zone, keys: &ZoneKeys, config: &SignerConfig) -> Res
         if rrset.rtype() == RrType::Ns && rrset.name() != zone.origin() {
             continue;
         }
-        let rrsig = if rrset.rtype() == RrType::Dnskey {
-            sign_rrset(&rrset, &keys.ksk, ksk_tag, &keys.zone, config)
+        let signers = if rrset.rtype() == RrType::Dnskey {
+            &set.ksk_signers
         } else {
-            sign_rrset(&rrset, &keys.zsk, zsk_tag, &keys.zone, config)
+            &set.zsk_signers
         };
-        zone.add(rrsig).map_err(DnssecError::Wire)?;
+        for (key, tag) in signers {
+            let rrsig = sign_rrset(&rrset, key, *tag, &set.zone, config);
+            zone.add(rrsig).map_err(DnssecError::Wire)?;
+        }
     }
     Ok(())
 }
@@ -531,6 +631,127 @@ mod tests {
                 rrset.rtype()
             );
         }
+    }
+
+    fn second_keys() -> ZoneKeys {
+        let mut rng = StdRng::seed_from_u64(7);
+        ZoneKeys::generate_default(&mut rng, name("example.com"), Algorithm::RsaSha256).unwrap()
+    }
+
+    /// The full chain check a validating resolver performs: DS → DNSKEY
+    /// RRset → answer RRSIG, at `now`.
+    fn chain_validates(zone: &Zone, ds: &dsec_wire::DsRdata, now: u32) -> bool {
+        let apex = name("example.com");
+        let dnskey_set = zone.rrset(&apex, RrType::Dnskey).unwrap();
+        let dnskey_sigs = crate::validate::covering_rrsigs(
+            zone.rrset(&apex, RrType::Rrsig).as_ref(),
+            RrType::Dnskey,
+        );
+        let Ok(trusted) = crate::validate::authenticate_dnskeys(
+            &apex,
+            &dnskey_set,
+            &dnskey_sigs,
+            std::slice::from_ref(ds),
+            now,
+        ) else {
+            return false;
+        };
+        let www = name("www.example.com");
+        let a_set = zone.rrset(&www, RrType::A).unwrap();
+        let a_sigs = crate::validate::covering_rrsigs(
+            zone.rrset(&www, RrType::Rrsig).as_ref(),
+            RrType::A,
+        );
+        crate::validate::validate_rrset(&a_set, &a_sigs, &trusted, &apex, now).is_ok()
+    }
+
+    #[test]
+    fn double_signature_validates_under_either_ds() {
+        let old = test_keys();
+        let new = second_keys();
+        let mut zone = test_zone();
+        let set = SigningSet::double(&old, &new).unwrap();
+        sign_zone_set(&mut zone, &set, &config()).unwrap();
+        // Four DNSKEYs served, and the chain closes under the old DS *and*
+        // the new DS — the whole point of the double-signature window.
+        assert_eq!(
+            zone.rrset(&name("example.com"), RrType::Dnskey).unwrap().records().len(),
+            4
+        );
+        let now = 1_450_000_500;
+        let old_ds = old.ds(dsec_crypto::DigestType::Sha256);
+        let new_ds = new.ds(dsec_crypto::DigestType::Sha256);
+        assert!(chain_validates(&zone, &old_ds, now), "old DS must still validate");
+        assert!(chain_validates(&zone, &new_ds, now), "new DS must already validate");
+    }
+
+    #[test]
+    fn single_set_rejects_the_other_generations_ds() {
+        let old = test_keys();
+        let new = second_keys();
+        let mut zone = test_zone();
+        sign_zone(&mut zone, &old, &config()).unwrap();
+        let now = 1_450_000_500;
+        assert!(chain_validates(&zone, &old.ds(dsec_crypto::DigestType::Sha256), now));
+        assert!(
+            !chain_validates(&zone, &new.ds(dsec_crypto::DigestType::Sha256), now),
+            "a DS swapped before the zone serves the new keys must go bogus"
+        );
+    }
+
+    #[test]
+    fn prepublish_publishes_incoming_zsk_without_signing_with_it() {
+        let active = test_keys();
+        let incoming = second_keys();
+        let mut zone = test_zone();
+        let set = SigningSet::prepublish(&active, &incoming).unwrap();
+        sign_zone_set(&mut zone, &set, &config()).unwrap();
+        let dnskeys = zone.rrset(&name("example.com"), RrType::Dnskey).unwrap();
+        assert_eq!(dnskeys.records().len(), 3, "active pair + incoming ZSK");
+        // Only the active keys produce signatures.
+        for rrset in zone.rrsets().collect::<Vec<_>>() {
+            if rrset.rtype() != RrType::Rrsig {
+                continue;
+            }
+            for r in rrset.records() {
+                let RData::Rrsig(sig) = &r.rdata else { panic!() };
+                assert!(
+                    sig.key_tag == active.ksk_tag() || sig.key_tag == active.zsk_tag(),
+                    "incoming ZSK must not sign during pre-publish"
+                );
+            }
+        }
+        // And the chain still closes under the unchanged DS.
+        assert!(chain_validates(&zone, &active.ds(dsec_crypto::DigestType::Sha256), 1_450_000_500));
+    }
+
+    #[test]
+    fn mixed_zone_sets_reject_construction() {
+        let a = test_keys();
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = ZoneKeys::generate_default(&mut rng, name("other.com"), Algorithm::RsaSha256).unwrap();
+        assert!(matches!(
+            SigningSet::double(&a, &b),
+            Err(DnssecError::KeyZoneMismatch { .. })
+        ));
+        assert!(matches!(
+            SigningSet::prepublish(&a, &b),
+            Err(DnssecError::KeyZoneMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_window_fails_the_chain() {
+        let keys = test_keys();
+        let mut zone = test_zone();
+        let cfg = SignerConfig::valid_from(1_450_000_000, 10 * 86400);
+        sign_zone(&mut zone, &keys, &cfg).unwrap();
+        let ds = keys.ds(dsec_crypto::DigestType::Sha256);
+        assert!(chain_validates(&zone, &ds, cfg.expiration - 1));
+        assert!(
+            !chain_validates(&zone, &ds, cfg.expiration + 1),
+            "a stalled signer's zone must go bogus once RRSIGs expire"
+        );
     }
 
     #[test]

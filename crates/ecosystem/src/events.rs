@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use dsec_wire::Name;
 
 use crate::clock::SimDate;
+use crate::rollover::RolloverStyle;
 use crate::RegistrarId;
 
 /// Something that happened in the world.
@@ -72,6 +73,40 @@ pub enum Event {
         /// The domain.
         domain: Name,
     },
+    /// A scheduled rollover started serving its transitional key set.
+    RolloverPrepared {
+        /// The domain.
+        domain: Name,
+        /// The choreography in use.
+        style: RolloverStyle,
+    },
+    /// The parent DS moved to the new keys (the registrar/registry leg).
+    RolloverDsSwapped {
+        /// The domain.
+        domain: Name,
+        /// Whether the swap happened on the planned day (`false` marks a
+        /// mistimed registrar).
+        on_schedule: bool,
+    },
+    /// Old key material withdrawn; the rollover finished.
+    RolloverCompleted {
+        /// The domain.
+        domain: Name,
+        /// The choreography that ran.
+        style: RolloverStyle,
+    },
+    /// Keys were replaced outright without coordinating the DS — the
+    /// classic broken rollover.
+    RolloverAbrupt {
+        /// The domain.
+        domain: Name,
+    },
+    /// A zone's RRSIGs lapsed (stalled signer / rollover frozen mid-way):
+    /// validating resolvers now see the domain as bogus.
+    SignatureExpired {
+        /// The domain.
+        domain: Name,
+    },
 }
 
 impl Event {
@@ -87,6 +122,11 @@ impl Event {
             Event::PartnerMigrated { .. } => "partner_migrated",
             Event::CdsApplied { .. } => "cds_applied",
             Event::RelayDropped { .. } => "relay_dropped",
+            Event::RolloverPrepared { .. } => "rollover_prepared",
+            Event::RolloverDsSwapped { .. } => "rollover_ds_swapped",
+            Event::RolloverCompleted { .. } => "rollover_completed",
+            Event::RolloverAbrupt { .. } => "rollover_abrupt",
+            Event::SignatureExpired { .. } => "signature_expired",
         }
     }
 
@@ -95,6 +135,21 @@ impl Event {
         matches!(
             self,
             Event::DsOnWrongDomain { .. } | Event::ForgedEmailAccepted { .. }
+        )
+    }
+
+    /// Key-lifecycle transitions (rollover phases, abrupt rolls, expired
+    /// signatures). Logged unconditionally — like security events — so
+    /// the scanner can classify per-operator rollover style from the log
+    /// even in quiet population runs.
+    pub fn is_key_lifecycle(&self) -> bool {
+        matches!(
+            self,
+            Event::RolloverPrepared { .. }
+                | Event::RolloverDsSwapped { .. }
+                | Event::RolloverCompleted { .. }
+                | Event::RolloverAbrupt { .. }
+                | Event::SignatureExpired { .. }
         )
     }
 }
@@ -120,7 +175,7 @@ impl EventLog {
     /// Records an event.
     pub fn record(&mut self, date: SimDate, event: Event) {
         *self.counters.entry(event.kind()).or_default() += 1;
-        if self.verbose || event.is_security_relevant() {
+        if self.verbose || event.is_security_relevant() || event.is_key_lifecycle() {
             self.entries.push((date, event));
         }
     }
@@ -170,6 +225,30 @@ mod tests {
         assert_eq!(log.count("purchased"), 1);
         assert_eq!(log.count("forged_email_accepted"), 1);
         assert_eq!(log.count("nonexistent"), 0);
+    }
+
+    #[test]
+    fn lifecycle_events_always_logged() {
+        let mut log = EventLog::new();
+        log.record(
+            SimDate(3),
+            Event::RolloverPrepared {
+                domain: name("x.com"),
+                style: RolloverStyle::DoubleSignatureKsk,
+            },
+        );
+        log.record(
+            SimDate(5),
+            Event::RolloverDsSwapped {
+                domain: name("x.com"),
+                on_schedule: false,
+            },
+        );
+        log.record(SimDate(9), Event::SignatureExpired { domain: name("x.com") });
+        assert_eq!(log.entries().len(), 3, "quiet log still keeps lifecycle events");
+        assert_eq!(log.count("rollover_prepared"), 1);
+        assert_eq!(log.count("rollover_ds_swapped"), 1);
+        assert_eq!(log.count("signature_expired"), 1);
     }
 
     #[test]

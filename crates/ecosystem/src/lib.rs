@@ -21,6 +21,7 @@ pub mod operator;
 pub mod policy;
 pub mod registrar;
 pub mod registry;
+pub mod rollover;
 pub mod tld;
 pub mod world;
 
@@ -31,10 +32,11 @@ pub use operator::{Operator, OperatorId};
 pub use policy::{ExternalDs, OperatorDnssec, Plan, RegistrarPolicy, TldPolicy, TldRole};
 pub use registrar::{Milestone, PolicyChange, Registrar};
 pub use registry::{Registry, RegistryError};
+pub use rollover::{DsTiming, RolloverPhase, RolloverPlan, RolloverStyle};
 pub use tld::{Incentive, Tld, ALL_TLDS};
 pub use world::{
-    ActionError, DomainQuery, DsSubmission, ObservationQuality, ThirdParty, UploadOutcome, World,
-    WorldConfig, SCAN_DEADLINE_MS,
+    ActionError, DomainQuery, DsSubmission, ObservationQuality, RolloverState, ThirdParty,
+    UploadOutcome, World, WorldConfig, SCAN_DEADLINE_MS,
 };
 
 /// Index of a registrar in the world's registrar table.
@@ -715,6 +717,244 @@ mod tests {
             vec![new_keys.ds(dsec_crypto::DigestType::Sha256)]
         );
         assert!(w.events.count("cds_applied") >= 1);
+    }
+
+    fn deployment_on(w: &World, d: &Name) -> DeploymentStatus {
+        let obs = w.observation_of(d);
+        classify(d, &obs, now(w))
+    }
+
+    #[test]
+    fn scheduled_double_signature_rollover_is_seamless() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "roll", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let old_tag = w.domain(&d).unwrap().keys.as_ref().unwrap().ksk_tag();
+        let plan = rollover::RolloverPlan::correct(
+            rollover::RolloverStyle::DoubleSignatureKsk,
+            w.today.plus_days(2),
+        );
+        let completion = plan.completion();
+        w.schedule_rollover(&d, plan).unwrap();
+        // Every single day of the transition validates.
+        while w.today < completion.plus_days(2) {
+            w.tick();
+            assert_eq!(
+                deployment_on(&w, &d),
+                DeploymentStatus::FullyDeployed,
+                "chain broke on {:?}",
+                w.today
+            );
+        }
+        assert!(w.rollover_state(&d).is_none(), "rollover finished");
+        assert_ne!(
+            w.domain(&d).unwrap().keys.as_ref().unwrap().ksk_tag(),
+            old_tag,
+            "keys actually changed"
+        );
+        assert_eq!(w.events.count("rollover_prepared"), 1);
+        assert_eq!(w.events.count("rollover_ds_swapped"), 1);
+        assert_eq!(w.events.count("rollover_completed"), 1);
+    }
+
+    #[test]
+    fn scheduled_algorithm_rollover_is_seamless_and_changes_algorithm() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "alg", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let old_alg = w.domain(&d).unwrap().keys.as_ref().unwrap().ksk.algorithm;
+        let plan = rollover::RolloverPlan::correct(
+            rollover::RolloverStyle::Algorithm,
+            w.today.plus_days(1),
+        );
+        let completion = plan.completion();
+        w.schedule_rollover(&d, plan).unwrap();
+        while w.today < completion.plus_days(1) {
+            w.tick();
+            assert_eq!(deployment_on(&w, &d), DeploymentStatus::FullyDeployed);
+        }
+        assert_ne!(
+            w.domain(&d).unwrap().keys.as_ref().unwrap().ksk.algorithm,
+            old_alg
+        );
+    }
+
+    #[test]
+    fn scheduled_prepublish_zsk_rollover_keeps_ds_and_chain() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "zsk", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let ds_before = w.registry(Tld::Com).ds_of(&d);
+        let plan = rollover::RolloverPlan::correct(
+            rollover::RolloverStyle::PrePublishZsk,
+            w.today.plus_days(1),
+        );
+        let completion = plan.completion();
+        w.schedule_rollover(&d, plan).unwrap();
+        while w.today < completion.plus_days(1) {
+            w.tick();
+            assert_eq!(deployment_on(&w, &d), DeploymentStatus::FullyDeployed);
+        }
+        assert_eq!(
+            w.registry(Tld::Com).ds_of(&d),
+            ds_before,
+            "pre-publish ZSK rollover never touches the parent DS"
+        );
+        assert_eq!(w.events.count("rollover_ds_swapped"), 0);
+    }
+
+    #[test]
+    fn mistimed_ds_swap_opens_exactly_the_predicted_window() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "late", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        // DS lands 5 days late: bogus from completion until the swap.
+        let plan = rollover::RolloverPlan::correct(
+            rollover::RolloverStyle::DoubleSignatureKsk,
+            w.today.plus_days(1),
+        )
+        .with_ds_timing(rollover::DsTiming::Late { days: 5 });
+        let (from, until) = match plan.bogus_window() {
+            Some((f, Some(u))) => (f, u),
+            other => panic!("expected a bounded bogus window, got {other:?}"),
+        };
+        w.schedule_rollover(&d, plan.clone()).unwrap();
+        while w.today < until.plus_days(2) {
+            w.tick();
+            let status = deployment_on(&w, &d);
+            if plan.is_bogus_on(w.today) {
+                assert_eq!(
+                    status,
+                    DeploymentStatus::Misconfigured(Misconfiguration::DsMismatch),
+                    "inside the window ({:?}) the stale DS must mismatch",
+                    w.today
+                );
+            } else {
+                assert_eq!(
+                    status,
+                    DeploymentStatus::FullyDeployed,
+                    "outside the window ({:?}) the chain must hold",
+                    w.today
+                );
+            }
+        }
+        assert!(w.today >= from, "walked through the whole window");
+        // The mistimed swap is flagged as such in the log.
+        let swapped_off_schedule = w.events.entries().iter().any(|(_, e)| {
+            matches!(e, Event::RolloverDsSwapped { on_schedule: false, .. })
+        });
+        assert!(swapped_off_schedule);
+    }
+
+    #[test]
+    fn stalled_rollover_lets_signatures_expire_for_real() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "stall", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        let plan = rollover::RolloverPlan::correct(
+            rollover::RolloverStyle::DoubleSignatureKsk,
+            w.today.plus_days(1),
+        )
+        .with_signature_validity_days(4);
+        w.schedule_rollover(&d, plan).unwrap();
+        w.advance_to(w.today.plus_days(2)); // transitional set now served
+        w.stall_rollover(&d).unwrap();
+        w.advance_to(w.today.plus_days(10));
+        assert_eq!(
+            deployment_on(&w, &d),
+            DeploymentStatus::Misconfigured(Misconfiguration::ExpiredSignature),
+            "a stalled operator's RRSIGs must lapse"
+        );
+        assert_eq!(w.events.count("signature_expired"), 1);
+        // Resuming re-signs and completes the rollover.
+        w.resume_rollover(&d).unwrap();
+        w.advance_to(w.today.plus_days(2));
+        assert_eq!(deployment_on(&w, &d), DeploymentStatus::FullyDeployed);
+        assert!(w.rollover_state(&d).is_none());
+    }
+
+    #[test]
+    fn live_rollover_refreshes_bounded_signatures() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "fresh", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        // Long window, short validity: the driver must keep re-signing.
+        let mut plan = rollover::RolloverPlan::correct(
+            rollover::RolloverStyle::DoubleSignatureKsk,
+            w.today.plus_days(1),
+        )
+        .with_signature_validity_days(3);
+        plan.prepare_days = 6;
+        plan.retire_days = 6;
+        let completion = plan.completion();
+        w.schedule_rollover(&d, plan).unwrap();
+        while w.today < completion.plus_days(1) {
+            w.tick();
+            assert_eq!(
+                deployment_on(&w, &d),
+                DeploymentStatus::FullyDeployed,
+                "bounded validity must be refreshed while live ({:?})",
+                w.today
+            );
+        }
+        assert_eq!(w.events.count("signature_expired"), 0);
+    }
+
+    #[test]
+    fn rollover_error_paths_are_specific() {
+        let mut w = small_world();
+        let r = add_full_registrar(&mut w, "GoodReg", "goodreg.net");
+        let d = w
+            .purchase(r, "err", Tld::Com, Hosting::Registrar { plan: Plan::Free }, "o@x.com")
+            .unwrap();
+        // Completing with nothing prepared: the dedicated error, not a
+        // misleading "DNSSEC unsupported".
+        assert_eq!(w.complete_rollover(&d), Err(ActionError::NoPendingRollover));
+        // A second prepare while one is pending is an explicit error…
+        let ds1 = w.prepare_rollover(&d).unwrap();
+        assert_eq!(w.prepare_rollover(&d), Err(ActionError::RolloverInProgress));
+        // …as is scheduling on top of it.
+        assert_eq!(
+            w.schedule_rollover(
+                &d,
+                rollover::RolloverPlan::correct(
+                    rollover::RolloverStyle::DoubleSignatureKsk,
+                    w.today.plus_days(1),
+                ),
+            ),
+            Err(ActionError::RolloverInProgress)
+        );
+        // The pending keys are untouched by the failed second prepare.
+        let sponsor = w.domain(&d).unwrap().sponsor;
+        w.registry_mut(Tld::Com).set_ds(sponsor, &d, &[ds1]).unwrap();
+        w.complete_rollover(&d).unwrap();
+        assert_eq!(deployment_on(&w, &d), DeploymentStatus::FullyDeployed);
+        // And scheduled rollovers block the one-shot path symmetrically.
+        w.schedule_rollover(
+            &d,
+            rollover::RolloverPlan::correct(
+                rollover::RolloverStyle::DoubleSignatureKsk,
+                w.today.plus_days(1),
+            ),
+        )
+        .unwrap();
+        assert_eq!(w.prepare_rollover(&d), Err(ActionError::RolloverInProgress));
+        assert_eq!(
+            w.stall_rollover(&Name::parse("ghost.com").unwrap()),
+            Err(ActionError::NoPendingRollover)
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use dsec_authserver::Authority;
-use dsec_dnssec::{sign_zone, SignerConfig, ZoneKeys};
+use dsec_dnssec::{sign_zone, SignerConfig, SigningSet, ZoneKeys};
 use dsec_wire::{Name, RData, Record, RrType, SoaRdata, Zone};
 
 /// Index of an operator in the world's operator table.
@@ -108,6 +108,15 @@ impl Operator {
     pub fn host_signed(&self, domain: &Name, keys: &ZoneKeys, signer: &SignerConfig) {
         let mut zone = self.base_zone(domain);
         sign_zone(&mut zone, keys, signer).expect("matching keys sign the base zone");
+        self.authority.upsert_zone(zone);
+    }
+
+    /// Hosts `domain` signed with an arbitrary [`SigningSet`] — the
+    /// mid-rollover states where two key generations coexist.
+    pub fn host_signed_set(&self, domain: &Name, set: &SigningSet, signer: &SignerConfig) {
+        let mut zone = self.base_zone(domain);
+        dsec_dnssec::sign_zone_set(&mut zone, set, signer)
+            .expect("matching signing set signs the base zone");
         self.authority.upsert_zone(zone);
     }
 

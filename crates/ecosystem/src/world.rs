@@ -11,8 +11,8 @@ use rand::{Rng, RngCore, SeedableRng};
 use dsec_authserver::{Authority, FaultPlane, Network, QueryOutcome};
 use dsec_crypto::{Algorithm, DigestType};
 use dsec_dnssec::{
-    classify, ds_matches, sign_zone, DeploymentStatus, Observation, SignerConfig,
-    ZoneKeys,
+    classify, ds_matches, sign_zone, sign_zone_set, DeploymentStatus, Observation, SignerConfig,
+    SigningSet, ZoneKeys,
 };
 use dsec_wire::{DsRdata, FnvHashMap, Message, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
 
@@ -23,6 +23,7 @@ use crate::operator::{Operator, OperatorId};
 use crate::policy::{ExternalDs, OperatorDnssec, TldRole};
 use crate::registrar::{Milestone, PolicyChange, Registrar};
 use crate::registry::Registry;
+use crate::rollover::{DsTiming, RolloverPhase, RolloverPlan, RolloverStyle};
 use crate::tld::{Tld, ALL_TLDS};
 use crate::RegistrarId;
 
@@ -164,8 +165,59 @@ pub enum ActionError {
     },
     /// The action does not apply to the domain's hosting arrangement.
     WrongHosting,
+    /// `complete_rollover` was called with no rollover prepared.
+    NoPendingRollover,
+    /// A rollover is already prepared or scheduled for this domain;
+    /// finish or cancel it before starting another.
+    RolloverInProgress,
     /// A registry-level failure.
     Registry(String),
+}
+
+/// A scheduled rollover in flight for one domain (see
+/// [`crate::rollover::RolloverPlan`] for the schedule arithmetic).
+#[derive(Debug, Clone)]
+pub struct RolloverState {
+    /// The day-pinned schedule being executed.
+    pub plan: RolloverPlan,
+    /// Where the operator side currently stands.
+    pub phase: RolloverPhase,
+    /// Whether the registrar/registry leg has actually moved the DS.
+    pub ds_swapped: bool,
+    /// Operator frozen mid-rollover (outage): phase work and signature
+    /// refresh stop until [`World::resume_rollover`]; the DS leg keeps
+    /// its own schedule — the registrar is a different organisation.
+    pub stalled: bool,
+    old_keys: ZoneKeys,
+    new_keys: ZoneKeys,
+    /// Expiration (epoch seconds) of the RRSIGs currently served, when
+    /// the plan bounds signature validity.
+    signed_until: Option<u32>,
+    expiry_noted: bool,
+}
+
+impl RolloverState {
+    /// The DS of the incoming key generation (what the registrar must
+    /// install at the registry).
+    pub fn incoming_ds(&self) -> DsRdata {
+        self.new_keys.ds(DigestType::Sha256)
+    }
+
+    /// The incoming key generation.
+    pub fn incoming_keys(&self) -> &ZoneKeys {
+        &self.new_keys
+    }
+
+    /// The outgoing key generation.
+    pub fn outgoing_keys(&self) -> &ZoneKeys {
+        &self.old_keys
+    }
+
+    /// When the currently served RRSIGs lapse (epoch seconds), if the
+    /// plan bounds validity and the transitional set is being served.
+    pub fn signed_until(&self) -> Option<u32> {
+        self.signed_until
+    }
 }
 
 /// Internal queue entry for a mass-signing milestone in progress.
@@ -198,6 +250,8 @@ pub struct World {
     cds_first_seen: BTreeMap<Name, SimDate>,
     /// Two-phase key rollovers in progress (new keys awaiting the DS).
     pending_rollover: BTreeMap<Name, ZoneKeys>,
+    /// Scheduled rollover lifecycles driven by the daily tick.
+    rollovers: BTreeMap<Name, RolloverState>,
     /// Per-domain change generation for *served-zone* edits (signing,
     /// re-signing, CDS publication, hosting moves) on domains outside the
     /// studied TLDs. Edits under a studied TLD are folded into that
@@ -309,6 +363,7 @@ impl World {
             mass_sign_queue: Vec::new(),
             cds_first_seen: BTreeMap::new(),
             pending_rollover: BTreeMap::new(),
+            rollovers: BTreeMap::new(),
             zone_generations: FnvHashMap::default(),
             events: EventLog::new(),
             auto_sign_on_purchase: true,
@@ -864,6 +919,7 @@ impl World {
         self.population_adoption();
         self.third_party_adoption();
         self.process_renewals();
+        self.drive_rollovers();
         if self.today.days_since(self.config.start).is_multiple_of(self.config.audit_interval_days.max(1)) {
             self.run_audits();
         }
@@ -1463,15 +1519,29 @@ impl World {
 
     /// Phase 1 of a proper key rollover: generate new keys, publish a CDS
     /// for them **signed by the still-chained old keys**, and remember the
-    /// new keys. The chain stays valid throughout.
+    /// new keys. The chain stays valid throughout. Errors with
+    /// [`ActionError::RolloverInProgress`] if a rollover (one-shot or
+    /// scheduled) is already pending — silently regenerating keys here
+    /// would orphan the CDS already served.
     pub fn prepare_rollover(&mut self, domain: &Name) -> Result<DsRdata, ActionError> {
         let key = domain.to_canonical();
         let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
         let old_keys = d.keys.clone().ok_or(ActionError::DnssecUnsupported)?;
+        if self.pending_rollover.contains_key(&key) || self.rollovers.contains_key(&key) {
+            return Err(ActionError::RolloverInProgress);
+        }
         let new_keys = self.keys_differing_from(domain, old_keys.ksk_tag());
         let new_ds = new_keys.ds(DigestType::Sha256);
         self.publish_cds_record(domain, &old_keys, new_ds.clone())?;
         self.pending_rollover.insert(key, new_keys);
+        self.events.record(
+            self.today,
+            // The one-shot CDS flow is a KSK-family transition.
+            Event::RolloverPrepared {
+                domain: domain.clone(),
+                style: RolloverStyle::DoubleSignatureKsk,
+            },
+        );
         Ok(new_ds)
     }
 
@@ -1483,9 +1553,16 @@ impl World {
         let new_keys = self
             .pending_rollover
             .remove(&key)
-            .ok_or(ActionError::DnssecUnsupported)?;
+            .ok_or(ActionError::NoPendingRollover)?;
         self.resign_with(domain, &new_keys)?;
         self.domains.get_mut(&key).expect("checked").keys = Some(new_keys);
+        self.events.record(
+            self.today,
+            Event::RolloverCompleted {
+                domain: domain.clone(),
+                style: RolloverStyle::DoubleSignatureKsk,
+            },
+        );
         Ok(())
     }
 
@@ -1500,7 +1577,325 @@ impl World {
         let new_ds = new_keys.ds(DigestType::Sha256);
         self.resign_with(domain, &new_keys)?;
         self.domains.get_mut(&key).expect("checked").keys = Some(new_keys);
+        self.events.record(
+            self.today,
+            Event::RolloverAbrupt {
+                domain: domain.clone(),
+            },
+        );
         Ok(new_ds)
+    }
+
+    // --------------------------------------------- scheduled rollovers --
+
+    /// Schedules a full rollover lifecycle for `domain`, to be driven by
+    /// the daily tick. The incoming key generation is fixed now (so its
+    /// DS is known in advance); phase transitions happen as the campaign
+    /// clock crosses the plan's dates. Dates already in the past are
+    /// caught up on the next tick, in phase order.
+    pub fn schedule_rollover(
+        &mut self,
+        domain: &Name,
+        plan: RolloverPlan,
+    ) -> Result<(), ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        let old_keys = d.keys.clone().ok_or(ActionError::DnssecUnsupported)?;
+        if self.rollovers.contains_key(&key) || self.pending_rollover.contains_key(&key) {
+            return Err(ActionError::RolloverInProgress);
+        }
+        let new_keys = match plan.style {
+            RolloverStyle::DoubleSignatureKsk => {
+                self.keys_differing_from(domain, old_keys.ksk_tag())
+            }
+            RolloverStyle::Algorithm => {
+                // A genuinely different signing algorithm; the pool is
+                // single-algorithm, so generate a fresh pair (rollover
+                // populations are small).
+                let next = if old_keys.ksk.algorithm == Algorithm::RsaSha512 {
+                    Algorithm::RsaSha256
+                } else {
+                    Algorithm::RsaSha512
+                };
+                ZoneKeys::generate_default(&mut self.rng, domain.clone(), next)
+                    .map_err(|e| ActionError::Registry(e.to_string()))?
+            }
+            RolloverStyle::PrePublishZsk => {
+                // Same KSK (the DS never moves); only the ZSK changes.
+                let alt = self.keys_differing_from(domain, old_keys.ksk_tag());
+                ZoneKeys {
+                    zone: domain.clone(),
+                    ksk: old_keys.ksk.clone(),
+                    zsk: alt.zsk,
+                }
+            }
+        };
+        self.rollovers.insert(
+            key,
+            RolloverState {
+                plan,
+                phase: RolloverPhase::Scheduled,
+                ds_swapped: false,
+                stalled: false,
+                old_keys,
+                new_keys,
+                signed_until: None,
+                expiry_noted: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Freezes the operator side of a scheduled rollover (the operator is
+    /// down, distracted, or out of business): no further phase work and
+    /// no signature refresh until [`World::resume_rollover`]. With
+    /// bounded signature validity, the served RRSIGs then expire for
+    /// real. The registrar's DS leg is *not* frozen — it is a different
+    /// organisation working its own queue.
+    pub fn stall_rollover(&mut self, domain: &Name) -> Result<(), ActionError> {
+        let state = self
+            .rollovers
+            .get_mut(&domain.to_canonical())
+            .ok_or(ActionError::NoPendingRollover)?;
+        state.stalled = true;
+        Ok(())
+    }
+
+    /// Unfreezes a stalled rollover; the driver catches up on the next
+    /// tick.
+    pub fn resume_rollover(&mut self, domain: &Name) -> Result<(), ActionError> {
+        let state = self
+            .rollovers
+            .get_mut(&domain.to_canonical())
+            .ok_or(ActionError::NoPendingRollover)?;
+        state.stalled = false;
+        Ok(())
+    }
+
+    /// The in-flight rollover state of `domain`, if any. Completed
+    /// rollovers are removed from the map (their history lives in the
+    /// event log).
+    pub fn rollover_state(&self, domain: &Name) -> Option<&RolloverState> {
+        self.rollovers.get(&domain.to_canonical())
+    }
+
+    /// All in-flight scheduled rollovers.
+    pub fn active_rollovers(&self) -> impl Iterator<Item = (&Name, &RolloverState)> {
+        self.rollovers.iter()
+    }
+
+    /// The transitional signing set a plan serves between `start` and
+    /// completion.
+    fn transitional_set(plan: &RolloverPlan, old: &ZoneKeys, new: &ZoneKeys) -> SigningSet {
+        match plan.style {
+            RolloverStyle::DoubleSignatureKsk | RolloverStyle::Algorithm => {
+                SigningSet::double(old, new).expect("same zone")
+            }
+            RolloverStyle::PrePublishZsk => {
+                SigningSet::prepublish(old, new).expect("same zone")
+            }
+        }
+    }
+
+    /// Signer parameters for a rollover phase: bounded validity when the
+    /// plan asks for it (so a stalled operator's signatures genuinely
+    /// lapse), the world default otherwise.
+    fn rollover_signer(&self, plan: &RolloverPlan) -> SignerConfig {
+        match plan.signature_validity_days {
+            // Valid from yesterday, for `v` days from today.
+            Some(v) => SignerConfig::valid_from(
+                self.today.epoch_seconds().saturating_sub(86_400),
+                v.saturating_add(1).saturating_mul(86_400),
+            ),
+            None => self.signer_config(),
+        }
+    }
+
+    /// Advances every scheduled rollover whose dates the clock has
+    /// crossed. Called from [`World::tick`].
+    fn drive_rollovers(&mut self) {
+        if self.rollovers.is_empty() {
+            return;
+        }
+        let due: Vec<Name> = self.rollovers.keys().cloned().collect();
+        for domain in due {
+            self.drive_one_rollover(&domain);
+        }
+    }
+
+    fn drive_one_rollover(&mut self, domain: &Name) {
+        let today = self.today;
+        let Some(state) = self.rollovers.get(domain) else {
+            return;
+        };
+        let plan = state.plan.clone();
+        let stalled = state.stalled;
+        let old = state.old_keys.clone();
+        let new = state.new_keys.clone();
+
+        // Operator leg 1: start serving the transitional set.
+        if !stalled && state.phase == RolloverPhase::Scheduled && today >= plan.start {
+            let set = Self::transitional_set(&plan, &old, &new);
+            let signer = self.rollover_signer(&plan);
+            if self.resign_with_set(domain, &set, &signer).is_ok() {
+                let st = self.rollovers.get_mut(domain).expect("still present");
+                st.phase = if st.ds_swapped {
+                    RolloverPhase::DsSwapped
+                } else {
+                    RolloverPhase::Prepared
+                };
+                st.signed_until = plan.signature_validity_days.map(|_| signer.expiration);
+                self.events.record(
+                    today,
+                    Event::RolloverPrepared {
+                        domain: domain.clone(),
+                        style: plan.style,
+                    },
+                );
+            }
+        }
+
+        // Operator leg 1b (pre-publish ZSK only): on the scheduled swap
+        // day the *signer* switches to the incoming ZSK while the old one
+        // stays published for its retirement interval. No DS involved.
+        if !stalled
+            && plan.style == RolloverStyle::PrePublishZsk
+            && self.rollovers.get(domain).map(|s| s.phase) == Some(RolloverPhase::Prepared)
+            && today >= plan.scheduled_swap()
+        {
+            let set = SigningSet::prepublish(&new, &old).expect("same zone");
+            let signer = self.rollover_signer(&plan);
+            if self.resign_with_set(domain, &set, &signer).is_ok() {
+                let st = self.rollovers.get_mut(domain).expect("still present");
+                st.phase = RolloverPhase::DsSwapped;
+                st.signed_until = plan.signature_validity_days.map(|_| signer.expiration);
+            }
+        }
+
+        // Registrar/registry leg: the DS moves on *its* schedule — early,
+        // late, never — independent of the operator (even one that is
+        // stalled mid-outage).
+        if plan.style.changes_ds() && !self.rollovers.get(domain).map(|s| s.ds_swapped).unwrap_or(true) {
+            if let Some(swap_day) = plan.actual_swap() {
+                if today >= swap_day {
+                    let (sponsor, tld) = {
+                        let d = self.domains.get(&domain.to_canonical()).expect("rolling domain exists");
+                        (d.sponsor, d.tld)
+                    };
+                    let ds = new.ds(DigestType::Sha256);
+                    match self
+                        .registries
+                        .get_mut(&tld)
+                        .expect("all TLDs present")
+                        .set_ds(sponsor, domain, &[ds])
+                    {
+                        Ok(()) => {
+                            let st = self.rollovers.get_mut(domain).expect("still present");
+                            st.ds_swapped = true;
+                            let operator_done = st.phase == RolloverPhase::Completed;
+                            if st.phase == RolloverPhase::Prepared {
+                                st.phase = RolloverPhase::DsSwapped;
+                            }
+                            self.events.record(
+                                today,
+                                Event::RolloverDsSwapped {
+                                    domain: domain.clone(),
+                                    on_schedule: plan.ds_timing == DsTiming::OnSchedule,
+                                },
+                            );
+                            if operator_done {
+                                // The operator finished long ago; this late
+                                // DS landing was the last outstanding leg.
+                                self.rollovers.remove(domain);
+                            }
+                        }
+                        Err(e) => self.events.record(
+                            today,
+                            Event::DsRejected {
+                                domain: domain.clone(),
+                                reason: e.to_string(),
+                            },
+                        ),
+                    }
+                }
+            }
+        }
+
+        // Operator leg 2: withdraw old material, finish. Runs on schedule
+        // whether or not the DS ever moved — that is exactly how the
+        // "DS too late / never" bogus windows open.
+        let phase = self.rollovers.get(domain).map(|s| s.phase);
+        if !stalled
+            && matches!(phase, Some(RolloverPhase::Prepared) | Some(RolloverPhase::DsSwapped))
+            && today >= plan.completion()
+        {
+            if self.resign_with(domain, &new).is_ok() {
+                self.domains
+                    .get_mut(&domain.to_canonical())
+                    .expect("rolling domain exists")
+                    .keys = Some(new);
+                let st = self.rollovers.get_mut(domain).expect("still present");
+                let ds_pending =
+                    plan.style.changes_ds() && !st.ds_swapped && plan.actual_swap().is_some();
+                if ds_pending {
+                    // The operator is done but the registrar still owes a
+                    // (late) DS swap: keep the state so the registrar leg
+                    // drives it — that landing is what closes the bogus
+                    // window.
+                    st.phase = RolloverPhase::Completed;
+                    st.signed_until = None;
+                } else {
+                    self.rollovers.remove(domain);
+                }
+                self.events.record(
+                    today,
+                    Event::RolloverCompleted {
+                        domain: domain.clone(),
+                        style: plan.style,
+                    },
+                );
+            }
+            return;
+        }
+
+        // Signature upkeep under bounded validity: a live operator
+        // refreshes a day before expiry; a stalled one lets the RRSIGs
+        // lapse — and the lapse is logged once, when it happens.
+        let Some(state) = self.rollovers.get(domain) else {
+            return;
+        };
+        if let Some(until) = state.signed_until {
+            let now = today.epoch_seconds();
+            if !state.stalled
+                && matches!(
+                    state.phase,
+                    RolloverPhase::Prepared | RolloverPhase::DsSwapped
+                )
+                && now.saturating_add(86_400) >= until
+            {
+                let set = if state.phase == RolloverPhase::DsSwapped
+                    && plan.style == RolloverStyle::PrePublishZsk
+                {
+                    SigningSet::prepublish(&new, &old).expect("same zone")
+                } else {
+                    Self::transitional_set(&plan, &old, &new)
+                };
+                let signer = self.rollover_signer(&plan);
+                if self.resign_with_set(domain, &set, &signer).is_ok() {
+                    let st = self.rollovers.get_mut(domain).expect("still present");
+                    st.signed_until = Some(signer.expiration);
+                    st.expiry_noted = false;
+                }
+            } else if now >= until && !state.expiry_noted {
+                self.rollovers.get_mut(domain).expect("still present").expiry_noted = true;
+                self.events.record(
+                    today,
+                    Event::SignatureExpired {
+                        domain: domain.clone(),
+                    },
+                );
+            }
+        }
     }
 
     /// Re-signs a domain's zone with `keys` wherever it is hosted.
@@ -1522,6 +1917,39 @@ impl World {
                 self.host_owner_zone(domain, Some(keys));
                 // host_owner_zone already bumped the generation.
                 return Ok(());
+            }
+        }
+        self.bump_zone_generation(domain);
+        Ok(())
+    }
+
+    /// Re-signs a domain's zone with an arbitrary [`SigningSet`] and
+    /// signer window — the mid-rollover counterpart of
+    /// [`World::resign_with`].
+    fn resign_with_set(
+        &mut self,
+        domain: &Name,
+        set: &SigningSet,
+        signer: &SignerConfig,
+    ) -> Result<(), ActionError> {
+        let d = self
+            .domains
+            .get(&domain.to_canonical())
+            .ok_or(ActionError::NoSuchDomain)?;
+        match d.hosting.clone() {
+            Hosting::Registrar { .. } => {
+                let op = self.registrars[d.registrar.0 as usize].operator;
+                self.operators[op.0 as usize].host_signed_set(domain, set, signer);
+            }
+            Hosting::ThirdParty { operator } => {
+                self.operators[operator.0 as usize].host_signed_set(domain, set, signer);
+            }
+            Hosting::Owner => {
+                let (mut zone, ns_host) = self.owner_zone_skeleton(domain);
+                sign_zone_set(&mut zone, set, signer).expect("owner set matches zone");
+                self.owner_authority.upsert_zone(zone);
+                self.network
+                    .register(ns_host, self.owner_authority.clone());
             }
         }
         self.bump_zone_generation(domain);
@@ -1701,9 +2129,9 @@ impl World {
         Ok(())
     }
 
-    /// Builds (or re-signs) an owner-hosted zone and registers its
-    /// nameserver hostname; returns that hostname.
-    fn host_owner_zone(&mut self, domain: &Name, keys: Option<&ZoneKeys>) -> Name {
+    /// The unsigned skeleton of an owner-hosted zone (SOA, NS, www A) and
+    /// its nameserver hostname.
+    fn owner_zone_skeleton(&self, domain: &Name) -> (Zone, Name) {
         let ns_host = domain.child("ns1").expect("ns1 fits");
         let mut zone = Zone::new(domain.clone());
         zone.add(Record::new(
@@ -1728,6 +2156,13 @@ impl World {
             RData::A("192.0.2.1".parse().unwrap()),
         ))
         .expect("A fits");
+        (zone, ns_host)
+    }
+
+    /// Builds (or re-signs) an owner-hosted zone and registers its
+    /// nameserver hostname; returns that hostname.
+    fn host_owner_zone(&mut self, domain: &Name, keys: Option<&ZoneKeys>) -> Name {
+        let (mut zone, ns_host) = self.owner_zone_skeleton(domain);
         if let Some(keys) = keys {
             let signer = self.signer_config();
             sign_zone(&mut zone, keys, &signer).expect("owner keys match zone");

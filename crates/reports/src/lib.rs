@@ -14,7 +14,7 @@ pub mod table;
 
 pub use paper::{Checkpoint, ExperimentResult};
 pub use render::{
-    figure3, figure8, figure_series, study_summary, table1, table2, table3, table4, user_impact,
-    GTLDS,
+    figure3, figure8, figure_series, rollover_lifecycle, study_summary, table1, table2, table3,
+    table4, user_impact, GTLDS,
 };
 pub use table::Table;

@@ -175,6 +175,26 @@ pub fn table4(world: &World, names: &[&str]) -> String {
     t.render()
 }
 
+/// The key-rollover lifecycle section: per-operator rollover style
+/// census (from the always-logged lifecycle events) plus the world's
+/// lifecycle counters — the Osterweil-style "who transitions how, and
+/// who breaks doing it" summary.
+pub fn rollover_lifecycle(world: &World) -> String {
+    let census = dsec_scanner::rollover_census(world);
+    let mut out = String::from("Key-rollover lifecycle\n\n");
+    out.push_str(&dsec_scanner::rollover_census_table(&census));
+    out.push_str(&format!(
+        "\nlifecycle counters: {} prepared, {} DS swaps, {} completed, \
+         {} abrupt, {} expired-signature\n",
+        world.events.count("rollover_prepared"),
+        world.events.count("rollover_ds_swapped"),
+        world.events.count("rollover_completed"),
+        world.events.count("rollover_abrupt"),
+        world.events.count("signature_expired"),
+    ));
+    out
+}
+
 /// Figure 3: the cumulative distribution of domains over DNS operators for
 /// all / partially deployed / fully deployed domains, plus the paper's
 /// headline coverage statistics.

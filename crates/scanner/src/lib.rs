@@ -16,11 +16,13 @@
 
 pub mod cache;
 pub mod operator_id;
+pub mod rollover_census;
 pub mod snapshot;
 pub mod store;
 
 pub use cache::{CacheStats, ScanCache};
 pub use operator_id::{operator_key, operator_of};
+pub use rollover_census::{rollover_census, rollover_census_table, OperatorRolloverStats};
 pub use snapshot::{
     coverage_curve, operators_to_cover, Metric, OperatorStats, ScanOptions, Snapshot,
 };

@@ -26,9 +26,10 @@
 //! itself.
 //!
 //! Per-query latency is priced from the worker's own resolver
-//! accounting (UDP attempts, simulated backoff, TCP fallbacks), so a
-//! fault-plane campaign running under load shows up exactly where it
-//! would in production: in the p99/p999 tail and the ServFail column.
+//! accounting (UDP attempts, simulated backoff, TCP fallbacks) plus a
+//! seeded per-query RTT jitter sample, so a fault-plane campaign
+//! running under load shows up exactly where it would in production:
+//! in the p99/p999 tail and the ServFail column.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -152,6 +153,31 @@ impl LoadConfig {
     }
 }
 
+/// Deterministic per-query network jitter for fresh resolutions,
+/// simulated ms: a splitmix-style hash of (stream seed, stream index),
+/// so the sample drawn for query `i` is a property of the stream itself
+/// — identical run-to-run and across thread counts. Most samples are a
+/// small 0–15 ms spread on top of the deterministic RTT ladder; 1 in 64
+/// lands a moderate +32 ms tail and 1 in 512 a far +160 ms tail, so the
+/// latency percentiles separate (p50 < p99 < p999) the way real
+/// resolver RTT samples do instead of collapsing onto one bucket.
+fn jitter_ms(seed: u64, index: u64) -> u32 {
+    let mut h = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let mut ms = (h % 16) as u32;
+    if h.is_multiple_of(64) {
+        ms += 32;
+    }
+    if h.is_multiple_of(512) {
+        ms += 160;
+    }
+    ms
+}
+
 /// Stable worker shard for a query: the cache's case-folded name hash
 /// mixed with the qtype, so each (name, type) key belongs to exactly one
 /// worker regardless of thread count.
@@ -264,6 +290,7 @@ pub fn run_load_shared(world: &World, config: &LoadConfig, cache: Arc<Cache>) ->
                                 + RTT_MS * (after.udp_attempts - before.udp_attempts) as u32
                                 + (after.backoff_ms - before.backoff_ms) as u32
                                 + TCP_MS * (after.tcp_fallbacks - before.tcp_fallbacks) as u32
+                                + jitter_ms(config.seed, i as u64)
                         };
                         tally.histogram.record(latency);
                         tally.sim_busy_ms += latency as u64;
@@ -354,5 +381,35 @@ pub fn run_load_shared(world: &World, config: &LoadConfig, cache: Arc<Cache>) ->
         cache_capacity: config.cache_capacity,
         elapsed_ms,
         sim_elapsed_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_index() {
+        for i in 0..1_000u64 {
+            assert_eq!(jitter_ms(0x7AF1C, i), jitter_ms(0x7AF1C, i));
+        }
+        // Different seeds reshuffle the samples.
+        assert!((0..1_000u64).any(|i| jitter_ms(1, i) != jitter_ms(2, i)));
+    }
+
+    #[test]
+    fn jitter_spreads_with_a_bounded_tail() {
+        let samples: Vec<u32> = (0..100_000u64).map(|i| jitter_ms(0x7AF1C, i)).collect();
+        let max = *samples.iter().max().unwrap();
+        assert!(max <= 15 + 32 + 160, "tail bounded: {max}");
+        // The base spread covers the 0–15 ms band…
+        for base in 0..16u32 {
+            assert!(samples.contains(&base), "base value {base} ms never drawn");
+        }
+        // …and the tails fire at roughly their design rates (1/64, 1/512).
+        let moderate = samples.iter().filter(|&&s| s >= 32).count();
+        let far = samples.iter().filter(|&&s| s >= 160).count();
+        assert!((500..4_000).contains(&moderate), "moderate tail: {moderate}/100000");
+        assert!((50..600).contains(&far), "far tail: {far}/100000");
     }
 }

@@ -40,7 +40,7 @@ pub mod workload;
 pub use account::{Outcome, OutcomeCounts, TrafficReport};
 pub use driver::{run_load, run_load_shared, LoadConfig};
 pub use telemetry::LatencyHistogram;
-pub use workload::{PlannedQuery, TrafficPopulation, Zipf};
+pub use workload::{PlannedQuery, Site, TrafficPopulation, Zipf};
 
 // Re-exported so report consumers can build/inspect a [`TrafficReport`]
 // (or arm the degradation machinery) without depending on the resolver

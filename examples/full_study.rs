@@ -82,6 +82,7 @@ fn main() {
     for (kind, count) in events.counters() {
         println!("  {kind:<24} {count}");
     }
+    println!("\n{}", dsec::reports::rollover_lifecycle(&output.paper_world.world));
 
     println!("\n--- EXPERIMENTS.md ---\n");
     println!("{}", output.to_markdown());
