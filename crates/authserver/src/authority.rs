@@ -1,19 +1,255 @@
 //! An authoritative nameserver: a set of zones plus the RFC 1034 §4.3.2
 //! answer algorithm, including DNSSEC additions (RFC 4035 §3.1).
+//!
+//! ## Memcpy-fast answering
+//!
+//! The query path is built so that the steady state — a scanner or
+//! traffic plane asking the same questions against unchanged zones — is
+//! a lock-free map probe plus a memcpy:
+//!
+//! * Zones live behind an [`Epoch`] snapshot, so lookups take **zero
+//!   shared locks**; mutations (re-signing, rollovers, DS swaps) go
+//!   through the master copy and bump a per-zone generation.
+//! * Every answered question is recorded in a striped **response cache**
+//!   keyed by `(interned qname, qtype, echoed header bits)`, holding
+//!   both the parsed [`Message`] and its pre-serialized wire bytes.
+//!   Entries are invalidated by the *mutation path* — a generation
+//!   mismatch on the answering zone, or an origin-set change — never by
+//!   TTL, so a re-signed RRSIG is visible on the very next query.
+//! * [`Authority::handle_datagram`] serves repeat questions by cloning
+//!   the cached wire bytes and patching the 2-byte message id.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use dsec_wire::{Flags, Message, Name, RData, Rcode, Record, RrType, Zone};
+use dsec_wire::{
+    Flags, FnvHashMap, Message, Name, NameId, NameInterner, Opcode, Question, RData, Rcode,
+    Record, RrClass, RrType, Zone,
+};
+
+use crate::epoch::Epoch;
+
+/// Response-cache stripes (power of two; same fan-out as the interner).
+const CACHE_STRIPES: usize = 16;
+
+/// One served zone: its contents plus the generation of its last
+/// mutation. The zone is shared via `Arc` so epoch republishes and
+/// frozen secondaries ([`Authority::snapshot`]) are pointer copies;
+/// in-place edits go through [`Arc::make_mut`] (copy-on-write).
+#[derive(Debug, Clone)]
+struct ZoneSlot {
+    gen: u64,
+    zone: Arc<Zone>,
+}
+
+type ZoneMap = BTreeMap<Name, ZoneSlot>;
+
+/// Cache key: the question plus every echoed query attribute that
+/// changes the response bytes (RD/CD flags, EDNS presence, DO bit, and
+/// the verbatim-echoed EDNS payload size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    qname: NameId,
+    qtype: u16,
+    /// Bit 0 = RD, bit 1 = CD, bit 2 = EDNS present, bit 3 = DO.
+    echo: u8,
+    /// Echoed EDNS payload size (0 without EDNS).
+    payload: u16,
+}
+
+/// One cached answer.
+struct CacheEntry {
+    /// Exact-case qname the cached response echoes (wire bytes reusable
+    /// only for a byte-identical question).
+    qname: Name,
+    /// The answering zone's origin and content generation; `None` when
+    /// no served zone matched (REFUSED).
+    origin: Option<(Name, u64)>,
+    /// The response with id 0 and the cached question.
+    msg: Message,
+    /// `msg.to_wire()` — the datagram fast path.
+    wire: Vec<u8>,
+}
+
+/// Striped map of pre-serialized answers. Growth is bounded by the
+/// number of distinct `(qname, qtype, flags)` tuples ever asked — the
+/// registered population for the scanner, not query volume. Invalid
+/// entries are overwritten in place by the next miss on their key.
+struct ResponseCache {
+    enabled: AtomicBool,
+    interner: NameInterner,
+    stripes: Vec<RwLock<FnvHashMap<CacheKey, CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResponseCache {
+    fn new() -> Self {
+        ResponseCache {
+            enabled: AtomicBool::new(true),
+            interner: NameInterner::new(),
+            stripes: (0..CACHE_STRIPES)
+                .map(|_| RwLock::new(FnvHashMap::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key for `query`, or `None` when the query is not
+    /// cacheable (cache off, multi-question, non-QUERY opcode, or a
+    /// class other than IN).
+    fn key_for(&self, query: &Message, question: &Question) -> Option<CacheKey> {
+        if !self.enabled.load(Ordering::Relaxed)
+            || query.questions.len() != 1
+            || query.opcode != Opcode::Query
+            || question.qclass != RrClass::In
+        {
+            return None;
+        }
+        let mut echo = 0u8;
+        if query.flags.recursion_desired {
+            echo |= 1;
+        }
+        if query.flags.checking_disabled {
+            echo |= 2;
+        }
+        let mut payload = 0u16;
+        if let Some(edns) = &query.edns {
+            echo |= 4;
+            if edns.dnssec_ok {
+                echo |= 8;
+            }
+            payload = edns.udp_payload_size;
+        }
+        Some(CacheKey {
+            qname: self.interner.intern(&question.name),
+            qtype: question.qtype.number(),
+            echo,
+            payload,
+        })
+    }
+
+    fn stripe(&self, key: &CacheKey) -> &RwLock<FnvHashMap<CacheKey, CacheEntry>> {
+        &self.stripes[(key.qname.raw() as usize) & (CACHE_STRIPES - 1)]
+    }
+
+    /// A cached response as a parsed message, re-stamped with the
+    /// querier's id and exact-case question.
+    fn message_hit(&self, key: &CacheKey, query: &Message, zones: &ZoneMap) -> Option<Message> {
+        let stripe = self.stripe(key).read();
+        let entry = stripe.get(key)?;
+        if !entry_current(entry, zones) {
+            return None;
+        }
+        let mut response = entry.msg.clone();
+        response.id = query.id;
+        response.questions = query.questions.clone();
+        Some(response)
+    }
+
+    /// A cached response as raw wire bytes with the id patched in — only
+    /// when the incoming question is byte-identical (same label case) to
+    /// the cached one, since the response echoes the question verbatim.
+    fn wire_hit(
+        &self,
+        key: &CacheKey,
+        query: &Message,
+        question: &Question,
+        zones: &ZoneMap,
+    ) -> Option<Vec<u8>> {
+        let stripe = self.stripe(key).read();
+        let entry = stripe.get(key)?;
+        if !entry_current(entry, zones) || !same_label_bytes(&entry.qname, &question.name) {
+            return None;
+        }
+        let mut wire = entry.wire.clone();
+        wire[0..2].copy_from_slice(&query.id.to_be_bytes());
+        Some(wire)
+    }
+
+    fn insert(&self, key: CacheKey, qname: Name, origin: Option<(Name, u64)>, response: &Message) {
+        let mut msg = response.clone();
+        msg.id = 0;
+        let wire = msg.to_wire();
+        self.stripe(&key).write().insert(
+            key,
+            CacheEntry {
+                qname,
+                origin,
+                msg,
+                wire,
+            },
+        );
+    }
+
+    /// Drops every entry whose qname sits at or under `origin` — the
+    /// targeted sweep for a *newly served* origin, which can steal the
+    /// longest match (or a REFUSED verdict) from existing entries.
+    fn sweep_under(&self, origin: &Name) {
+        for stripe in &self.stripes {
+            stripe.write().retain(|_, e| !e.qname.is_subdomain_of(origin));
+        }
+    }
+
+    fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.write().clear();
+        }
+    }
+}
+
+/// Whether `entry` still reflects the current zone set.
+fn entry_current(entry: &CacheEntry, zones: &ZoneMap) -> bool {
+    match &entry.origin {
+        None => true,
+        Some((origin, gen)) => zones.get(origin).is_some_and(|slot| slot.gen == *gen),
+    }
+}
+
+/// Byte-level (case-sensitive) label equality — the test for reusing
+/// pre-serialized question bytes.
+fn same_label_bytes(a: &Name, b: &Name) -> bool {
+    a.label_count() == b.label_count()
+        && a.labels()
+            .iter()
+            .zip(b.labels())
+            .all(|(x, y)| x.as_bytes() == y.as_bytes())
+}
 
 /// One DNS operator's authoritative service.
 ///
 /// Thread-safe: the ecosystem mutates zones (daily re-signing, customer
-/// changes) while the scanner queries concurrently.
-#[derive(Debug, Default)]
+/// changes) while the scanner queries concurrently. Queries take no
+/// shared locks — see the module docs.
 pub struct Authority {
-    zones: RwLock<BTreeMap<Name, Zone>>,
+    zones: Epoch<ZoneMap>,
+    /// Monotonic source of [`ZoneSlot::gen`] values; never reused, so a
+    /// removed-and-readded origin cannot revive stale cache entries.
+    zone_gen: AtomicU64,
+    cache: ResponseCache,
+}
+
+impl fmt::Debug for Authority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Authority")
+            .field("zones", &self.zones)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Authority {
+    fn default() -> Self {
+        Authority {
+            zones: Epoch::new(BTreeMap::new()),
+            zone_gen: AtomicU64::new(0),
+            cache: ResponseCache::new(),
+        }
+    }
 }
 
 impl Authority {
@@ -22,26 +258,55 @@ impl Authority {
         Self::default()
     }
 
+    fn next_gen(&self) -> u64 {
+        self.zone_gen.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Installs or replaces the zone with the same origin.
+    ///
+    /// Replacements invalidate cached answers lazily (the slot
+    /// generation changes); a *new* origin triggers a targeted cache
+    /// sweep, since it may become the longest match for names previously
+    /// answered by an ancestor zone or refused outright.
     pub fn upsert_zone(&self, zone: Zone) {
-        self.zones
-            .write()
-            .insert(zone.origin().to_canonical(), zone);
+        let gen = self.next_gen();
+        let origin = zone.origin().to_canonical();
+        let slot = ZoneSlot {
+            gen,
+            zone: Arc::new(zone),
+        };
+        let newly_served = self
+            .zones
+            .mutate(|zones| zones.insert(origin.clone(), slot).is_none());
+        if newly_served {
+            self.cache.sweep_under(&origin);
+        }
     }
 
     /// Removes the zone rooted at `origin`; returns whether it existed.
+    /// Cached answers from it invalidate lazily (their origin lookup
+    /// fails).
     pub fn remove_zone(&self, origin: &Name) -> bool {
-        self.zones.write().remove(&origin.to_canonical()).is_some()
+        self.zones.mutate(|zones| zones.remove(origin).is_some())
     }
 
     /// Runs `f` over the zone rooted at `origin`, if served.
     pub fn with_zone<R>(&self, origin: &Name, f: impl FnOnce(&Zone) -> R) -> Option<R> {
-        self.zones.read().get(&origin.to_canonical()).map(f)
+        self.zones.read().get(origin).map(|slot| f(&slot.zone))
     }
 
     /// Runs `f` mutably over the zone rooted at `origin`, if served.
+    /// Copy-on-write: frozen secondaries holding the old `Arc` keep the
+    /// pre-edit contents. The slot generation bump invalidates every
+    /// cached answer derived from this zone.
     pub fn with_zone_mut<R>(&self, origin: &Name, f: impl FnOnce(&mut Zone) -> R) -> Option<R> {
-        self.zones.write().get_mut(&origin.to_canonical()).map(f)
+        let gen = self.next_gen();
+        self.zones.mutate(|zones| {
+            let slot = zones.get_mut(origin)?;
+            let result = f(Arc::make_mut(&mut slot.zone));
+            slot.gen = gen;
+            Some(result)
+        })
     }
 
     /// Origins of all served zones.
@@ -49,12 +314,36 @@ impl Authority {
         self.zones.read().keys().cloned().collect()
     }
 
-    /// A deep copy of this authority frozen at the current zone contents
-    /// — models a secondary that has stopped syncing from its primary.
+    /// A copy of this authority frozen at the current zone contents —
+    /// models a secondary that has stopped syncing from its primary.
+    ///
+    /// O(1): the snapshot shares the live zone-map `Arc`; later edits to
+    /// the live authority copy-on-write and leave the frozen view
+    /// untouched. The snapshot starts with an empty response cache of
+    /// its own (no answers leak between the live and stale views).
     pub fn snapshot(&self) -> Authority {
         Authority {
-            zones: RwLock::new(self.zones.read().clone()),
+            zones: self.zones.share(),
+            zone_gen: AtomicU64::new(self.zone_gen.load(Ordering::Relaxed)),
+            cache: ResponseCache::new(),
         }
+    }
+
+    /// Enables or disables the response cache (on by default). Disabling
+    /// also drops every cached entry, so re-enabling starts cold.
+    pub fn set_response_cache(&self, enabled: bool) {
+        self.cache.enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.cache.clear();
+        }
+    }
+
+    /// `(hits, misses)` of the response cache since construction.
+    pub fn response_cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Answers one query message.
@@ -64,123 +353,19 @@ impl Authority {
             response.rcode = Rcode::FormErr;
             return response;
         };
-        let qname = question.name.to_canonical();
-        let qtype = question.qtype;
-        let dnssec_ok = query.dnssec_ok();
-
         let zones = self.zones.read();
-        // Longest-match zone for the qname: walk the ancestor chain so the
-        // lookup stays O(labels · log zones) even when one operator serves
-        // tens of thousands of customer zones.
-        let mut zone = None;
-        let mut candidate = Some(qname.clone());
-        while let Some(c) = candidate {
-            if let Some(z) = zones.get(&c) {
-                zone = Some(z);
-                break;
+        let key = self.cache.key_for(query, question);
+        if let Some(key) = &key {
+            if let Some(hit) = self.cache.message_hit(key, query, &zones) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
             }
-            candidate = c.parent();
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
         }
-        let Some(zone) = zone else {
-            response.rcode = Rcode::Refused;
-            return response;
-        };
-
-        response.flags = Flags {
-            response: true,
-            authoritative: true,
-            recursion_desired: query.flags.recursion_desired,
-            checking_disabled: query.flags.checking_disabled,
-            ..Flags::default()
-        };
-
-        // Delegation? (A DS query for the cut itself is answered by this
-        // zone — the parent owns the DS RRset.)
-        if let Some((cut, ns_set)) = zone.find_delegation(&qname) {
-            let ds_query_at_cut = qtype == RrType::Ds && qname == cut;
-            if !ds_query_at_cut {
-                response.flags.authoritative = false;
-                for record in ns_set.records() {
-                    response.authorities.push(record.clone());
-                }
-                if dnssec_ok {
-                    // DS (or its absence) travels with the referral.
-                    if let Some(ds) = zone.rrset(&cut, RrType::Ds) {
-                        response.authorities.extend(ds.records().iter().cloned());
-                    }
-                    append_rrsigs(zone, &cut, &[RrType::Ds], &mut response.authorities);
-                    // NSEC proves DS absence for unsigned children.
-                    if zone.rrset(&cut, RrType::Ds).is_none() {
-                        if let Some(nsec) = zone.rrset(&cut, RrType::Nsec) {
-                            response.authorities.extend(nsec.records().iter().cloned());
-                            append_rrsigs(zone, &cut, &[RrType::Nsec], &mut response.authorities);
-                        }
-                    }
-                }
-                // Glue.
-                for record in ns_set.records() {
-                    if let RData::Ns(host) = &record.rdata {
-                        if host.is_subdomain_of(&cut) {
-                            if let Some(glue) = zone.rrset(host, RrType::A) {
-                                response.additionals.extend(glue.records().iter().cloned());
-                            }
-                        }
-                    }
-                }
-                return response;
-            }
-        }
-
-        // Exact-match answer.
-        if let Some(rrset) = zone.rrset(&qname, qtype) {
-            response.answers.extend(rrset.records().iter().cloned());
-            if dnssec_ok {
-                append_rrsigs(zone, &qname, &[qtype], &mut response.answers);
-            }
-            return response;
-        }
-
-        // CNAME at the name?
-        if let Some(cname) = zone.rrset(&qname, RrType::Cname) {
-            response.answers.extend(cname.records().iter().cloned());
-            if dnssec_ok {
-                append_rrsigs(zone, &qname, &[RrType::Cname], &mut response.answers);
-            }
-            return response;
-        }
-
-        // Negative answer: NODATA (name exists) or NXDOMAIN.
-        let exists = zone.name_exists(&qname) || qname == *zone.origin();
-        if !exists {
-            response.rcode = Rcode::NxDomain;
-        }
-        if let Some(soa) = zone.rrset(zone.origin(), RrType::Soa) {
-            response.authorities.extend(soa.records().iter().cloned());
-            if dnssec_ok {
-                append_rrsigs(zone, zone.origin(), &[RrType::Soa], &mut response.authorities);
-            }
-        }
-        if dnssec_ok {
-            // NSEC3 zones: attach the NSEC3 matching (NODATA) or covering
-            // (NXDOMAIN) the qname's hash. NSEC zones: the plain denial.
-            if let Some(owner) = nsec3_denial_owner(zone, &qname) {
-                if let Some(nsec3) = zone.rrset(&owner, RrType::Nsec3) {
-                    response.authorities.extend(nsec3.records().iter().cloned());
-                    append_rrsigs(zone, &owner, &[RrType::Nsec3], &mut response.authorities);
-                }
-            } else {
-                let nsec_owner = if exists {
-                    Some(qname.clone())
-                } else {
-                    covering_nsec_owner(zone, &qname)
-                };
-                if let Some(owner) = nsec_owner {
-                    if let Some(nsec) = zone.rrset(&owner, RrType::Nsec) {
-                        response.authorities.extend(nsec.records().iter().cloned());
-                        append_rrsigs(zone, &owner, &[RrType::Nsec], &mut response.authorities);
-                    }
-                }
-            }
+        let origin = answer(&zones, query, question, &mut response);
+        if let Some(key) = key {
+            self.cache
+                .insert(key, question.name.clone(), origin, &response);
         }
         response
     }
@@ -200,6 +385,18 @@ impl Authority {
                     .map(|e| e.udp_payload_size as usize)
                     .unwrap_or(512)
                     .max(512);
+                // Memcpy fast path: cached wire bytes, id patched in.
+                if let Some(question) = query.questions.first() {
+                    if let Some(key) = self.cache.key_for(&query, question) {
+                        let zones = self.zones.read();
+                        if let Some(wire) = self.cache.wire_hit(&key, &query, question, &zones) {
+                            if wire.len() <= limit {
+                                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                                return Some(wire);
+                            }
+                        }
+                    }
+                }
                 let response = self.handle_query(&query);
                 let wire = response.to_wire();
                 if wire.len() <= limit {
@@ -246,10 +443,145 @@ impl Authority {
     }
 }
 
+/// The RFC 1034 §4.3.2 answer algorithm over one zone snapshot. Fills
+/// `response` and returns the answering zone's `(origin, generation)`,
+/// or `None` when no served zone matched (REFUSED).
+fn answer(
+    zones: &ZoneMap,
+    query: &Message,
+    question: &Question,
+    response: &mut Message,
+) -> Option<(Name, u64)> {
+    let qname = &question.name;
+    let qtype = question.qtype;
+    let dnssec_ok = query.dnssec_ok();
+
+    // Longest-match zone for the qname: walk the ancestor chain so the
+    // lookup stays O(labels · log zones) even when one operator serves
+    // tens of thousands of customer zones.
+    let mut found: Option<(&Name, &ZoneSlot)> = None;
+    let mut candidate = Some(qname.clone());
+    while let Some(c) = candidate {
+        if let Some((key, slot)) = zones.get_key_value(&c) {
+            found = Some((key, slot));
+            break;
+        }
+        candidate = c.parent();
+    }
+    let Some((origin_key, slot)) = found else {
+        response.rcode = Rcode::Refused;
+        return None;
+    };
+    let provenance = Some((origin_key.clone(), slot.gen));
+    let zone: &Zone = &slot.zone;
+
+    response.flags = Flags {
+        response: true,
+        authoritative: true,
+        recursion_desired: query.flags.recursion_desired,
+        checking_disabled: query.flags.checking_disabled,
+        ..Flags::default()
+    };
+
+    // Delegation? (A DS query for the cut itself is answered by this
+    // zone — the parent owns the DS RRset.)
+    if let Some((cut, ns_set)) = zone.find_delegation(qname) {
+        let ds_query_at_cut = qtype == RrType::Ds && *qname == cut;
+        if !ds_query_at_cut {
+            response.flags.authoritative = false;
+            for record in ns_set.records() {
+                response.authorities.push(record.clone());
+            }
+            if dnssec_ok {
+                // DS (or its absence) travels with the referral.
+                let has_ds = match zone.rrset_records(&cut, RrType::Ds) {
+                    Some(ds) => {
+                        response.authorities.extend(ds.iter().cloned());
+                        true
+                    }
+                    None => false,
+                };
+                append_rrsigs(zone, &cut, &[RrType::Ds], &mut response.authorities);
+                // NSEC proves DS absence for unsigned children.
+                if !has_ds {
+                    if let Some(nsec) = zone.rrset_records(&cut, RrType::Nsec) {
+                        response.authorities.extend(nsec.iter().cloned());
+                        append_rrsigs(zone, &cut, &[RrType::Nsec], &mut response.authorities);
+                    }
+                }
+            }
+            // Glue.
+            for record in ns_set.records() {
+                if let RData::Ns(host) = &record.rdata {
+                    if host.is_subdomain_of(&cut) {
+                        if let Some(glue) = zone.rrset_records(host, RrType::A) {
+                            response.additionals.extend(glue.iter().cloned());
+                        }
+                    }
+                }
+            }
+            return provenance;
+        }
+    }
+
+    // Exact-match answer.
+    if let Some(rrset) = zone.rrset_records(qname, qtype) {
+        response.answers.extend(rrset.iter().cloned());
+        if dnssec_ok {
+            append_rrsigs(zone, qname, &[qtype], &mut response.answers);
+        }
+        return provenance;
+    }
+
+    // CNAME at the name?
+    if let Some(cname) = zone.rrset_records(qname, RrType::Cname) {
+        response.answers.extend(cname.iter().cloned());
+        if dnssec_ok {
+            append_rrsigs(zone, qname, &[RrType::Cname], &mut response.answers);
+        }
+        return provenance;
+    }
+
+    // Negative answer: NODATA (name exists) or NXDOMAIN.
+    let exists = zone.name_exists(qname) || *qname == *zone.origin();
+    if !exists {
+        response.rcode = Rcode::NxDomain;
+    }
+    if let Some(soa) = zone.rrset_records(zone.origin(), RrType::Soa) {
+        response.authorities.extend(soa.iter().cloned());
+        if dnssec_ok {
+            append_rrsigs(zone, zone.origin(), &[RrType::Soa], &mut response.authorities);
+        }
+    }
+    if dnssec_ok {
+        // NSEC3 zones: attach the NSEC3 matching (NODATA) or covering
+        // (NXDOMAIN) the qname's hash. NSEC zones: the plain denial.
+        if let Some(owner) = nsec3_denial_owner(zone, qname) {
+            if let Some(nsec3) = zone.rrset_records(&owner, RrType::Nsec3) {
+                response.authorities.extend(nsec3.iter().cloned());
+                append_rrsigs(zone, &owner, &[RrType::Nsec3], &mut response.authorities);
+            }
+        } else {
+            let nsec_owner = if exists {
+                Some(qname.clone())
+            } else {
+                covering_nsec_owner(zone, qname)
+            };
+            if let Some(owner) = nsec_owner {
+                if let Some(nsec) = zone.rrset_records(&owner, RrType::Nsec) {
+                    response.authorities.extend(nsec.iter().cloned());
+                    append_rrsigs(zone, &owner, &[RrType::Nsec], &mut response.authorities);
+                }
+            }
+        }
+    }
+    provenance
+}
+
 /// Appends RRSIGs at `owner` covering any of `types`.
 fn append_rrsigs(zone: &Zone, owner: &Name, types: &[RrType], out: &mut Vec<Record>) {
-    if let Some(sigs) = zone.rrset(owner, RrType::Rrsig) {
-        for record in sigs.records() {
+    if let Some(sigs) = zone.rrset_records(owner, RrType::Rrsig) {
+        for record in sigs {
             if let RData::Rrsig(s) = &record.rdata {
                 if types.contains(&s.type_covered) {
                     out.push(record.clone());
@@ -263,11 +595,11 @@ fn append_rrsigs(zone: &Zone, owner: &Name, types: &[RrType], out: &mut Vec<Reco
 /// NSEC3 record matching or covering `qname`'s hash; `None` for NSEC
 /// zones.
 fn nsec3_denial_owner(zone: &Zone, qname: &Name) -> Option<Name> {
-    let param_set = zone.rrset(zone.origin(), RrType::Nsec3Param)?;
-    let RData::Nsec3Param(param) = &param_set.records()[0].rdata else {
+    let param_set = zone.rrset_records(zone.origin(), RrType::Nsec3Param)?;
+    let RData::Nsec3Param(param) = &param_set[0].rdata else {
         return None;
     };
-    let qhash = dsec_dnssec::nsec3_hash(qname, &param.salt, param.iterations);
+    let qhash = dsec_dnssec::nsec3_hash_memoized(qname, &param.salt, param.iterations);
     // Collect (owner-hash, owner) for every NSEC3 in the zone.
     let mut entries: Vec<([u8; 20], Name)> = zone
         .rrsets()
@@ -607,6 +939,9 @@ mod tests {
         let resp = Message::from_wire(&out).unwrap();
         assert!(resp.flags.truncated);
         assert!(resp.answers.is_empty());
+        // Truncation must hold on the repeat (cached) query too.
+        let out = auth.handle_datagram(&q.to_wire()).unwrap();
+        assert!(Message::from_wire(&out).unwrap().flags.truncated);
         // With EDNS 4096 → fits, not truncated.
         let q = Message::query(6, name("big.com"), RrType::Txt, true);
         let out = auth.handle_datagram(&q.to_wire()).unwrap();
@@ -662,5 +997,166 @@ mod tests {
         });
         assert!(auth.remove_zone(&name("example.com")));
         assert!(!auth.remove_zone(&name("example.com")));
+    }
+
+    // ——— response-cache behavior ———
+
+    #[test]
+    fn repeat_queries_hit_the_cache_and_match() {
+        let auth = authority(true);
+        let first = ask(&auth, "www.example.com", RrType::A, true);
+        let second = ask(&auth, "www.example.com", RrType::A, true);
+        assert_eq!(first, second);
+        let (hits, misses) = auth.response_cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn cache_hit_echoes_querier_id_and_case() {
+        let auth = authority(false);
+        let warm = Message::query(1, name("www.example.com"), RrType::A, false);
+        auth.handle_query(&warm);
+        let q = Message::query(77, name("WWW.Example.COM"), RrType::A, false);
+        let resp = auth.handle_query(&q);
+        assert_eq!(resp.id, 77);
+        assert_eq!(resp.questions[0].name.to_string(), "WWW.Example.COM.");
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(auth.response_cache_stats().0, 1, "case variant still hits");
+    }
+
+    #[test]
+    fn zone_edit_invalidates_cached_answers() {
+        let auth = authority(false);
+        assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 1);
+        assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 1);
+        auth.with_zone_mut(&name("example.com"), |z| {
+            z.add(Record::new(
+                name("www.example.com"),
+                60,
+                RData::A("192.0.2.99".parse().unwrap()),
+            ))
+            .unwrap();
+        });
+        assert_eq!(
+            ask(&auth, "www.example.com", RrType::A, false).answers.len(),
+            2,
+            "edit must be visible on the very next query"
+        );
+    }
+
+    #[test]
+    fn zone_replacement_invalidates_cached_answers() {
+        let auth = authority(false);
+        assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 1);
+        // Replace the whole zone with one lacking the www record.
+        let mut replacement = Zone::new(name("example.com"));
+        replacement
+            .add(Record::new(
+                name("example.com"),
+                3600,
+                RData::Ns(name("ns1.example.com")),
+            ))
+            .unwrap();
+        auth.upsert_zone(replacement);
+        let resp = ask(&auth, "www.example.com", RrType::A, false);
+        assert!(resp.answers.is_empty(), "replaced zone answers, not the cache");
+    }
+
+    #[test]
+    fn new_origin_sweeps_refused_and_parent_answers() {
+        let auth = authority(false);
+        // Cache a REFUSED verdict for an unserved name…
+        assert_eq!(ask(&auth, "host.newzone.org", RrType::A, false).rcode, Rcode::Refused);
+        // …and a parent-zone answer for a name about to be shadowed.
+        assert_eq!(ask(&auth, "host.sub.example.com", RrType::A, false).answers.len(), 0);
+        // Serving the zones must steal both longest matches.
+        let mut org = Zone::new(name("newzone.org"));
+        org.add(Record::new(
+            name("host.newzone.org"),
+            60,
+            RData::A("192.0.2.5".parse().unwrap()),
+        ))
+        .unwrap();
+        auth.upsert_zone(org);
+        let mut child = Zone::new(name("sub.example.com"));
+        child
+            .add(Record::new(
+                name("host.sub.example.com"),
+                60,
+                RData::A("192.0.2.6".parse().unwrap()),
+            ))
+            .unwrap();
+        auth.upsert_zone(child);
+        assert_eq!(ask(&auth, "host.newzone.org", RrType::A, false).answers.len(), 1);
+        assert_eq!(ask(&auth, "host.sub.example.com", RrType::A, false).answers.len(), 1);
+    }
+
+    #[test]
+    fn zone_removal_invalidates_cached_answers() {
+        let auth = authority(false);
+        assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 1);
+        auth.remove_zone(&name("example.com"));
+        assert_eq!(
+            ask(&auth, "www.example.com", RrType::A, false).rcode,
+            Rcode::Refused
+        );
+    }
+
+    #[test]
+    fn cached_datagrams_patch_the_id() {
+        let auth = authority(false);
+        let q1 = Message::query(9, name("www.example.com"), RrType::A, false);
+        let first = auth.handle_datagram(&q1.to_wire()).unwrap();
+        let q2 = Message::query(0xBEEF, name("www.example.com"), RrType::A, false);
+        let second = auth.handle_datagram(&q2.to_wire()).unwrap();
+        let resp = Message::from_wire(&second).unwrap();
+        assert_eq!(resp.id, 0xBEEF);
+        // Identical apart from the id bytes.
+        assert_eq!(&first[2..], &second[2..]);
+    }
+
+    #[test]
+    fn disabling_the_cache_bypasses_it() {
+        let auth = authority(false);
+        auth.set_response_cache(false);
+        for _ in 0..3 {
+            assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 1);
+        }
+        assert_eq!(auth.response_cache_stats(), (0, 0));
+        auth.set_response_cache(true);
+        ask(&auth, "www.example.com", RrType::A, false);
+        ask(&auth, "www.example.com", RrType::A, false);
+        assert_eq!(auth.response_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn do_bit_and_flags_partition_the_cache() {
+        let auth = authority(true);
+        let plain = ask(&auth, "www.example.com", RrType::A, false);
+        let with_do = ask(&auth, "www.example.com", RrType::A, true);
+        assert!(!plain.answers.iter().any(|r| r.rtype() == RrType::Rrsig));
+        assert!(with_do.answers.iter().any(|r| r.rtype() == RrType::Rrsig));
+        // Both were misses: distinct keys, no cross-contamination.
+        assert_eq!(auth.response_cache_stats().1, 2);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_and_cheap_to_take() {
+        let auth = authority(false);
+        let frozen = auth.snapshot();
+        auth.with_zone_mut(&name("example.com"), |z| {
+            z.add(Record::new(
+                name("www.example.com"),
+                60,
+                RData::A("192.0.2.2".parse().unwrap()),
+            ))
+            .unwrap();
+        });
+        assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 2);
+        assert_eq!(
+            ask(&frozen, "www.example.com", RrType::A, false).answers.len(),
+            1,
+            "frozen secondary keeps the pre-edit contents"
+        );
     }
 }

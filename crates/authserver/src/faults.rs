@@ -197,6 +197,25 @@ impl FaultStats {
     }
 }
 
+/// Attempt-counter key: the 64-bit draw hash plus the full
+/// (server, qname, qtype) triple it was folded from. `Hash` writes only
+/// the precomputed fold (cheap), while `Eq` compares the whole triple —
+/// so distinct triples that collide in the 64-bit fold get their own
+/// counters instead of silently sharing one and skewing draws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AttemptKey {
+    hash: u64,
+    server: Name,
+    qname: Name,
+    qtype: u16,
+}
+
+impl std::hash::Hash for AttemptKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
 /// The fault-injection plane a [`crate::Network`] consults on every
 /// simulated packet. Disabled (the default) it adds one atomic load to
 /// the hot path and changes nothing.
@@ -221,8 +240,10 @@ pub struct FaultPlane {
     /// Scripted outcomes consumed FIFO per server (deterministic tests).
     scripts: Mutex<HashMap<Name, VecDeque<Fault>>>,
     /// Per-(server, qname, qtype) attempt counters: make draws
-    /// independent of cross-thread query interleaving.
-    attempts: Mutex<HashMap<u64, u32>>,
+    /// independent of cross-thread query interleaving. Pruned at each
+    /// campaign epoch ([`FaultPlane::begin_epoch`]) so multi-day
+    /// campaigns don't grow it without bound.
+    attempts: Mutex<HashMap<AttemptKey, u32>>,
     /// Stale zone copies, frozen lazily when a Stale fault first fires.
     stale: Mutex<HashMap<Name, Arc<Authority>>>,
     counters: FaultCounters,
@@ -247,6 +268,16 @@ impl FaultPlane {
     /// but dormant).
     pub fn disable(&self) {
         self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Starts a new campaign epoch: prunes the per-(server, qname, qtype)
+    /// attempt counters so multi-day campaigns don't accumulate one
+    /// counter per triple forever, and so every snapshot re-draws from
+    /// attempt 0 (per-snapshot determinism independent of campaign
+    /// length). Stale zone copies are retained — a frozen secondary stays
+    /// frozen until its fault clears.
+    pub fn begin_epoch(&self) {
+        self.attempts.lock().clear();
     }
 
     /// Whether the plane is live.
@@ -423,10 +454,18 @@ impl FaultPlane {
             return None;
         }
         // Key the draw on (server, qname, qtype, attempt#): identical
-        // across runs regardless of thread interleaving.
-        let mut key = fnv1a(&canonical.to_canonical_wire(), 0xF0_17);
-        key = fnv1a(&qname.to_canonical_wire(), key);
-        key = fnv1a(&qtype.to_be_bytes(), key);
+        // across runs regardless of thread interleaving. (Canonical wire
+        // form is lowercase already, so hashing `ns` directly equals
+        // hashing its canonical name.)
+        let mut hash = fnv1a(&ns.to_canonical_wire(), 0xF0_17);
+        hash = fnv1a(&qname.to_canonical_wire(), hash);
+        hash = fnv1a(&qtype.to_be_bytes(), hash);
+        let key = AttemptKey {
+            hash,
+            server: canonical,
+            qname: qname.to_canonical(),
+            qtype,
+        };
         let attempt = {
             let mut attempts = self.attempts.lock();
             let counter = attempts.entry(key).or_insert(0);
@@ -436,7 +475,7 @@ impl FaultPlane {
         };
         let draw = uniform_draw(
             self.seed.load(Ordering::Relaxed),
-            key ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            hash ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let fault = profile.pick(draw)?;
         self.count(fault);
@@ -569,6 +608,48 @@ mod tests {
         out1.sort_by_key(|(k, _)| *k);
         out2.sort_by_key(|(k, _)| *k);
         assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn begin_epoch_prunes_counters_and_replays_draws() {
+        let plane = FaultPlane::new();
+        plane.enable(42);
+        plane.set_global_profile(FaultProfile::mixed(0.5));
+        let ns = name("ns1.op.net");
+        let ask = |p: &FaultPlane| -> Vec<Option<Fault>> {
+            (0..16)
+                .map(|i| p.decide(&ns, &name(&format!("d{}.com", i % 4)), 48))
+                .collect()
+        };
+        let first = ask(&plane);
+        assert_eq!(plane.attempts.lock().len(), 4, "one counter per triple");
+        plane.begin_epoch();
+        assert!(plane.attempts.lock().is_empty(), "epoch prunes counters");
+        // A fresh epoch re-draws from attempt 0: the sequence replays.
+        assert_eq!(ask(&plane), first);
+    }
+
+    #[test]
+    fn colliding_attempt_hashes_keep_separate_counters() {
+        // Two distinct triples forced onto the same 64-bit hash must not
+        // share a HashMap slot: Eq compares the full triple.
+        let a = AttemptKey {
+            hash: 0xDEAD_BEEF,
+            server: name("ns1.op.net"),
+            qname: name("a.com"),
+            qtype: 48,
+        };
+        let b = AttemptKey {
+            hash: 0xDEAD_BEEF,
+            server: name("ns2.op.net"),
+            qname: name("b.com"),
+            qtype: 1,
+        };
+        assert_ne!(a, b);
+        let mut counters: HashMap<AttemptKey, u32> = HashMap::new();
+        *counters.entry(a).or_insert(0) += 1;
+        *counters.entry(b).or_insert(0) += 1;
+        assert_eq!(counters.len(), 2);
     }
 
     #[test]

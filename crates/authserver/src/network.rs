@@ -22,6 +22,7 @@ use parking_lot::RwLock;
 use dsec_wire::{Message, Name, Rcode};
 
 use crate::authority::Authority;
+use crate::epoch::Epoch;
 use crate::faults::{Fault, FaultPlane};
 
 /// Nominal one-way-trip-and-back latency of a clean exchange, in
@@ -56,9 +57,13 @@ impl QueryOutcome {
 }
 
 /// A directory of nameservers.
+///
+/// The hostname → authority map sits behind an [`Epoch`] snapshot:
+/// lookups on the query hot path take zero shared locks, while the rare
+/// mutations (registration churn) go through the epoch's master copy.
 #[derive(Debug, Default)]
 pub struct Network {
-    servers: RwLock<HashMap<Name, Arc<Authority>>>,
+    servers: Epoch<HashMap<Name, Arc<Authority>>>,
     /// Nameserver hostnames of the root servers.
     root_hints: RwLock<Vec<Name>>,
     /// Total UDP queries dispatched (measurement bookkeeping).
@@ -78,12 +83,15 @@ impl Network {
     /// Registers `authority` under the nameserver hostname `ns`.
     /// One authority may be registered under many hostnames.
     pub fn register(&self, ns: Name, authority: Arc<Authority>) {
-        self.servers.write().insert(ns.to_canonical(), authority);
+        let ns = ns.to_canonical();
+        self.servers.mutate(|servers| {
+            servers.insert(ns, authority);
+        });
     }
 
     /// Removes a nameserver hostname from the directory.
     pub fn deregister(&self, ns: &Name) -> bool {
-        self.servers.write().remove(&ns.to_canonical()).is_some()
+        self.servers.mutate(|servers| servers.remove(ns).is_some())
     }
 
     /// Declares the root server hostnames used as resolution starting
@@ -97,9 +105,36 @@ impl Network {
         self.root_hints.read().clone()
     }
 
-    /// The authority registered at `ns`, if any.
+    /// The authority registered at `ns`, if any. Lock-free in the steady
+    /// state (`Name`'s `Hash`/`Eq` fold case, so no canonical copy is
+    /// allocated either).
     pub fn authority(&self, ns: &Name) -> Option<Arc<Authority>> {
-        self.servers.read().get(&ns.to_canonical()).cloned()
+        self.servers.read().get(ns).cloned()
+    }
+
+    /// Enables or disables the wire-response cache on every registered
+    /// authority (on by default). Used by determinism harnesses to prove
+    /// cached and uncached runs are byte-identical.
+    pub fn set_response_cache(&self, enabled: bool) {
+        for authority in self.servers.read().values() {
+            authority.set_response_cache(enabled);
+        }
+    }
+
+    /// Aggregate `(hits, misses)` of the per-authority response caches.
+    /// An authority registered under several hostnames is counted once.
+    pub fn response_cache_stats(&self) -> (u64, u64) {
+        let mut seen = std::collections::HashSet::new();
+        let mut hits = 0;
+        let mut misses = 0;
+        for authority in self.servers.read().values() {
+            if seen.insert(Arc::as_ptr(authority)) {
+                let (h, m) = authority.response_cache_stats();
+                hits += h;
+                misses += m;
+            }
+        }
+        (hits, misses)
     }
 
     /// The fault-injection plane (dormant until

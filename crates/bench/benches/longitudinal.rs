@@ -149,21 +149,35 @@ fn main() {
     let first = &runs[0];
     let last = &runs[runs.len() - 1];
     let warm_scaling = first.warm_ms / last.warm_ms.max(f64::MIN_POSITIVE);
+    // Whether the scaling assertions below actually ran: a small host
+    // cannot exhibit parallel speedup, so there `warm_scaling_1_to_8` is
+    // informational and CI must treat it as "skipped", not "passed".
+    let scaling_checked = !smoke && host_threads >= 8;
+    // The steady-state metric the wire-response cache targets: how close
+    // a later cold scan (fresh ScanCache, warm authority plane) gets to
+    // the warm scan. Taken from the final run — by then the authorities
+    // have served every question at least once.
+    let cold_within_warm_ratio = last.cold_ms / last.warm_ms.max(f64::MIN_POSITIVE);
     eprintln!(
-        "warm scaling {} → {} threads: {:.2}x (host has {} hardware threads)",
-        first.threads, last.threads, warm_scaling, host_threads
+        "warm scaling {} → {} threads: {:.2}x (host has {} hardware threads); \
+         cold/warm ratio at {} threads: {:.2}",
+        first.threads, last.threads, warm_scaling, host_threads, last.threads,
+        cold_within_warm_ratio
     );
 
     let json = format!(
         "{{\n  \"bench\": \"longitudinal\",\n  \"smoke\": {},\n  \"scale\": {},\n  \
          \"domains\": {},\n  \"tlds\": {},\n  \"host_threads\": {},\n  \
-         \"warm_scaling_1_to_8\": {:.2},\n  \"runs\": [\n{}\n  ]\n}}\n",
+         \"scaling_checked\": {},\n  \"warm_scaling_1_to_8\": {:.2},\n  \
+         \"cold_within_warm_ratio\": {:.2},\n  \"runs\": [\n{}\n  ]\n}}\n",
         smoke,
         population.scale,
         domains,
         ALL_TLDS.len(),
         host_threads,
+        scaling_checked,
         warm_scaling,
+        cold_within_warm_ratio,
         runs.iter()
             .map(Run::to_json)
             .collect::<Vec<_>>()
@@ -179,21 +193,31 @@ fn main() {
     std::fs::write(&out, &json).expect("write BENCH_longitudinal.json");
     eprintln!("wrote {out}");
 
-    // The pipeline's contract, checked on the real workload: a day-later
-    // warm scan must be at least twice as fast as the cold scan. Smoke
-    // populations are too small for stable timing, so only report there.
+    // The pipeline's contracts, checked on the real workload (smoke
+    // populations are too small for stable timing):
+    //
+    // 1. On the FIRST run — the only genuinely cold authority plane — a
+    //    day-later warm scan must still be at least twice as fast as the
+    //    cold scan (the ScanCache's reason to exist).
+    // 2. On the LAST run the authority plane is warm, so a cold scan
+    //    (fresh ScanCache) must land within 2× of the warm scan — the
+    //    wire-response cache's contract.
     if !smoke {
-        for run in &runs {
-            assert!(
-                run.speedup() >= 2.0,
-                "warm scan at {} threads only {:.2}x faster than cold",
-                run.threads,
-                run.speedup()
-            );
-        }
+        assert!(
+            first.speedup() >= 2.0,
+            "warm scan at {} threads only {:.2}x faster than cold",
+            first.threads,
+            first.speedup()
+        );
+        assert!(
+            cold_within_warm_ratio <= 2.0,
+            "steady-state cold scan at {} threads is {cold_within_warm_ratio:.2}x warm \
+             (wire-response cache not absorbing the cold path)",
+            last.threads
+        );
         // Contention guard, only meaningful with real cores under the
         // workers: more threads must never make the warm scan slower.
-        if host_threads >= 8 {
+        if scaling_checked {
             assert!(
                 warm_scaling >= 1.0,
                 "warm scan got slower with threads: {warm_scaling:.2}x from {} to {}",

@@ -8,7 +8,7 @@ use dsec_wire::{Name, RData, Record, RrSet, RrType, RrsigRdata, Zone};
 use dsec_crypto::SigningKey;
 
 use crate::keys::ZoneKeys;
-use crate::nsec3::{nsec3_hash, Nsec3Config};
+use crate::nsec3::{nsec3_hash_memoized, Nsec3Config};
 use crate::DnssecError;
 
 /// Signing parameters.
@@ -224,7 +224,9 @@ pub fn sign_zone_set(
             .iter()
             .map(|owner| {
                 (
-                    nsec3_hash(owner, &nsec3.salt, nsec3.iterations),
+                    // Memoized: daily re-signing rehashes the same owners
+                    // with unchanged zone parameters.
+                    nsec3_hash_memoized(owner, &nsec3.salt, nsec3.iterations),
                     owner.clone(),
                 )
             })

@@ -1,0 +1,90 @@
+//! World-lifetime extension slots for downstream crates.
+//!
+//! The scan pipeline lives above the ecosystem in the crate graph, yet
+//! its steady-state caches must live *with* the world they describe: a
+//! per-campaign cache restarts cold every campaign even though the
+//! authority plane underneath is unchanged, and a process-global cache
+//! keyed by world address is unsound (allocators reuse addresses). The
+//! [`Annex`] closes the layering gap with a [`TypeId`]-keyed slot map —
+//! a downstream crate defines its cache type privately and parks one
+//! instance per world here, without this crate ever naming the type.
+//!
+//! Slots are created lazily, shared behind [`Arc`], and live exactly as
+//! long as the world. They are deliberately *not* serialized, cloned,
+//! or inspected: anything stored here must be a pure cache whose loss
+//! changes performance, never results.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Type-keyed extension slots attached to a
+/// [`World`](crate::world::World). See the module docs.
+#[derive(Default)]
+pub struct Annex {
+    slots: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for Annex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Annex")
+            .field("slots", &self.slots.lock().len())
+            .finish()
+    }
+}
+
+impl Annex {
+    /// The slot for type `T`, created with `init` on first access. Every
+    /// later call for the same `T` returns the same instance.
+    pub fn get_or_init<T: Send + Sync + 'static>(&self, init: impl FnOnce() -> T) -> Arc<T> {
+        let mut slots = self.slots.lock();
+        let slot = slots
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Arc::new(init()));
+        slot.clone()
+            .downcast::<T>()
+            .expect("annex slots are keyed by their concrete TypeId")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_type_yields_same_instance() {
+        let annex = Annex::default();
+        let a = annex.get_or_init(|| Mutex::new(0u64));
+        *a.lock() = 41;
+        let b = annex.get_or_init(|| Mutex::new(0u64));
+        assert_eq!(*b.lock(), 41, "second access sees the first slot");
+        *b.lock() += 1;
+        assert_eq!(*a.lock(), 42, "both handles alias one instance");
+    }
+
+    #[test]
+    fn distinct_types_get_distinct_slots() {
+        let annex = Annex::default();
+        let n = annex.get_or_init(|| 7u64);
+        let s = annex.get_or_init(|| String::from("seven"));
+        assert_eq!(*n, 7);
+        assert_eq!(*s, "seven");
+    }
+
+    #[test]
+    fn init_runs_once() {
+        let annex = Annex::default();
+        let mut calls = 0;
+        annex.get_or_init(|| {
+            calls += 1;
+            0u8
+        });
+        annex.get_or_init(|| {
+            calls += 1;
+            0u8
+        });
+        assert_eq!(calls, 1, "later accesses reuse the slot");
+    }
+}

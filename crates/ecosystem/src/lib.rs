@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod annex;
 pub mod clock;
 pub mod domain;
 pub mod events;
@@ -25,6 +26,7 @@ pub mod rollover;
 pub mod tld;
 pub mod world;
 
+pub use annex::Annex;
 pub use clock::SimDate;
 pub use domain::{Domain, Hosting};
 pub use events::{Event, EventLog};

@@ -16,6 +16,7 @@ use dsec_dnssec::{
 };
 use dsec_wire::{DsRdata, FnvHashMap, Message, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
 
+use crate::annex::Annex;
 use crate::clock::SimDate;
 use crate::domain::{Domain, Hosting};
 use crate::events::{Event, EventLog};
@@ -266,6 +267,10 @@ pub struct World {
     /// signed fraction is controlled by the calibration data instead of
     /// the (later-arriving) policy.
     pub auto_sign_on_purchase: bool,
+    /// World-lifetime extension slots for downstream caches (see
+    /// [`Annex`]). Pure performance state: nothing stored here may
+    /// change results.
+    annex: Annex,
     rng: StdRng,
 }
 
@@ -367,6 +372,7 @@ impl World {
             zone_generations: FnvHashMap::default(),
             events: EventLog::new(),
             auto_sign_on_purchase: true,
+            annex: Annex::default(),
             rng,
         }
     }
@@ -498,6 +504,11 @@ impl World {
     /// Registry access.
     pub fn registry(&self, tld: Tld) -> &Registry {
         &self.registries[&tld]
+    }
+
+    /// The world's extension slots (downstream world-lifetime caches).
+    pub fn annex(&self) -> &Annex {
+        &self.annex
     }
 
     /// Domain access.
@@ -1483,6 +1494,22 @@ impl World {
     /// The network's fault-injection plane (chaos-campaign control).
     pub fn fault_plane(&self) -> &FaultPlane {
         self.network.faults()
+    }
+
+    /// Marks the start of a scan epoch (one snapshot of a campaign):
+    /// prunes the fault plane's per-triple attempt counters so multi-day
+    /// campaigns don't grow them without bound. Called by the scanner
+    /// before each snapshot.
+    pub fn begin_scan_epoch(&self) {
+        self.network.faults().begin_epoch();
+    }
+
+    /// Enables or disables the authorities' wire-response cache (on by
+    /// default; see `dsec_authserver::Authority::set_response_cache`).
+    /// With caching off, answers are recomputed per query — used to prove
+    /// cached and uncached runs are byte-identical.
+    pub fn set_response_cache(&self, enabled: bool) {
+        self.network.set_response_cache(enabled);
     }
 
     /// Publishes a CDS record (for the zone's current KSK) in a signed

@@ -25,7 +25,7 @@
 //! [`Name`] hashes and compares case-insensitively, so lookups need no
 //! canonical copy of the key — the hot path is allocation-free.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use dsec_wire::{FnvHashMap, FnvHashSet, Name};
 
@@ -192,6 +192,89 @@ impl ScanCache {
     }
 }
 
+/// World-lifetime scan memo: the second cache level under [`ScanCache`].
+///
+/// A [`ScanCache`] lives with one campaign, so every new campaign —
+/// and every bench run that deliberately starts one cold — re-scans a
+/// world whose authority plane is unchanged. The memo holds the same
+/// generation-stamped classified cells, but it is parked in the
+/// world's [`dsec_ecosystem::Annex`] and therefore lives exactly as
+/// long as the world: the cache pass probes it on every [`ScanCache`]
+/// miss, so a *fresh* cache over an already-scanned world costs one
+/// extra map probe per domain instead of DNSKEY queries and RSA
+/// verification. Memo hits are never written back into the
+/// [`ScanCache`] — both levels are probed in the same fused sweep, so
+/// a write-back would buy nothing and cold scans would pay an insert
+/// per domain.
+///
+/// It follows [`ScanCache`]'s invalidation rules to the letter (exact
+/// generation match; unobserved outcomes never stored), and two extra
+/// guards keep it pure: the scan pipeline bypasses it entirely while
+/// the fault plane is enabled (failure draws must not be replayed from
+/// a cache) and under `force_full` (a ground-truth scan must not read
+/// any cache). Entries for departed domains are left in place — a
+/// re-registered name resumes at a strictly larger generation, so they
+/// can never be served, and the map stays bounded by every name the
+/// world has ever delegated.
+#[derive(Debug, Default)]
+pub(crate) struct ScanMemo {
+    entries: RwLock<FnvHashMap<Name, CacheEntry>>,
+}
+
+impl ScanMemo {
+    /// A read view for one worker's sweep: the lock is taken once per
+    /// chunk, not once per probe. Readers share; [`ScanMemo::store`]
+    /// waits until every view is dropped.
+    pub(crate) fn view(&self) -> MemoView<'_> {
+        MemoView {
+            entries: self.entries.read().expect("scan memo lock"),
+        }
+    }
+
+    /// Stores freshly classified cells, under one write lock.
+    /// Unobserved outcomes must be filtered out by the caller, exactly
+    /// as for [`ScanCache::insert`].
+    pub(crate) fn store(
+        &self,
+        cells: impl IntoIterator<Item = (Name, u64, Arc<str>, OperatorStats)>,
+    ) {
+        let mut entries = self.entries.write().expect("scan memo lock");
+        for (domain, generation, operator, stats) in cells {
+            debug_assert_eq!(
+                stats.unobserved(),
+                0,
+                "unobserved outcomes must never be cached"
+            );
+            entries.insert(
+                domain,
+                CacheEntry {
+                    generation,
+                    operator,
+                    stats,
+                },
+            );
+        }
+    }
+}
+
+/// A frozen read view of a [`ScanMemo`] (see [`ScanMemo::view`]).
+pub(crate) struct MemoView<'a> {
+    entries: RwLockReadGuard<'a, FnvHashMap<Name, CacheEntry>>,
+}
+
+impl MemoView<'_> {
+    /// The memoized (operator key, stats cell) for `domain` if it was
+    /// classified at exactly `generation`.
+    pub(crate) fn get(&self, domain: &Name, generation: u64) -> Option<(Arc<str>, OperatorStats)> {
+        match self.entries.get(domain) {
+            Some(entry) if entry.generation == generation => {
+                Some((entry.operator.clone(), entry.stats))
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +351,36 @@ mod tests {
         let mut stats = cell(1);
         stats.unreachable = 1;
         cache.insert(&name("a.com"), 1, op("x.net"), stats);
+    }
+
+    #[test]
+    fn memo_hits_only_on_exact_generation() {
+        let memo = ScanMemo::default();
+        memo.store([
+            (name("a.com"), 1, op("x.net"), cell(1)),
+            (name("c.com"), 5, op("y.net"), cell(1)),
+        ]);
+        let view = memo.view();
+        assert_eq!(view.get(&name("a.com"), 1), Some((op("x.net"), cell(1))));
+        assert_eq!(view.get(&name("b.com"), 9), None, "never stored");
+        assert_eq!(view.get(&name("c.com"), 4), None, "stale generation");
+        drop(view);
+
+        // Refresh c.com at its current generation: the next view hits.
+        memo.store([(name("c.com"), 4, op("y.net"), cell(1))]);
+        assert_eq!(
+            memo.view().get(&name("c.com"), 4),
+            Some((op("y.net"), cell(1)))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never be cached")]
+    #[cfg(debug_assertions)]
+    fn memo_rejects_unobserved_outcomes() {
+        let memo = ScanMemo::default();
+        let mut stats = cell(1);
+        stats.indeterminate = 1;
+        memo.store([(name("a.com"), 1, op("x.net"), stats)]);
     }
 }

@@ -140,6 +140,7 @@ fn run_campaign(
     mut take: impl FnMut(&World) -> Snapshot,
     store: &mut LongitudinalStore,
 ) {
+    world.begin_scan_epoch();
     store.record(take(world));
     while world.today < config.until {
         for _ in 0..config.interval_days {
@@ -148,6 +149,10 @@ fn run_campaign(
             }
             world.tick();
         }
+        // Each snapshot is a fresh scan epoch: fault-plane attempt
+        // counters are pruned so campaign length doesn't grow state (or
+        // skew per-snapshot draws).
+        world.begin_scan_epoch();
         store.record(take(world));
     }
 }

@@ -39,8 +39,17 @@ impl Zone {
         &self.origin
     }
 
+    /// Index key for *insertion*: owners are stored in canonical form so
+    /// iteration APIs hand out lowercase names.
     fn key(name: &Name, rtype: RrType) -> (Name, u16) {
         (name.to_canonical(), rtype.number())
+    }
+
+    /// Index key for *lookup*: `Name`'s `Ord`/`Eq` already fold ASCII
+    /// case, so probing skips the per-label lowercase allocation that
+    /// `to_canonical` pays.
+    fn probe(name: &Name, rtype: RrType) -> (Name, u16) {
+        (name.clone(), rtype.number())
     }
 
     /// Adds a record. Returns an error if the owner is outside the zone.
@@ -66,7 +75,7 @@ impl Zone {
     /// were removed.
     pub fn remove_rrset(&mut self, name: &Name, rtype: RrType) -> usize {
         self.records
-            .remove(&Self::key(name, rtype))
+            .remove(&Self::probe(name, rtype))
             .map_or(0, |v| v.len())
     }
 
@@ -84,11 +93,19 @@ impl Zone {
             .sum()
     }
 
-    /// The RRset at (name, rtype), if any.
+    /// The RRset at (name, rtype), if any, as an owned [`RrSet`].
     pub fn rrset(&self, name: &Name, rtype: RrType) -> Option<RrSet> {
         self.records
-            .get(&Self::key(name, rtype))
+            .get(&Self::probe(name, rtype))
             .map(|v| RrSet::new(v.clone()).expect("zone index entries are valid RRsets"))
+    }
+
+    /// The records at (name, rtype), if any, borrowed — the query hot
+    /// path's lookup, which clones nothing.
+    pub fn rrset_records(&self, name: &Name, rtype: RrType) -> Option<&[Record]> {
+        self.records
+            .get(&Self::probe(name, rtype))
+            .map(Vec::as_slice)
     }
 
     /// All records at `name`, any type.

@@ -1,0 +1,197 @@
+//! The authority-plane wire-response cache, end to end:
+//!
+//! * cached answers go stale-free across every zone mutation edge — a
+//!   re-sign with fresh keys, a rollover phase entry (CDS publication
+//!   and completion), and a DS swap at the parent registry;
+//! * a same-seed campaign produces byte-identical CSVs with the
+//!   response cache on vs off, and across 1 vs 8 scan threads.
+
+use std::collections::BTreeSet;
+
+use dsec::crypto::DigestType;
+use dsec::ecosystem::World;
+use dsec::scanner::{scan_campaign, CampaignConfig, LongitudinalStore};
+use dsec::wire::{Message, Name, RData, RrType};
+use dsec::workloads::{build, PopulationConfig};
+
+fn operators(store: &LongitudinalStore) -> BTreeSet<String> {
+    store
+        .snapshots()
+        .iter()
+        .flat_map(|s| s.cells.keys().map(|(op, _)| op.clone()))
+        .collect()
+}
+
+/// The lexically-first signed domain: deterministic across same-seed
+/// worlds, guaranteed to have keys and a parent DS.
+fn signed_domain(world: &World) -> Name {
+    world
+        .domains()
+        .filter(|d| d.is_signed())
+        .map(|d| d.name.clone())
+        .min_by_key(|n| n.to_canonical().to_string())
+        .expect("tiny population has signed domains")
+}
+
+fn dnskey_tags(resp: &Message) -> BTreeSet<u16> {
+    resp.answers
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Dnskey(k) => Some(k.key_tag()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn resign_with_fresh_keys_is_visible_immediately() {
+    let mut pw = build(&PopulationConfig::tiny());
+    let domain = signed_domain(&pw.world);
+
+    // Prime the wire cache: the second identical query is the memcpy path.
+    let first = pw.world.query_domain(&domain, RrType::Dnskey).expect("answer");
+    let repeat = pw.world.query_domain(&domain, RrType::Dnskey).expect("answer");
+    assert_eq!(first.answers, repeat.answers, "cache hit must echo the answer");
+    let (hits, _) = pw.world.network.response_cache_stats();
+    assert!(hits > 0, "repeat query must be served from the wire cache");
+
+    let old_tags = dnskey_tags(&first);
+    pw.world.roll_keys_abrupt(&domain).expect("re-sign with new keys");
+
+    // The re-sign bumped the zone generation; the cached wire answer must
+    // not survive it.
+    let after = pw.world.query_domain(&domain, RrType::Dnskey).expect("answer");
+    let new_keys = pw.world.domain(&domain).unwrap().keys.clone().unwrap();
+    let expected: BTreeSet<u16> = [new_keys.ksk_tag(), new_keys.zsk_tag()].into();
+    assert_eq!(dnskey_tags(&after), expected, "served DNSKEYs match the new keys");
+    assert_ne!(dnskey_tags(&after), old_tags, "rollover changed the key tags");
+}
+
+#[test]
+fn rollover_phase_entry_is_visible_immediately() {
+    let mut pw = build(&PopulationConfig::tiny());
+    let domain = signed_domain(&pw.world);
+
+    // Prime the negative answer: no CDS is published yet, and the NODATA
+    // response is cached like any other.
+    let before = pw.world.query_domain(&domain, RrType::Cds).expect("answer");
+    assert!(
+        !before.answers.iter().any(|r| matches!(r.rdata, RData::Cds(_))),
+        "no CDS before the rollover starts"
+    );
+    let _ = pw.world.query_domain(&domain, RrType::Cds);
+
+    // Phase 1: CDS published, signed by the still-chained old keys. The
+    // cached NODATA must be invalidated by the same zone edit.
+    let new_ds = pw.world.prepare_rollover(&domain).expect("phase 1");
+    let during = pw.world.query_domain(&domain, RrType::Cds).expect("answer");
+    let served_cds: Vec<_> = during
+        .answers
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Cds(ds) => Some(ds.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(served_cds.len(), 1, "exactly one CDS after phase 1");
+    assert_eq!(served_cds[0].digest, new_ds.digest, "CDS carries the new DS");
+
+    // Prime the DNSKEY answer under the old keys, then complete: the new
+    // key set must be served on the very next query.
+    let _ = pw.world.query_domain(&domain, RrType::Dnskey);
+    pw.world.complete_rollover(&domain).expect("phase 2");
+    let after = pw.world.query_domain(&domain, RrType::Dnskey).expect("answer");
+    assert!(
+        dnskey_tags(&after).contains(&new_ds.key_tag),
+        "completed rollover serves the DNSKEY the new DS points at"
+    );
+}
+
+#[test]
+fn ds_swap_at_the_registry_is_visible_immediately() {
+    let mut pw = build(&PopulationConfig::tiny());
+    let domain = signed_domain(&pw.world);
+    let d = pw.world.domain(&domain).unwrap();
+    let (tld, sponsor) = (d.tld, d.sponsor);
+    let keys = d.keys.clone().unwrap();
+
+    // Prime the parent-side DS answer at the registry's nameserver.
+    let ns = tld.registry_ns();
+    let query = Message::query(1, domain.clone(), RrType::Ds, true);
+    let before = pw.world.network.query(&ns, &query).expect("registry answers");
+    let old_digests: BTreeSet<Vec<u8>> = before
+        .answers
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Ds(ds) => Some(ds.digest.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(!old_digests.is_empty(), "signed domain has a parent DS");
+    let repeat = pw.world.network.query(&ns, &query).expect("registry answers");
+    assert_eq!(before.answers, repeat.answers);
+
+    // Swap the DS to a SHA-384 digest of the same KSK. `set_ds` edits the
+    // TLD zone through the same mutation path as everything else, so the
+    // cached wire answer must be invalidated.
+    let swapped = keys.ds(DigestType::Sha384);
+    pw.world
+        .registry_mut(tld)
+        .set_ds(sponsor, &domain, std::slice::from_ref(&swapped))
+        .expect("sponsor may swap the DS");
+    let after = pw.world.network.query(&ns, &query).expect("registry answers");
+    let new_digests: BTreeSet<Vec<u8>> = after
+        .answers
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Ds(ds) => Some(ds.digest.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        new_digests,
+        BTreeSet::from([swapped.digest.clone()]),
+        "swapped DS served immediately"
+    );
+    assert_ne!(new_digests, old_digests, "digest actually changed");
+}
+
+#[test]
+fn campaign_csvs_are_byte_identical_with_cache_on_off_and_across_threads() {
+    let mut cached = build(&PopulationConfig::tiny());
+    let mut uncached = build(&PopulationConfig::tiny());
+    let mut threaded = build(&PopulationConfig::tiny());
+    let until = cached.world.today.plus_days(21);
+
+    uncached.world.set_response_cache(false);
+
+    let on = scan_campaign(&mut cached.world, &CampaignConfig::new(until, 7));
+    let off = scan_campaign(&mut uncached.world, &CampaignConfig::new(until, 7));
+    let wide = scan_campaign(
+        &mut threaded.world,
+        &CampaignConfig::new(until, 7).with_threads(8),
+    );
+
+    let (hits, _) = cached.world.network.response_cache_stats();
+    assert!(hits > 0, "the cached campaign actually used the wire cache");
+    let (off_hits, _) = uncached.world.network.response_cache_stats();
+    assert_eq!(off_hits, 0, "the disabled cache served nothing");
+
+    let ops = operators(&on);
+    assert_eq!(ops, operators(&off));
+    assert_eq!(ops, operators(&wide));
+    for op in &ops {
+        assert_eq!(on.to_csv(op), off.to_csv(op), "cache on/off legacy CSV of {op}");
+        assert_eq!(
+            on.to_csv_extended(op),
+            off.to_csv_extended(op),
+            "cache on/off extended CSV of {op}"
+        );
+        assert_eq!(on.to_csv(op), wide.to_csv(op), "1-vs-8-thread legacy CSV of {op}");
+        assert_eq!(
+            on.to_csv_extended(op),
+            wide.to_csv_extended(op),
+            "1-vs-8-thread extended CSV of {op}"
+        );
+    }
+}
