@@ -49,7 +49,7 @@ const K1_LATE_DAYS: u32 = 5;
 /// at full scale the first organically signed site can sit hundreds of
 /// ranks deep, far below the daily query volume, so an unsigned head is
 /// signed first (operator enables DNSSEC, DS relayed) and rolled.
-fn rollover_victim(world: &mut World, population: &TrafficPopulation) -> dsec_traffic::Site {
+pub(crate) fn rollover_victim(world: &mut World, population: &TrafficPopulation) -> dsec_traffic::Site {
     for &i in &population.ranked[&Tld::Nl] {
         let site = population.sites[i as usize].clone();
         let Some(d) = world.domain(&site.name) else {

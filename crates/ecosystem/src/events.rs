@@ -107,6 +107,35 @@ pub enum Event {
         /// The domain.
         domain: Name,
     },
+    /// A delegation's NS set changed through a registrar channel.
+    NsChanged {
+        /// The domain.
+        domain: Name,
+    },
+    /// SECURITY: an unauthenticated (forgeable) email redelegated a
+    /// domain's NS set — the classic registrar-channel takeover.
+    ForgedNsAccepted {
+        /// The affected domain.
+        domain: Name,
+        /// The address the mail claimed to come from.
+        claimed_from: String,
+    },
+    /// SECURITY: a takeover attempt bounced off the registrar's
+    /// authentication policy (the attack plane's negative space).
+    AttackRepelled {
+        /// The targeted domain.
+        domain: Name,
+    },
+    /// SECURITY: a hijack was noticed (monitoring / registrant report).
+    HijackDetected {
+        /// The captured domain.
+        domain: Name,
+    },
+    /// SECURITY: the registrar restored the pre-attack DS/NS state.
+    HijackRemediated {
+        /// The recovered domain.
+        domain: Name,
+    },
 }
 
 impl Event {
@@ -127,6 +156,11 @@ impl Event {
             Event::RolloverCompleted { .. } => "rollover_completed",
             Event::RolloverAbrupt { .. } => "rollover_abrupt",
             Event::SignatureExpired { .. } => "signature_expired",
+            Event::NsChanged { .. } => "ns_changed",
+            Event::ForgedNsAccepted { .. } => "forged_ns_accepted",
+            Event::AttackRepelled { .. } => "attack_repelled",
+            Event::HijackDetected { .. } => "hijack_detected",
+            Event::HijackRemediated { .. } => "hijack_remediated",
         }
     }
 
@@ -134,7 +168,12 @@ impl Event {
     pub fn is_security_relevant(&self) -> bool {
         matches!(
             self,
-            Event::DsOnWrongDomain { .. } | Event::ForgedEmailAccepted { .. }
+            Event::DsOnWrongDomain { .. }
+                | Event::ForgedEmailAccepted { .. }
+                | Event::ForgedNsAccepted { .. }
+                | Event::AttackRepelled { .. }
+                | Event::HijackDetected { .. }
+                | Event::HijackRemediated { .. }
         )
     }
 

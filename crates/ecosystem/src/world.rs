@@ -848,6 +848,91 @@ impl World {
         Ok(UploadOutcome::Accepted)
     }
 
+    /// Conveys an NS change to the registrar over `via` — the second half
+    /// of the registrar-channel attack surface. The same channel and
+    /// sender-authentication policy as [`World::upload_ds`] applies (a
+    /// registrar that accepts a forged-From DS email accepts a forged-From
+    /// redelegation too); DNSKEY validation does not, because an NS set
+    /// has nothing to check against the served keys.
+    pub fn submit_ns_change(
+        &mut self,
+        domain: &Name,
+        ns_hosts: &[Name],
+        via: DsSubmission,
+    ) -> Result<UploadOutcome, ActionError> {
+        let key = domain.to_canonical();
+        let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
+        let tld = d.tld;
+        let sponsor = d.sponsor;
+        let registrant_email = d.registrant_email.clone();
+        let policy = self.registrars[d.registrar.0 as usize].policy.clone();
+        if self.channel_matches(&policy.external_ds, &via).is_none() {
+            return Ok(UploadOutcome::ChannelUnsupported);
+        }
+
+        // Same sender authentication as the DS path: only `verifies_sender`
+        // checks the envelope; a header-only check is forgeable.
+        let mut forged_from = None;
+        if let (
+            ExternalDs::Email {
+                verifies_sender,
+                accepts_foreign_sender,
+                ..
+            },
+            DsSubmission::Email {
+                claimed_from,
+                actual_from,
+            },
+        ) = (&policy.external_ds, &via)
+        {
+            let authentic = actual_from == &registrant_email;
+            let header_ok = claimed_from == &registrant_email;
+            let accepted = if *verifies_sender {
+                authentic
+            } else if *accepts_foreign_sender {
+                true
+            } else {
+                header_ok // forgeable!
+            };
+            if !accepted {
+                return Ok(UploadOutcome::EmailNotVerified);
+            }
+            if !authentic {
+                forged_from = Some(claimed_from.clone());
+            }
+        }
+
+        self.registries
+            .get_mut(&tld)
+            .expect("all TLDs present")
+            .set_ns(sponsor, domain, ns_hosts)
+            .map_err(|e| ActionError::Registry(e.to_string()))?;
+        if let Some(claimed_from) = forged_from {
+            self.events.record(
+                self.today,
+                Event::ForgedNsAccepted {
+                    domain: domain.clone(),
+                    claimed_from,
+                },
+            );
+        }
+        self.events.record(
+            self.today,
+            Event::NsChanged {
+                domain: domain.clone(),
+            },
+        );
+        Ok(UploadOutcome::Accepted)
+    }
+
+    /// The NS hosts a domain's hosting arrangement *should* delegate to.
+    /// The takeover census compares this against what the registry serves:
+    /// any drift means someone redelegated behind the customer's back.
+    pub fn expected_ns_hosts(&self, domain: &Name) -> Option<Vec<Name>> {
+        let d = self.domains.get(&domain.to_canonical())?;
+        Some(self.ns_hosts_for(domain, d.registrar, &d.hosting))
+    }
+
     /// Moves a domain onto a third-party DNS operator. Like any hosting
     /// change, the previous host's zone (and any DS the previous
     /// arrangement chained to) is torn down.

@@ -19,6 +19,7 @@ pub mod operator_id;
 pub mod rollover_census;
 pub mod snapshot;
 pub mod store;
+pub mod takeover_census;
 
 pub use cache::{CacheStats, ScanCache};
 pub use operator_id::{operator_key, operator_of};
@@ -27,6 +28,7 @@ pub use snapshot::{
     coverage_curve, operators_to_cover, Metric, OperatorStats, ScanOptions, Snapshot,
 };
 pub use store::{LongitudinalStore, SeriesPoint};
+pub use takeover_census::{takeover_census, takeover_census_table, RegistrarTakeoverStats};
 
 use dsec_ecosystem::{SimDate, Tld, World, ALL_TLDS};
 

@@ -45,6 +45,12 @@ pub enum Outcome {
     /// Served from the negative cache (RFC 2308): a remembered
     /// NXDOMAIN/NODATA without an upstream round trip.
     NegativeHit,
+    /// A non-validating user resolved a captured domain and received the
+    /// attacker's answer as ordinary DNS — the takeover reached them.
+    Hijacked,
+    /// A validating user resolved a captured domain and their resolver
+    /// refused the forged data (Bogus → SERVFAIL): DNSSEC did its job.
+    SavedByValidation,
 }
 
 /// Classifies a resolution result into an [`Outcome`].
@@ -83,12 +89,23 @@ pub struct OutcomeCounts {
     pub stale: u64,
     /// Served from the negative cache.
     pub negative: u64,
+    /// Attacker data reached a non-validating user on a captured domain.
+    pub hijacked: u64,
+    /// Validation shielded a user from a captured domain's forged data.
+    pub saved_by_validation: u64,
 }
 
 impl OutcomeCounts {
     /// Total queries accounted.
     pub fn total(&self) -> u64 {
-        self.secure + self.insecure + self.bogus + self.servfail + self.stale + self.negative
+        self.secure
+            + self.insecure
+            + self.bogus
+            + self.servfail
+            + self.stale
+            + self.negative
+            + self.hijacked
+            + self.saved_by_validation
     }
 
     /// Adds one outcome.
@@ -100,6 +117,8 @@ impl OutcomeCounts {
             Outcome::ServFail => self.servfail += 1,
             Outcome::Stale => self.stale += 1,
             Outcome::NegativeHit => self.negative += 1,
+            Outcome::Hijacked => self.hijacked += 1,
+            Outcome::SavedByValidation => self.saved_by_validation += 1,
         }
     }
 
@@ -111,6 +130,8 @@ impl OutcomeCounts {
         self.servfail += other.servfail;
         self.stale += other.stale;
         self.negative += other.negative;
+        self.hijacked += other.hijacked;
+        self.saved_by_validation += other.saved_by_validation;
     }
 
     /// Fraction of queries that were cryptographically protected.
@@ -124,15 +145,17 @@ impl OutcomeCounts {
     }
 
     /// Fraction of queries the user got *an answer* for: everything but
-    /// validation refusals (Bogus) and hard failures (ServFail). Stale
-    /// and negative-cache serves count as available — that is the whole
-    /// point of graceful degradation.
+    /// validation refusals (Bogus, SavedByValidation) and hard failures
+    /// (ServFail). Stale and negative-cache serves count as available —
+    /// that is the whole point of graceful degradation. Hijacked counts
+    /// too: the user *did* get an answer, which is exactly the problem.
     pub fn availability(&self) -> f64 {
         let total = self.total();
         if total == 0 {
             0.0
         } else {
-            (self.secure + self.insecure + self.stale + self.negative) as f64 / total as f64
+            (self.secure + self.insecure + self.stale + self.negative + self.hijacked) as f64
+                / total as f64
         }
     }
 }
@@ -211,11 +234,20 @@ impl TrafficReport {
     }
 
     /// The campaign summary line, including the resolver-cache counters
-    /// and the degradation (stale / negative-hit) rates.
+    /// and the degradation (stale / negative-hit) rates. The attack
+    /// columns only appear when a hijack actually reached the run.
     pub fn summary_line(&self) -> String {
+        let attack = if self.outcomes.hijacked + self.outcomes.saved_by_validation > 0 {
+            format!(
+                " {} hijacked / {} saved-by-validation;",
+                self.outcomes.hijacked, self.outcomes.saved_by_validation
+            )
+        } else {
+            String::new()
+        };
         format!(
             "user traffic : {} queries, {:.1}% secure / {:.1}% insecure / {} bogus / {} servfail; \
-             {:.1}% stale / {:.1}% negative-hit; \
+             {:.1}% stale / {:.1}% negative-hit;{attack} \
              p50 {} ms, p99 {} ms; resolver cache {:.1}% hit rate ({} hits / {} misses, {} entries)",
             self.total,
             100.0 * self.outcomes.secure as f64 / self.total.max(1) as f64,

@@ -36,7 +36,7 @@ use std::time::Instant;
 
 use dsec_ecosystem::World;
 use dsec_resolver::{BreakerPolicy, Cache, CacheKey, Resolver, RetryPolicy};
-use dsec_wire::name_hash64;
+use dsec_wire::{name_hash64, Name};
 use dsec_workloads::TrafficMix;
 
 use crate::account::{classify_answer, Outcome, OutcomeCounts, TrafficReport};
@@ -81,6 +81,19 @@ pub struct LoadConfig {
     /// replayed over a warm shared cache) start where the previous
     /// phase's sim clock left off.
     pub now_offset_s: u32,
+    /// Fraction of user queries handled by validating resolvers; the
+    /// rest go through a non-validating pool (no trust anchor, separate
+    /// shared cache). 1.0 — the default — keeps the historical
+    /// all-validating fleet and is byte-identical to the pre-knob
+    /// driver; the Nosyk et al. measurement puts the real-world share
+    /// well below that.
+    pub validating_share: f64,
+    /// Domains currently under attacker control. Queries for these are
+    /// re-labelled after classification: a non-validating user who got
+    /// an answer was [`Outcome::Hijacked`]; a validating user whose
+    /// resolver refused the forged chain was
+    /// [`Outcome::SavedByValidation`].
+    pub captured: Vec<Name>,
 }
 
 impl Default for LoadConfig {
@@ -96,6 +109,8 @@ impl Default for LoadConfig {
             max_stale: 0,
             breaker: None,
             now_offset_s: 0,
+            validating_share: 1.0,
+            captured: Vec::new(),
         }
     }
 }
@@ -146,6 +161,19 @@ impl LoadConfig {
         self
     }
 
+    /// Sets the validating-resolver share of the fleet (builder style).
+    pub fn with_validating_share(mut self, share: f64) -> Self {
+        self.validating_share = share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Marks domains as attacker-controlled for outcome re-labelling
+    /// (builder style).
+    pub fn with_captured(mut self, captured: Vec<Name>) -> Self {
+        self.captured = captured;
+        self
+    }
+
     /// Sim seconds the stream spans at `sim_qps` (how far the clock
     /// advances from the first query to the last).
     pub fn stream_span_s(&self) -> u32 {
@@ -176,6 +204,28 @@ fn jitter_ms(seed: u64, index: u64) -> u32 {
         ms += 160;
     }
     ms
+}
+
+/// Whether stream query `index` belongs to a validating user, given the
+/// fleet's `share` of validating resolvers. Like [`jitter_ms`] this is a
+/// splitmix-style hash of (seed, index) — a property of the stream, not
+/// of worker interleaving — so the same user population shows up across
+/// thread counts and repeated phases. The extremes short-circuit:
+/// `share >= 1.0` is *exactly* the historical all-validating fleet.
+pub fn validating_assignment(seed: u64, index: u64, share: f64) -> bool {
+    if share >= 1.0 {
+        return true;
+    }
+    if share <= 0.0 {
+        return false;
+    }
+    let mut h = seed ^ 0xA77A_C0DE_0BAD_D515 ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 31;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    ((h >> 11) as f64 / (1u64 << 53) as f64) < share
 }
 
 /// Stable worker shard for a query: the cache's case-folded name hash
@@ -212,6 +262,26 @@ impl WorkerTally {
     }
 }
 
+/// Field-wise sum of resolver-pool counters (the snapshot carries no
+/// arithmetic of its own).
+fn add_stats(
+    dst: &mut dsec_resolver::ResolverStatsSnapshot,
+    src: &dsec_resolver::ResolverStatsSnapshot,
+) {
+    dst.udp_attempts += src.udp_attempts;
+    dst.timeouts += src.timeouts;
+    dst.tcp_fallbacks += src.tcp_fallbacks;
+    dst.error_rcodes += src.error_rcodes;
+    dst.backoff_ms += src.backoff_ms;
+    dst.cache_hits += src.cache_hits;
+    dst.cache_misses += src.cache_misses;
+    dst.stale_hits += src.stale_hits;
+    dst.negative_hits += src.negative_hits;
+    dst.budget_exhausted += src.budget_exhausted;
+    dst.breaker_trips += src.breaker_trips;
+    dst.breaker_short_circuits += src.breaker_short_circuits;
+}
+
 /// Runs the load against `world`: plans the stream, shards it across
 /// `config.threads` workers (one [`Resolver`] each, all behind one
 /// bounded shared [`Cache`]), and returns the merged report.
@@ -225,8 +295,27 @@ pub fn run_load(world: &World, config: &LoadConfig) -> TrafficReport {
 /// state between phases. The caller owns the cache's serve-stale horizon;
 /// `config.max_stale` is ignored here. Combine with
 /// [`LoadConfig::with_now_offset`] so the follow-up phase's sim clock
-/// continues where the previous phase ended.
+/// continues where the previous phase ended. The non-validating side of
+/// the fleet (if `validating_share` < 1.0) gets a fresh cache; use
+/// [`run_load_mixed`] to carry that one across phases too.
 pub fn run_load_shared(world: &World, config: &LoadConfig, cache: Arc<Cache>) -> TrafficReport {
+    let nv_cache =
+        Arc::new(Cache::bounded(config.cache_capacity).with_max_stale(config.max_stale));
+    run_load_mixed(world, config, cache, nv_cache)
+}
+
+/// The full-control entry point: caller-supplied shared caches for both
+/// sides of the mixed fleet. Validating and non-validating resolvers
+/// never share cache entries — a poisoned answer a non-validating user
+/// accepted must not be servable to a validating one, and a validated
+/// answer carries a security status the non-validating pool would not
+/// have computed.
+pub fn run_load_mixed(
+    world: &World,
+    config: &LoadConfig,
+    cache: Arc<Cache>,
+    nv_cache: Arc<Cache>,
+) -> TrafficReport {
     let population = TrafficPopulation::from_world(world);
     let stream = generate_stream(
         &population,
@@ -249,9 +338,33 @@ pub fn run_load_shared(world: &World, config: &LoadConfig, cache: Arc<Cache>) ->
         .iter()
         .map(|q| cache.key_of(&q.qname, q.qtype))
         .collect();
+    // Cache keys carry the owning cache's interner ids, so the
+    // non-validating pool needs its own table (empty, and never indexed,
+    // when the whole fleet validates).
+    let nv_keys: Vec<CacheKey> = if config.validating_share < 1.0 {
+        stream
+            .iter()
+            .map(|q| nv_cache.key_of(&q.qname, q.qtype))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let trust_anchor = world.trust_anchor();
     let network = world.network.clone();
     let evict_interval = config.evict_interval.max(1);
+
+    // Captured-domain lookup as a dense per-site flag: the hot loop tests
+    // a Vec<bool> instead of comparing names.
+    let captured_names: std::collections::BTreeSet<String> = config
+        .captured
+        .iter()
+        .map(|n| n.to_canonical().to_string())
+        .collect();
+    let captured_site: Vec<bool> = population
+        .sites
+        .iter()
+        .map(|s| captured_names.contains(&s.name.to_canonical().to_string()))
+        .collect();
 
     let started = Instant::now();
     let tallies: Vec<WorkerTally> = crossbeam::thread::scope(|scope| {
@@ -259,30 +372,43 @@ pub fn run_load_shared(world: &World, config: &LoadConfig, cache: Arc<Cache>) ->
             .iter()
             .map(|shard| {
                 let cache = Arc::clone(&cache);
+                let nv_cache = Arc::clone(&nv_cache);
                 let trust_anchor = trust_anchor.clone();
                 let network = Arc::clone(&network);
                 let stream = &stream;
                 let keys = &keys;
+                let nv_keys = &nv_keys;
                 let population = &population;
+                let captured_site = &captured_site;
                 scope.spawn(move |_| {
-                    let mut resolver = Resolver::new(network, trust_anchor)
+                    let mut resolver = Resolver::new(network.clone(), trust_anchor)
                         .with_policy(RetryPolicy::default())
                         .with_shared_cache(cache.clone());
+                    // The non-validating half of the fleet: no trust
+                    // anchor, its own shared cache. Idle (and free of
+                    // cache traffic) at the default validating_share.
+                    let mut nv_resolver = Resolver::new(network, Vec::new())
+                        .with_policy(RetryPolicy::default())
+                        .with_shared_cache(nv_cache.clone());
                     if let Some(policy) = config.breaker {
                         resolver = resolver.with_breaker(policy);
+                        nv_resolver = nv_resolver.with_breaker(policy);
                     }
                     let mut tally =
                         WorkerTally::new(population.registrars.len(), population.operators.len());
                     for (done, &i) in shard.iter().enumerate() {
                         let query = &stream[i];
-                        let before = resolver.stats();
-                        let result = resolver.resolve_cached_keyed(
-                            keys[i],
-                            &query.qname,
-                            query.qtype,
-                            query.now,
-                        );
-                        let after = resolver.stats();
+                        let validating =
+                            validating_assignment(config.seed, i as u64, config.validating_share);
+                        let (r, key) = if validating {
+                            (&mut resolver, keys[i])
+                        } else {
+                            (&mut nv_resolver, nv_keys[i])
+                        };
+                        let before = r.stats();
+                        let result =
+                            r.resolve_cached_keyed(key, &query.qname, query.qtype, query.now);
+                        let after = r.stats();
                         let latency = if after.cache_hits > before.cache_hits {
                             CACHE_HIT_MS
                         } else {
@@ -306,6 +432,22 @@ pub fn run_load_shared(world: &World, config: &LoadConfig, cache: Arc<Cache>) ->
                             Ok(answer) => classify_answer(answer),
                             Err(_) => Outcome::ServFail,
                         };
+                        // Attack re-labelling for captured domains: any
+                        // answer a non-validating user got came from the
+                        // attacker; a validating refusal is DNSSEC
+                        // working as designed.
+                        let outcome = if captured_site[query.site as usize] {
+                            match (validating, outcome) {
+                                (false, Outcome::ServFail) => Outcome::ServFail,
+                                (false, _) => Outcome::Hijacked,
+                                (true, Outcome::Bogus) | (true, Outcome::ServFail) => {
+                                    Outcome::SavedByValidation
+                                }
+                                (true, other) => other,
+                            }
+                        } else {
+                            outcome
+                        };
                         tally.outcomes.add(outcome);
                         let site = &population.sites[query.site as usize];
                         tally.by_registrar[site.registrar_id as usize].add(outcome);
@@ -313,9 +455,11 @@ pub fn run_load_shared(world: &World, config: &LoadConfig, cache: Arc<Cache>) ->
 
                         if (done as u64 + 1).is_multiple_of(evict_interval) {
                             cache.enforce_capacity(query.now);
+                            nv_cache.enforce_capacity(query.now);
                         }
                     }
                     tally.stats = resolver.stats();
+                    add_stats(&mut tally.stats, &nv_resolver.stats());
                     tally
                 })
             })
@@ -353,18 +497,7 @@ pub fn run_load_shared(world: &World, config: &LoadConfig, cache: Arc<Cache>) ->
             }
         }
         histogram.merge(&tally.histogram);
-        resolver_stats.udp_attempts += tally.stats.udp_attempts;
-        resolver_stats.timeouts += tally.stats.timeouts;
-        resolver_stats.tcp_fallbacks += tally.stats.tcp_fallbacks;
-        resolver_stats.error_rcodes += tally.stats.error_rcodes;
-        resolver_stats.backoff_ms += tally.stats.backoff_ms;
-        resolver_stats.cache_hits += tally.stats.cache_hits;
-        resolver_stats.cache_misses += tally.stats.cache_misses;
-        resolver_stats.stale_hits += tally.stats.stale_hits;
-        resolver_stats.negative_hits += tally.stats.negative_hits;
-        resolver_stats.budget_exhausted += tally.stats.budget_exhausted;
-        resolver_stats.breaker_trips += tally.stats.breaker_trips;
-        resolver_stats.breaker_short_circuits += tally.stats.breaker_short_circuits;
+        add_stats(&mut resolver_stats, &tally.stats);
         sim_elapsed_ms = sim_elapsed_ms.max(tally.sim_busy_ms);
     }
 

@@ -38,7 +38,7 @@ pub mod telemetry;
 pub mod workload;
 
 pub use account::{Outcome, OutcomeCounts, TrafficReport};
-pub use driver::{run_load, run_load_shared, LoadConfig};
+pub use driver::{run_load, run_load_mixed, run_load_shared, validating_assignment, LoadConfig};
 pub use telemetry::LatencyHistogram;
 pub use workload::{PlannedQuery, Site, TrafficPopulation, Zipf};
 

@@ -52,6 +52,10 @@ pub use dsec_scanner as scanner;
 /// and latency telemetry (`dsec-traffic`).
 pub use dsec_traffic as traffic;
 
+/// The registrar-compromise attack plane: scheduled forged DS/NS
+/// takeovers, attacker authorities, and detection/remediation.
+pub use dsec_attack as attack;
+
 /// The §5.1 registrar probe harness (`dsec-probe`).
 pub use dsec_probe as probe;
 

@@ -4,12 +4,20 @@
 //!   re-sign with fresh keys, a rollover phase entry (CDS publication
 //!   and completion), and a DS swap at the parent registry;
 //! * a same-seed campaign produces byte-identical CSVs with the
-//!   response cache on vs off, and across 1 vs 8 scan threads.
+//!   response cache on vs off, and across 1 vs 8 scan threads;
+//! * a registrar-channel takeover redelegates on the very next query —
+//!   the wire cache never serves pre-takeover bytes across the capture
+//!   or the restore.
 
 use std::collections::BTreeSet;
 
+use dsec::attack::{AttackCampaign, AttackPlan, AttackVector};
 use dsec::crypto::DigestType;
-use dsec::ecosystem::World;
+use dsec::ecosystem::{
+    DsSubmission, ExternalDs, Hosting, OperatorDnssec, RegistrarPolicy, Tld, TldPolicy, TldRole,
+    World, WorldConfig,
+};
+use dsec::resolver::{Resolver, Security};
 use dsec::scanner::{scan_campaign, CampaignConfig, LongitudinalStore};
 use dsec::wire::{Message, Name, RData, RrType};
 use dsec::workloads::{build, PopulationConfig};
@@ -154,6 +162,101 @@ fn ds_swap_at_the_registry_is_visible_immediately() {
         "swapped DS served immediately"
     );
     assert_ne!(new_digests, old_digests, "digest actually changed");
+}
+
+/// A takeover must be visible on the very next query, and the rollback
+/// just as fast: neither the registry's cached referral nor the old
+/// authority's cached answers may leak across the NS swap in either
+/// direction.
+#[test]
+fn hijacked_delegation_never_serves_pre_takeover_cached_bytes() {
+    let mut world = World::new(WorldConfig::default());
+    let registrar = world.add_registrar(
+        "LaxMail",
+        Name::parse("laxmail.net").unwrap(),
+        RegistrarPolicy {
+            operator_dnssec: OperatorDnssec::Unsupported,
+            external_ds: ExternalDs::Email {
+                verifies_sender: false,
+                accepts_foreign_sender: false,
+                validates: false,
+            },
+            tlds: [(Tld::Com, TldPolicy::full(TldRole::Registrar))].into(),
+        },
+    );
+    let victim = world
+        .purchase(registrar, "victim", Tld::Com, Hosting::Owner, "owner@victim.com")
+        .unwrap();
+    let ds = world.owner_sign_zone(&victim).unwrap();
+    world
+        .upload_ds(
+            &victim,
+            ds,
+            DsSubmission::Email {
+                claimed_from: "owner@victim.com".into(),
+                actual_from: "owner@victim.com".into(),
+            },
+        )
+        .unwrap();
+    let www = victim.child("www").unwrap();
+    let a_of = |world: &World, anchors: bool| {
+        let anchors = if anchors { world.trust_anchor() } else { Vec::new() };
+        let resp = Resolver::new(world.network.clone(), anchors)
+            .resolve(&www, RrType::A, world.today.epoch_seconds())
+            .unwrap();
+        let a: Vec<RData> = resp
+            .records
+            .iter()
+            .filter(|r| matches!(r.rdata, RData::A(_)))
+            .map(|r| r.rdata.clone())
+            .collect();
+        (resp.security, a)
+    };
+
+    // Prime every wire cache on the resolution path (registry referral +
+    // victim authority answer), and pin the pre-takeover bytes.
+    let (security, original_a) = a_of(&world, true);
+    assert_eq!(security, Security::Secure);
+    assert!(!original_a.is_empty());
+    let _ = a_of(&world, true);
+    let (hits, _) = world.network.response_cache_stats();
+    assert!(hits > 0, "repeat resolution runs on the wire cache");
+
+    // The forged redelegation lands.
+    let mut campaign = AttackCampaign::new();
+    campaign.schedule(
+        victim.clone(),
+        AttackPlan::new(
+            AttackVector::ForgedNs { stealthy: false },
+            world.today.plus_days(1),
+        )
+        .with_detection(1),
+    );
+    world.tick();
+    campaign.tick(&mut world);
+    assert_eq!(campaign.hijacked_zones(), vec![victim.clone()]);
+
+    // Next query, same cache-primed network: a non-validating client
+    // gets the attacker's bytes — never the pre-takeover answer — and a
+    // validating one gets nothing at all.
+    let (nv_security, hijacked_a) = a_of(&world, false);
+    assert_eq!(nv_security, Security::Insecure);
+    assert!(!hijacked_a.is_empty(), "the forged zone answers");
+    assert!(
+        hijacked_a.iter().all(|r| !original_a.contains(r)),
+        "pre-takeover cached bytes must not survive the takeover: {hijacked_a:?}"
+    );
+    let (security, bogus_a) = a_of(&world, true);
+    assert!(matches!(security, Security::Bogus(_)));
+    assert!(bogus_a.is_empty());
+
+    // Detection restores DS + NS; the next query must serve the original
+    // bytes again, not the attacker's now-stale answers.
+    world.tick();
+    campaign.tick(&mut world);
+    let (security, restored_a) = a_of(&world, true);
+    assert_eq!(security, Security::Secure);
+    assert_eq!(restored_a, original_a, "restore serves the pre-attack bytes");
 }
 
 #[test]
