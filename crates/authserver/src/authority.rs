@@ -21,7 +21,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -77,15 +77,26 @@ struct CacheEntry {
 
 /// Striped map of pre-serialized answers. Growth is bounded by the
 /// number of distinct `(qname, qtype, flags)` tuples ever asked — the
-/// registered population for the scanner, not query volume. Invalid
-/// entries are overwritten in place by the next miss on their key.
+/// registered population for the scanner, not query volume — *and* by a
+/// hard per-stripe entry cap, so resident memory stays flat no matter
+/// how large the population: a full stripe stops admitting new keys
+/// (serving uncached is always correct) while still overwriting
+/// invalidated entries in place on the next miss for their key.
 struct ResponseCache {
     enabled: AtomicBool,
     interner: NameInterner,
     stripes: Vec<RwLock<FnvHashMap<CacheKey, CacheEntry>>>,
+    stripe_cap: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
+
+/// Default per-stripe entry cap: 16 stripes × 16Ki = 262 144 entries
+/// per authority. Well above what a 1:2000 study population ever asks
+/// one authority (so the steady-state cold-scan contract is untouched),
+/// and the lever that keeps population-scale campaigns' resident cache
+/// memory O(cap), not O(domains).
+const CACHE_STRIPE_CAP: usize = 16 * 1024;
 
 impl ResponseCache {
     fn new() -> Self {
@@ -95,6 +106,7 @@ impl ResponseCache {
             stripes: (0..CACHE_STRIPES)
                 .map(|_| RwLock::new(FnvHashMap::default()))
                 .collect(),
+            stripe_cap: AtomicUsize::new(CACHE_STRIPE_CAP),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -173,10 +185,24 @@ impl ResponseCache {
     }
 
     fn insert(&self, key: CacheKey, qname: Name, origin: Option<(Name, u64)>, response: &Message) {
+        let cap = self.stripe_cap.load(Ordering::Relaxed);
+        // Cheap read-probe first: once a stripe is full, misses on new
+        // keys must not pay the clone + serialize below just to be
+        // turned away at the write lock.
+        {
+            let stripe = self.stripe(&key).read();
+            if stripe.len() >= cap && !stripe.contains_key(&key) {
+                return;
+            }
+        }
         let mut msg = response.clone();
         msg.id = 0;
         let wire = msg.to_wire();
-        self.stripe(&key).write().insert(
+        let mut stripe = self.stripe(&key).write();
+        if stripe.len() >= cap && !stripe.contains_key(&key) {
+            return;
+        }
+        stripe.insert(
             key,
             CacheEntry {
                 qname,
@@ -336,6 +362,17 @@ impl Authority {
         if !enabled {
             self.cache.clear();
         }
+    }
+
+    /// Overrides the response cache's total entry capacity (divided
+    /// evenly across the stripes; default 262 144 entries; 0 admits no
+    /// new entries at all). The cap is a hard resident-memory bound:
+    /// full stripes stop admitting new keys but still refresh
+    /// invalidated entries in place.
+    pub fn set_response_cache_capacity(&self, entries: usize) {
+        self.cache
+            .stripe_cap
+            .store(entries.div_ceil(CACHE_STRIPES), Ordering::Relaxed);
     }
 
     /// `(hits, misses)` of the response cache since construction.
@@ -1127,6 +1164,41 @@ mod tests {
         ask(&auth, "www.example.com", RrType::A, false);
         ask(&auth, "www.example.com", RrType::A, false);
         assert_eq!(auth.response_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn capacity_cap_stops_growth_but_keeps_serving() {
+        let auth = authority(false);
+        // Admit one entry at the default (roomy) capacity…
+        assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 1);
+        // …then freeze the cache: capacity 0 admits no new keys.
+        auth.set_response_cache_capacity(0);
+        for i in 0..8 {
+            for _ in 0..2 {
+                let resp = ask(&auth, &format!("x{i}.example.com"), RrType::A, false);
+                assert_eq!(resp.rcode, Rcode::NxDomain, "full cache must not change answers");
+            }
+        }
+        // 1 admitted miss + 16 rejected misses, zero hits: repeat asks
+        // of never-admitted names stay misses — growth has stopped.
+        assert_eq!(auth.response_cache_stats(), (0, 17));
+        // The entry admitted before the freeze still serves…
+        assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 1);
+        assert_eq!(auth.response_cache_stats(), (1, 17));
+        // …and an invalidated entry is refreshed *in place* even at full
+        // capacity (existing keys bypass the cap).
+        auth.with_zone_mut(&name("example.com"), |z| {
+            z.add(Record::new(
+                name("www.example.com"),
+                60,
+                RData::A("192.0.2.99".parse().unwrap()),
+            ))
+            .unwrap();
+        });
+        assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 2);
+        assert_eq!(auth.response_cache_stats(), (1, 18), "stale entry re-inserted");
+        assert_eq!(ask(&auth, "www.example.com", RrType::A, false).answers.len(), 2);
+        assert_eq!(auth.response_cache_stats(), (2, 18), "refreshed entry hits again");
     }
 
     #[test]

@@ -145,7 +145,7 @@ fn main() {
     // means they fight over locks. Judged only on hosts that actually
     // have the cores (`host_threads`) — a single-core container cannot
     // show parallel speedup no matter how contention-free the code is.
-    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_threads = dsec_bench::host_threads();
     let first = &runs[0];
     let last = &runs[runs.len() - 1];
     let warm_scaling = first.warm_ms / last.warm_ms.max(f64::MIN_POSITIVE);

@@ -1,0 +1,278 @@
+//! The population-scale benchmark: builds the paper population at a
+//! ladder of 1:N scales, runs a streamed (spill-to-disk, day-pipelined)
+//! campaign at each, and emits `BENCH_scale.json` tracking domains/s and
+//! peak RSS — the flat-memory evidence for the columnar ecosystem and
+//! streaming snapshot store.
+//!
+//! ```sh
+//! cargo bench --bench scale                    # 1:2000, 1:200, 1:20
+//! DSEC_BENCH_SMOKE=1 cargo bench --bench scale # CI: 1:2000 + short 1:200
+//! DSEC_BENCH_OUT=/tmp/s.json cargo bench --bench scale
+//! ```
+//!
+//! Scales run smallest population first, so the monotone `VmHWM` read
+//! after each run attributes the peak to that scale (each step grows the
+//! population ~10×, dwarfing its predecessors). A second read taken
+//! right after the world build splits each peak into the build's share
+//! (the simulated universe itself — zones, keys, registries — which is
+//! inherently O(domains)) and the campaign's share (scan caches, spill
+//! buffers, authority response caches), which is what the streaming
+//! snapshot store and the cache caps keep sublinear. At the smallest
+//! scale the streamed campaign's CSVs are asserted byte-identical to
+//! the sequential in-memory path over an identically built world.
+//!
+//! Plain `main` (harness = false), hand-written JSON — same conventions
+//! as the other bench targets.
+
+use std::time::Instant;
+
+use dsec_scanner::{
+    scan_campaign_cached, scan_campaign_streamed, CampaignConfig, ScanCache,
+};
+use dsec_workloads::{build, PopulationConfig};
+
+/// Peak resident set (VmHWM) of this process, in MiB. Linux only; other
+/// platforms report 0 and `rss_available: false`.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb / 1024.0);
+        }
+    }
+    None
+}
+
+struct ScaleRun {
+    scale: u64,
+    domains: u64,
+    build_s: f64,
+    snapshots: u32,
+    campaign_s: f64,
+    build_peak_rss_mb: f64,
+    peak_rss_mb: f64,
+    hit_rate: f64,
+}
+
+impl ScaleRun {
+    /// Domains scanned per second across the whole campaign (cold first
+    /// snapshot plus all warm ones).
+    fn domains_per_s(&self) -> f64 {
+        if self.campaign_s > 0.0 {
+            self.domains as f64 * self.snapshots as f64 / self.campaign_s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// High-water growth attributable to the campaign itself: peak after
+    /// the campaign minus peak after the world build. The build share is
+    /// the simulated universe and scales with the population by
+    /// construction; this remainder is the machinery under test.
+    fn campaign_rss_mb(&self) -> f64 {
+        (self.peak_rss_mb - self.build_peak_rss_mb).max(0.0)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"scale\": {}, \"domains\": {}, \"build_s\": {:.1}, \"snapshots\": {}, \
+             \"campaign_s\": {:.1}, \"domains_per_s\": {:.1}, \"build_peak_rss_mb\": {:.1}, \
+             \"peak_rss_mb\": {:.1}, \"campaign_rss_mb\": {:.1}, \"warm_hit_rate\": {:.4}}}",
+            self.scale,
+            self.domains,
+            self.build_s,
+            self.snapshots,
+            self.campaign_s,
+            self.domains_per_s(),
+            self.build_peak_rss_mb,
+            self.peak_rss_mb,
+            self.campaign_rss_mb(),
+            self.hit_rate,
+        )
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("DSEC_BENCH_SMOKE").is_ok();
+    let host_threads = dsec_bench::host_threads();
+    // Smoke keeps CI quick: the two small scales over a 4-snapshot
+    // window. The full ladder ends at 1:20 (~8M domains) over the whole
+    // 21-month window — the tentpole target.
+    let scales: &[u64] = if smoke { &[2000, 200] } else { &[2000, 200, 20] };
+    let rss_available = peak_rss_mb().is_some();
+
+    let mut runs: Vec<ScaleRun> = Vec::new();
+    let mut streamed_matches_memory = true;
+    for &scale in scales {
+        let population = PopulationConfig {
+            scale,
+            ..PopulationConfig::default()
+        };
+        eprintln!("scale bench: building 1:{} population…", scale);
+        let built = Instant::now();
+        let mut pw = build(&population);
+        let build_s = built.elapsed().as_secs_f64();
+        let domains = pw.world.domain_count() as u64;
+        let build_peak = peak_rss_mb().unwrap_or(0.0);
+        eprintln!("built {} domains in {:.1}s", domains, build_s);
+
+        let until = if smoke {
+            pw.world.today.plus_days(21)
+        } else {
+            pw.world.config.end
+        };
+        let config = CampaignConfig::new(until, 7);
+        let spill = std::env::temp_dir().join(format!(
+            "dsec-scale-bench-{}-{}.snap",
+            std::process::id(),
+            scale
+        ));
+
+        let mut cache = ScanCache::new();
+        let started = Instant::now();
+        let streamed = scan_campaign_streamed(&mut pw.world, &config, &mut cache, &spill)
+            .expect("streamed campaign completes");
+        let campaign_s = started.elapsed().as_secs_f64();
+        let stats = cache.stats();
+        let hit_rate = stats.hit_rate();
+        let snapshots = streamed.len();
+
+        // Byte-identity of the streamed path, checked at the smallest
+        // scale (an identically built world re-runs the same campaign
+        // through the in-memory store; determinism makes the scans
+        // equal, so any CSV divergence is a spill/replay bug).
+        if scale == scales[0] {
+            let mut pw2 = build(&population);
+            let mut cache2 = ScanCache::new();
+            let memory = scan_campaign_cached(&mut pw2.world, &config, &mut cache2);
+            let latest = memory.latest().expect("campaign has snapshots");
+            let operators: Vec<String> = latest
+                .cells
+                .keys()
+                .map(|(op, _)| op.clone())
+                .take(16)
+                .collect();
+            for op in &operators {
+                let streamed_csv = streamed.to_csv(op).expect("replay CSV");
+                let streamed_ext = streamed.to_csv_extended(op).expect("replay CSV");
+                if streamed_csv != memory.to_csv(op) || streamed_ext != memory.to_csv_extended(op)
+                {
+                    streamed_matches_memory = false;
+                }
+            }
+            assert!(
+                streamed_matches_memory,
+                "streamed CSVs must byte-match the in-memory path"
+            );
+            eprintln!(
+                "streamed CSVs byte-match the in-memory path ({} operators checked)",
+                operators.len()
+            );
+        }
+
+        std::fs::remove_file(&spill).ok();
+        let peak = peak_rss_mb().unwrap_or(0.0);
+        let run = ScaleRun {
+            scale,
+            domains,
+            build_s,
+            snapshots,
+            campaign_s,
+            build_peak_rss_mb: build_peak,
+            peak_rss_mb: peak,
+            hit_rate,
+        };
+        eprintln!(
+            "scale 1:{:<5} {:>9} domains | {:>3} snapshots in {:>7.1}s ({:>9.1} dom/s) | \
+             peak RSS {:>8.1} MiB (campaign {:>7.1} MiB) | warm hit rate {:.1}%",
+            run.scale,
+            run.domains,
+            run.snapshots,
+            run.campaign_s,
+            run.domains_per_s(),
+            run.peak_rss_mb,
+            run.campaign_rss_mb(),
+            100.0 * run.hit_rate,
+        );
+        runs.push(run);
+    }
+
+    // Sublinear-memory gate, judged between the last two scales (the
+    // pair the acceptance criterion names). The world build is the
+    // simulated universe and scales with the population by construction,
+    // so the gate binds the *campaign-attributable* high-water growth:
+    // scan caches, spill buffers, and authority response caches, which
+    // the streaming store and the cache caps are supposed to keep flat.
+    // Total peak RSS growth is reported alongside for the record. The
+    // gate needs a meaningful baseline: a short smoke window at 1:2000
+    // leaves the previous rung's campaign share down in allocator noise,
+    // so the assert arms only when it clears a floor.
+    const CAMPAIGN_GATE_FLOOR_MB: f64 = 256.0;
+    let (rss_growth, campaign_rss_growth, population_growth) = if runs.len() >= 2 {
+        let prev = &runs[runs.len() - 2];
+        let last = &runs[runs.len() - 1];
+        (
+            if prev.peak_rss_mb > 0.0 {
+                last.peak_rss_mb / prev.peak_rss_mb
+            } else {
+                0.0
+            },
+            if prev.campaign_rss_mb() > 0.0 {
+                last.campaign_rss_mb() / prev.campaign_rss_mb()
+            } else {
+                0.0
+            },
+            last.domains as f64 / prev.domains.max(1) as f64,
+        )
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+    let campaign_gate_armed = rss_available
+        && runs.len() >= 2
+        && runs[runs.len() - 2].campaign_rss_mb() >= CAMPAIGN_GATE_FLOOR_MB;
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"smoke\": {},\n  \"host_threads\": {},\n  \
+         \"rss_available\": {},\n  \"streamed_matches_memory\": {},\n  \
+         \"rss_growth_last_step\": {:.3},\n  \"campaign_rss_growth_last_step\": {:.3},\n  \
+         \"campaign_gate_armed\": {},\n  \"population_growth_last_step\": {:.3},\n  \
+         \"scales\": [\n{}\n  ]\n}}\n",
+        smoke,
+        host_threads,
+        rss_available,
+        streamed_matches_memory,
+        rss_growth,
+        campaign_rss_growth,
+        campaign_gate_armed,
+        population_growth,
+        runs.iter()
+            .map(ScaleRun::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    let out = std::env::var("DSEC_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_scale.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    // Write before asserting so a failed gate still leaves the numbers.
+    std::fs::write(&out, &json).expect("write BENCH_scale.json");
+    eprintln!("wrote {out}");
+
+    if rss_available && runs.len() >= 2 && rss_growth > 0.0 {
+        eprintln!(
+            "RSS growth over last scale step: total {:.2}×, campaign-attributable {:.2}×, \
+             for {:.2}× domains",
+            rss_growth, campaign_rss_growth, population_growth
+        );
+        if campaign_gate_armed {
+            assert!(
+                campaign_rss_growth < population_growth,
+                "campaign-attributable RSS must grow sublinearly in population \
+                 ({campaign_rss_growth:.2}× RSS for {population_growth:.2}× domains)"
+            );
+        }
+    }
+}

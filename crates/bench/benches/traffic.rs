@@ -153,7 +153,7 @@ fn main() {
     // Wall-clock scaling is the contention metric: with the striped
     // cache and per-worker accumulators, more workers must never lower
     // real throughput. Judged only on hosts with the cores to show it.
-    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_threads = dsec_bench::host_threads();
     let wall_scaling = last.report.wall_qps() / first.report.wall_qps().max(f64::MIN_POSITIVE);
     // Whether the wall-clock scaling assertion below actually ran: on a
     // small host the flat `wall_qps_scaling_1_to_8` is expected (there

@@ -12,3 +12,19 @@
 pub fn tiny_paper_world() -> dsec_workloads::PaperWorld {
     dsec_workloads::build(&dsec_workloads::PopulationConfig::tiny())
 }
+
+/// The host's usable parallelism, detected once and shared by every
+/// bench harness so the `scaling_checked` gates all agree.
+///
+/// `std::thread::available_parallelism` honors cgroup CPU quotas, which
+/// is what we want on CI — a 1-core container genuinely cannot check
+/// 8-thread scaling, and the gate must skip rather than record a bogus
+/// ratio. `DSEC_HOST_THREADS` overrides the detection for runners whose
+/// sandbox hides the real core count from the process.
+pub fn host_threads() -> usize {
+    std::env::var("DSEC_HOST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}

@@ -23,6 +23,7 @@ pub mod policy;
 pub mod registrar;
 pub mod registry;
 pub mod rollover;
+pub mod table;
 pub mod tld;
 pub mod world;
 
@@ -35,6 +36,7 @@ pub use policy::{ExternalDs, OperatorDnssec, Plan, RegistrarPolicy, TldPolicy, T
 pub use registrar::{Milestone, PolicyChange, Registrar};
 pub use registry::{Registry, RegistryError};
 pub use rollover::{DsTiming, RolloverPhase, RolloverPlan, RolloverStyle};
+pub use table::{DomainStore, DomainTable, OrderedRows};
 pub use tld::{Incentive, Tld, ALL_TLDS};
 pub use world::{
     ActionError, DomainQuery, DsSubmission, ObservationQuality, RolloverState, ThirdParty,

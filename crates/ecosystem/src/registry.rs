@@ -19,8 +19,9 @@ use rand::RngCore;
 use dsec_authserver::Authority;
 use dsec_crypto::Algorithm;
 use dsec_dnssec::{sign_rrset, SignerConfig, ZoneKeys};
-use dsec_wire::{DsRdata, FnvHashMap, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
+use dsec_wire::{DsRdata, Name, NameInterner, RData, Record, RrSet, RrType, SoaRdata, Zone};
 
+use crate::table::{DomainTable, OrderedRows};
 use crate::tld::Tld;
 use crate::RegistrarId;
 
@@ -54,13 +55,13 @@ pub struct Registry {
     pub discounts_cents: BTreeMap<RegistrarId, u64>,
     /// Incentive bookkeeping: validation failures per registrar.
     pub audit_failures: BTreeMap<RegistrarId, u64>,
-    /// Which registrar is responsible for each delegation (for audits).
-    sponsor: BTreeMap<Name, RegistrarId>,
-    /// Per-delegation change generation: bumped on every registry-side
-    /// edit a scanner could observe (delegation added/removed, NS set
-    /// replaced, DS set replaced). The incremental scan cache keys its
-    /// entries on this so an unchanged domain is never re-queried.
-    generations: FnvHashMap<Name, u64>,
+    /// Columnar per-delegation state: sponsor, change generation, and
+    /// liveness in dense `NameId`-indexed columns (see [`DomainTable`]).
+    /// The generation column is bumped on every registry-side edit a
+    /// scanner could observe (delegation added/removed, NS set replaced,
+    /// DS set replaced); the incremental scan cache keys its entries on
+    /// it so an unchanged domain is never re-queried.
+    table: DomainTable,
     /// Bumped whenever the *set* of delegations changes (add/remove, not
     /// edits). The scan cache skips its departed-domain prune — a full
     /// rehash of the population — on days this hasn't moved.
@@ -78,6 +79,19 @@ impl Registry {
         rng: &mut dyn RngCore,
         valid_from: u32,
         valid_until: u32,
+    ) -> Self {
+        Self::with_interner(tld, rng, valid_from, valid_until, Arc::new(NameInterner::new()))
+    }
+
+    /// [`Registry::new`] interning delegation names into a shared
+    /// interner (the world passes one interner to all its registries so
+    /// `NameId`s are comparable across the ecosystem).
+    pub fn with_interner(
+        tld: Tld,
+        rng: &mut dyn RngCore,
+        valid_from: u32,
+        valid_until: u32,
+        interner: Arc<NameInterner>,
     ) -> Self {
         let origin = tld.zone();
         let keys = ZoneKeys::generate_default(rng, origin.clone(), Algorithm::RsaSha256)
@@ -138,8 +152,7 @@ impl Registry {
             signer,
             discounts_cents: BTreeMap::new(),
             audit_failures: BTreeMap::new(),
-            sponsor: BTreeMap::new(),
-            generations: FnvHashMap::default(),
+            table: DomainTable::new(interner),
             population_epoch: 0,
         }
     }
@@ -148,13 +161,14 @@ impl Registry {
     /// changes what a scan of the TLD zone would observe bumps this;
     /// sponsorship transfers do not (they are invisible on the wire).
     pub fn generation_of(&self, domain: &Name) -> u64 {
-        // `Name` orders case-insensitively (RFC 4034), so the lookup
-        // needs no canonical copy.
-        self.generations.get(domain).copied().unwrap_or(0)
+        // `Name` hashes case-insensitively, so the interner lookup needs
+        // no canonical copy; the rest is two integer probes.
+        self.table.generation_of(domain)
     }
 
     fn bump_generation(&mut self, domain: &Name) {
-        *self.generations.entry(domain.to_canonical()).or_insert(0) += 1;
+        let row = self.table.intern_row(domain);
+        self.table.bump(row);
     }
 
     /// Folds a zone-side edit (signing, hosting change — anything the
@@ -212,9 +226,10 @@ impl Registry {
                 .expect("delegation in zone");
             }
         });
-        self.sponsor.insert(domain.to_canonical(), registrar);
+        let row = self.table.intern_row(domain);
+        self.table.set_live(row, registrar);
+        self.table.bump(row);
         self.population_epoch += 1;
-        self.bump_generation(domain);
         Ok(())
     }
 
@@ -286,12 +301,13 @@ impl Registry {
         self.authority.with_zone_mut(&self.tld.zone(), |zone| {
             zone.remove_name(domain);
         });
-        self.sponsor.remove(&domain.to_canonical());
+        let row = self.table.intern_row(domain);
+        self.table.set_dead(row);
         self.population_epoch += 1;
-        // Keep (and bump) the generation entry: if the name is later
+        // Keep (and bump) the generation column: if the name is later
         // re-registered its generation must not restart from a value a
         // stale cache entry could collide with.
-        self.bump_generation(domain);
+        self.table.bump(row);
         Ok(())
     }
 
@@ -307,7 +323,8 @@ impl Registry {
         if !self.is_accredited(to) {
             return Err(RegistryError::NotAccredited(to));
         }
-        self.sponsor.insert(domain.to_canonical(), to);
+        let row = self.table.intern_row(domain);
+        self.table.set_sponsor(row, to);
         Ok(())
     }
 
@@ -355,14 +372,26 @@ impl Registry {
     /// add/remove goes through the registry (the paper's structural
     /// constraint), so no zone lock or record filtering is needed.
     pub fn delegations(&self) -> Vec<Name> {
-        self.sponsor.keys().cloned().collect()
+        self.delegation_names().cloned().collect()
     }
 
     /// Borrowing form of [`Registry::delegations`]: the scan hot path
-    /// enumerates ~10⁵ names per snapshot and must not clone them. Keys
-    /// come out in canonical (RFC 4034) order, same as the zone file.
+    /// enumerates millions of names per snapshot and must not clone
+    /// them. Names come out in canonical (RFC 4034) order, same as the
+    /// zone file.
     pub fn delegation_names(&self) -> impl Iterator<Item = &Name> {
-        self.sponsor.keys()
+        self.table.ordered_names()
+    }
+
+    /// The columnar scan edge: live delegations in canonical order as
+    /// `(row, &name, generation)`. The row is a stable per-registry
+    /// handle (it survives nothing — dead rows are skipped, but a
+    /// re-registered name keeps its row), so incremental consumers can
+    /// key caches on `(tld, row)` instead of the name, and the
+    /// generation comes out of the same column sweep instead of a
+    /// per-domain map probe.
+    pub fn delegations_columnar(&self) -> OrderedRows<'_> {
+        self.table.ordered()
     }
 
     /// A counter that moves exactly when the delegation *set* does
@@ -375,14 +404,14 @@ impl Registry {
 
     /// The sponsoring registrar of `domain`.
     pub fn sponsor_of(&self, domain: &Name) -> Option<RegistrarId> {
-        self.sponsor.get(&domain.to_canonical()).copied()
+        self.table.row_of(domain).and_then(|row| self.table.sponsor(row))
     }
 
     /// Records an audit outcome for incentive bookkeeping: a correctly
     /// signed domain earns its sponsor the per-domain discount, a broken
     /// one counts as a failure.
     pub fn record_audit(&mut self, domain: &Name, passed: bool) {
-        let Some(&sponsor) = self.sponsor.get(&domain.to_canonical()) else {
+        let Some(sponsor) = self.sponsor_of(domain) else {
             return;
         };
         if passed {
@@ -405,8 +434,8 @@ impl Registry {
 
     fn check_sponsor(&self, registrar: RegistrarId, domain: &Name) -> Result<(), RegistryError> {
         self.check(registrar, domain)?;
-        match self.sponsor.get(&domain.to_canonical()) {
-            Some(&s) if s == registrar => Ok(()),
+        match self.sponsor_of(domain) {
+            Some(s) if s == registrar => Ok(()),
             Some(_) => Err(RegistryError::NotSponsor {
                 registrar,
                 domain: domain.to_string(),

@@ -1,0 +1,494 @@
+//! Columnar, `NameId`-keyed per-domain state.
+//!
+//! The registration universe is write-once-read-often: a population build
+//! inserts millions of domains, then campaigns sweep them every snapshot.
+//! Keying that state on heap-allocated [`Name`]s means every probe hashes
+//! (or compares) label bytes and every enumeration walks a pointer-chasing
+//! `BTreeMap`. At 1:20 scale (~8M domains) that dominates the scan.
+//!
+//! [`DomainTable`] and [`DomainStore`] replace those maps with a
+//! struct-of-arrays layout:
+//!
+//! * every name is interned once in the shared [`NameInterner`]
+//!   (`crates/wire`), so identity is a `u32` [`NameId`];
+//! * per-domain attributes live in dense, row-indexed columns (sponsor
+//!   [`RegistrarId`], change generation, liveness for the registry table;
+//!   the [`Domain`](crate::Domain) payload row — hosting, DNSSEC keys,
+//!   expiry — plus the rollover slot for the world store);
+//! * a `NameId → row` FNV map is the only hash probe left on the edge,
+//!   and it hashes a single integer;
+//! * canonical (RFC 4034) enumeration order — which the scanner and the
+//!   zone files require — is a lazily rebuilt sorted row index behind an
+//!   `RwLock`, so reads stay `&self` and an unchanged population sorts
+//!   exactly once.
+//!
+//! Rows are never reused: a removed delegation keeps its row (and its
+//! generation column, which must survive re-registration so stale scan
+//! cache entries can never collide) and is simply marked dead. The row id
+//! is therefore a stable per-table handle that the scanner uses as a cache
+//! key in place of the name.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+
+use dsec_wire::{FnvHashMap, Name, NameId, NameInterner};
+
+use crate::domain::Domain;
+use crate::RegistrarId;
+
+/// Sentinel for "no rollover in flight" in the rollover-slot column.
+pub const NO_ROLLOVER_SLOT: u32 = u32::MAX;
+
+/// Lazily maintained canonical-order view of the live rows.
+#[derive(Debug, Default)]
+struct OrderCache {
+    /// Live rows sorted by name (RFC 4034 canonical order).
+    sorted: Vec<u32>,
+    /// Set whenever liveness changes; the next reader rebuilds.
+    dirty: bool,
+}
+
+/// The registry-side columnar table: sponsor, change generation, and
+/// liveness per delegated name. See the module docs for the layout.
+#[derive(Debug)]
+pub struct DomainTable {
+    interner: Arc<NameInterner>,
+    /// Row → canonical name (the API edge; never shrinks).
+    names: Vec<Name>,
+    /// Row → sponsoring registrar (last known for dead rows).
+    sponsor: Vec<RegistrarId>,
+    /// Row → change generation. Survives removal and re-registration.
+    generation: Vec<u64>,
+    /// Row → whether the delegation currently exists.
+    live: Vec<bool>,
+    /// Interned id → row. The single hash probe on the lookup edge.
+    index: FnvHashMap<NameId, u32>,
+    live_count: usize,
+    order: RwLock<OrderCache>,
+}
+
+impl DomainTable {
+    /// An empty table interning into `interner`.
+    pub fn new(interner: Arc<NameInterner>) -> Self {
+        DomainTable {
+            interner,
+            names: Vec::new(),
+            sponsor: Vec::new(),
+            generation: Vec::new(),
+            live: Vec::new(),
+            index: FnvHashMap::default(),
+            live_count: 0,
+            order: RwLock::new(OrderCache::default()),
+        }
+    }
+
+    /// The row for `name`, if the table has ever seen it (live or dead).
+    pub fn row_of(&self, name: &Name) -> Option<u32> {
+        let id = self.interner.get(name)?;
+        self.index.get(&id).copied()
+    }
+
+    /// The row for `name`, creating a dead generation-0 row on first
+    /// sight. This is the write-side edge: one label hash (interner),
+    /// one integer hash (index).
+    pub fn intern_row(&mut self, name: &Name) -> u32 {
+        let id = self.interner.intern(name);
+        if let Some(&row) = self.index.get(&id) {
+            return row;
+        }
+        let row = self.names.len() as u32;
+        self.names.push(name.to_canonical());
+        self.sponsor.push(RegistrarId(u32::MAX));
+        self.generation.push(0);
+        self.live.push(false);
+        self.index.insert(id, row);
+        row
+    }
+
+    /// The canonical name at `row`.
+    pub fn name(&self, row: u32) -> &Name {
+        &self.names[row as usize]
+    }
+
+    /// The change generation at `row`.
+    pub fn generation(&self, row: u32) -> u64 {
+        self.generation[row as usize]
+    }
+
+    /// The change generation of `name` (0 = never seen).
+    pub fn generation_of(&self, name: &Name) -> u64 {
+        self.row_of(name).map_or(0, |row| self.generation(row))
+    }
+
+    /// Bumps the change generation at `row`.
+    pub fn bump(&mut self, row: u32) {
+        self.generation[row as usize] += 1;
+    }
+
+    /// Whether the delegation at `row` currently exists.
+    pub fn is_live(&self, row: u32) -> bool {
+        self.live[row as usize]
+    }
+
+    /// The sponsor at `row` if the row is live.
+    pub fn sponsor(&self, row: u32) -> Option<RegistrarId> {
+        self.live[row as usize].then(|| self.sponsor[row as usize])
+    }
+
+    /// Re-sponsors a live row (registrar transfer; order and generation
+    /// untouched — transfers are invisible on the wire).
+    pub fn set_sponsor(&mut self, row: u32, sponsor: RegistrarId) {
+        self.sponsor[row as usize] = sponsor;
+    }
+
+    /// Marks `row` live under `sponsor` (registration or revival).
+    pub fn set_live(&mut self, row: u32, sponsor: RegistrarId) {
+        let i = row as usize;
+        if !self.live[i] {
+            self.live[i] = true;
+            self.live_count += 1;
+            self.order.get_mut().expect("order lock").dirty = true;
+        }
+        self.sponsor[i] = sponsor;
+    }
+
+    /// Marks `row` dead (delegation removed). The generation column is
+    /// kept so a re-registration resumes at a strictly larger value.
+    pub fn set_dead(&mut self, row: u32) {
+        let i = row as usize;
+        if self.live[i] {
+            self.live[i] = false;
+            self.live_count -= 1;
+            self.order.get_mut().expect("order lock").dirty = true;
+        }
+    }
+
+    /// Number of live delegations.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Rebuilds the canonical-order row index if liveness changed since
+    /// the last enumeration, then returns a read guard over it.
+    fn ensure_order(&self) -> RwLockReadGuard<'_, OrderCache> {
+        {
+            let order = self.order.read().expect("order lock");
+            if !order.dirty {
+                return order;
+            }
+        }
+        let mut order = self.order.write().expect("order lock");
+        if order.dirty {
+            let names = &self.names;
+            let mut sorted: Vec<u32> = (0..self.names.len() as u32)
+                .filter(|&row| self.live[row as usize])
+                .collect();
+            sorted.sort_unstable_by(|&a, &b| names[a as usize].cmp(&names[b as usize]));
+            order.sorted = sorted;
+            order.dirty = false;
+        }
+        drop(order);
+        self.order.read().expect("order lock")
+    }
+
+    /// Live rows in canonical (RFC 4034) order: `(row, &name, generation)`.
+    /// The scanner's enumeration edge — generation reads are column reads,
+    /// not map probes.
+    pub fn ordered(&self) -> OrderedRows<'_> {
+        OrderedRows {
+            guard: self.ensure_order(),
+            table: self,
+            pos: 0,
+        }
+    }
+
+    /// Live names in canonical order (the "zone file" view).
+    pub fn ordered_names(&self) -> impl Iterator<Item = &Name> {
+        self.ordered().map(|(_, name, _)| name)
+    }
+}
+
+/// Iterator over a [`DomainTable`]'s live rows in canonical order,
+/// holding the order-cache read guard for its lifetime.
+pub struct OrderedRows<'a> {
+    guard: RwLockReadGuard<'a, OrderCache>,
+    table: &'a DomainTable,
+    pos: usize,
+}
+
+impl<'a> Iterator for OrderedRows<'a> {
+    type Item = (u32, &'a Name, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let &row = self.guard.sorted.get(self.pos)?;
+        self.pos += 1;
+        Some((
+            row,
+            &self.table.names[row as usize],
+            self.table.generation[row as usize],
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.guard.sorted.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for OrderedRows<'_> {}
+
+/// The world-side store: dense [`Domain`] payload rows plus the
+/// rollover-slot column, indexed by interned id, enumerated in canonical
+/// order. Mirrors the `BTreeMap<Name, Domain>` surface it replaced
+/// (domains are never removed from the world, so there are no tombstones).
+#[derive(Debug)]
+pub struct DomainStore {
+    interner: Arc<NameInterner>,
+    /// Row → domain payload (insertion-ordered, dense).
+    rows: Vec<Domain>,
+    /// Row → rollover slot ([`NO_ROLLOVER_SLOT`] = none in flight). The
+    /// world's rollover driver keys its in-flight state on this.
+    rollover: Vec<u32>,
+    index: FnvHashMap<NameId, u32>,
+    order: RwLock<OrderCache>,
+}
+
+impl DomainStore {
+    /// An empty store interning into `interner`.
+    pub fn new(interner: Arc<NameInterner>) -> Self {
+        DomainStore {
+            interner,
+            rows: Vec::new(),
+            rollover: Vec::new(),
+            index: FnvHashMap::default(),
+            order: RwLock::new(OrderCache::default()),
+        }
+    }
+
+    /// The row for `name`, if present.
+    pub fn row_of(&self, name: &Name) -> Option<u32> {
+        let id = self.interner.get(name)?;
+        self.index.get(&id).copied()
+    }
+
+    /// The domain payload at `row`.
+    pub fn at(&self, row: u32) -> &Domain {
+        &self.rows[row as usize]
+    }
+
+    /// Mutable domain payload at `row`.
+    pub fn at_mut(&mut self, row: u32) -> &mut Domain {
+        &mut self.rows[row as usize]
+    }
+
+    /// The rollover slot at `row` ([`NO_ROLLOVER_SLOT`] = none).
+    pub fn rollover_slot(&self, row: u32) -> u32 {
+        self.rollover[row as usize]
+    }
+
+    /// Sets the rollover slot at `row`.
+    pub fn set_rollover_slot(&mut self, row: u32, slot: u32) {
+        self.rollover[row as usize] = slot;
+    }
+
+    /// Lookup by name (one label hash + one integer hash).
+    pub fn get(&self, name: &Name) -> Option<&Domain> {
+        self.row_of(name).map(|row| self.at(row))
+    }
+
+    /// Mutable lookup by name.
+    pub fn get_mut(&mut self, name: &Name) -> Option<&mut Domain> {
+        self.row_of(name).map(|row| &mut self.rows[row as usize])
+    }
+
+    /// Whether `name` has a row.
+    pub fn contains_key(&self, name: &Name) -> bool {
+        self.row_of(name).is_some()
+    }
+
+    /// Inserts (or replaces) the payload for `name`; returns the row.
+    pub fn insert(&mut self, name: Name, domain: Domain) -> u32 {
+        let id = self.interner.intern(&name);
+        if let Some(&row) = self.index.get(&id) {
+            self.rows[row as usize] = domain;
+            return row;
+        }
+        let row = self.rows.len() as u32;
+        self.rows.push(domain);
+        self.rollover.push(NO_ROLLOVER_SLOT);
+        self.index.insert(id, row);
+        self.order.get_mut().expect("order lock").dirty = true;
+        row
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn ensure_order(&self) -> RwLockReadGuard<'_, OrderCache> {
+        {
+            let order = self.order.read().expect("order lock");
+            if !order.dirty {
+                return order;
+            }
+        }
+        let mut order = self.order.write().expect("order lock");
+        if order.dirty {
+            let rows = &self.rows;
+            let mut sorted: Vec<u32> = (0..rows.len() as u32).collect();
+            sorted.sort_unstable_by(|&a, &b| rows[a as usize].name.cmp(&rows[b as usize].name));
+            order.sorted = sorted;
+            order.dirty = false;
+        }
+        drop(order);
+        self.order.read().expect("order lock")
+    }
+
+    /// Domains in canonical name order (the order the replaced `BTreeMap`
+    /// iterated in — simulation draws depend on it, so it is part of the
+    /// store's contract).
+    pub fn values(&self) -> StoreValues<'_> {
+        StoreValues {
+            guard: self.ensure_order(),
+            store: self,
+            pos: 0,
+        }
+    }
+
+    /// Mutable sweep over all domains in **row (insertion) order** — for
+    /// order-insensitive bulk updates only.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut Domain> {
+        self.rows.iter_mut()
+    }
+}
+
+impl std::ops::Index<&Name> for DomainStore {
+    type Output = Domain;
+
+    fn index(&self, name: &Name) -> &Domain {
+        self.get(name).expect("domain present in store")
+    }
+}
+
+/// Canonical-order iterator over a [`DomainStore`]'s payload rows.
+pub struct StoreValues<'a> {
+    guard: RwLockReadGuard<'a, OrderCache>,
+    store: &'a DomainStore,
+    pos: usize,
+}
+
+impl<'a> Iterator for StoreValues<'a> {
+    type Item = &'a Domain;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let &row = self.guard.sorted.get(self.pos)?;
+        self.pos += 1;
+        Some(&self.store.rows[row as usize])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.guard.sorted.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for StoreValues<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn table() -> DomainTable {
+        DomainTable::new(Arc::new(NameInterner::new()))
+    }
+
+    #[test]
+    fn rows_are_stable_across_removal_and_revival() {
+        let mut t = table();
+        let row = t.intern_row(&name("a.com"));
+        t.set_live(row, RegistrarId(1));
+        t.bump(row);
+        assert_eq!(t.generation(row), 1);
+        t.set_dead(row);
+        t.bump(row);
+        assert_eq!(t.live_count(), 0);
+        assert_eq!(t.sponsor(row), None, "dead rows have no sponsor");
+        // Revival: same row, generation continues.
+        let again = t.intern_row(&name("A.COM"));
+        assert_eq!(again, row, "case-insensitive identity, stable row");
+        t.set_live(again, RegistrarId(2));
+        t.bump(again);
+        assert_eq!(t.generation(row), 3);
+        assert_eq!(t.sponsor(row), Some(RegistrarId(2)));
+    }
+
+    #[test]
+    fn ordered_is_canonical_and_live_only() {
+        let mut t = table();
+        for label in ["delta.com", "alpha.com", "bravo.com"] {
+            let row = t.intern_row(&name(label));
+            t.set_live(row, RegistrarId(1));
+        }
+        let dead = t.intern_row(&name("bravo.com"));
+        t.set_dead(dead);
+        let names: Vec<String> = t.ordered().map(|(_, n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["alpha.com.", "delta.com."]);
+        // Revive: the order index catches up lazily.
+        t.set_live(dead, RegistrarId(1));
+        assert_eq!(t.ordered().count(), 3);
+        assert_eq!(t.ordered().len(), 3);
+    }
+
+    #[test]
+    fn generations_read_through_both_edges() {
+        let mut t = table();
+        assert_eq!(t.generation_of(&name("ghost.com")), 0);
+        let row = t.intern_row(&name("x.com"));
+        t.set_live(row, RegistrarId(1));
+        t.bump(row);
+        t.bump(row);
+        assert_eq!(t.generation_of(&name("X.Com")), 2);
+        let via_iter: Vec<u64> = t.ordered().map(|(_, _, g)| g).collect();
+        assert_eq!(via_iter, vec![2], "column read matches name-keyed read");
+    }
+
+    #[test]
+    fn store_mirrors_btreemap_semantics() {
+        let interner = Arc::new(NameInterner::new());
+        let mut s = DomainStore::new(interner);
+        assert!(s.is_empty());
+        let d = |n: &str| Domain {
+            name: name(n),
+            tld: crate::Tld::Com,
+            registrar: RegistrarId(0),
+            sponsor: RegistrarId(0),
+            hosting: crate::Hosting::Owner,
+            keys: None,
+            created: crate::SimDate::from_ymd(2015, 1, 1),
+            expires: crate::SimDate::from_ymd(2016, 1, 1),
+            pending_partner_migration: false,
+            registrant_email: "o@x.com".into(),
+        };
+        s.insert(name("zz.com"), d("zz.com"));
+        s.insert(name("aa.com"), d("aa.com"));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains_key(&name("AA.com")));
+        let order: Vec<String> = s.values().map(|dom| dom.name.to_string()).collect();
+        assert_eq!(order, vec!["aa.com.", "zz.com."], "canonical iteration");
+        assert_eq!(s[&name("zz.com")].name, name("zz.com"));
+        // Replacement keeps the row and the rollover slot column aligned.
+        let row = s.insert(name("aa.com"), d("aa.com"));
+        assert_eq!(s.rollover_slot(row), NO_ROLLOVER_SLOT);
+        s.set_rollover_slot(row, 7);
+        assert_eq!(s.rollover_slot(row), 7);
+    }
+}

@@ -14,7 +14,9 @@ use dsec_dnssec::{
     classify, ds_matches, sign_zone, sign_zone_set, DeploymentStatus, Observation, SignerConfig,
     SigningSet, ZoneKeys,
 };
-use dsec_wire::{DsRdata, FnvHashMap, Message, Name, RData, Record, RrSet, RrType, SoaRdata, Zone};
+use dsec_wire::{
+    DsRdata, Message, Name, NameInterner, RData, Record, RrSet, RrType, SoaRdata, Zone,
+};
 
 use crate::annex::Annex;
 use crate::clock::SimDate;
@@ -25,12 +27,18 @@ use crate::policy::{ExternalDs, OperatorDnssec, TldRole};
 use crate::registrar::{Milestone, PolicyChange, Registrar};
 use crate::registry::Registry;
 use crate::rollover::{DsTiming, RolloverPhase, RolloverPlan, RolloverStyle};
+use crate::table::{DomainStore, NO_ROLLOVER_SLOT};
 use crate::tld::{Tld, ALL_TLDS};
 use crate::RegistrarId;
 
 /// How long a scan waits for each simulated UDP response, in ms.
 /// Injected delays beyond this budget degrade into timeouts.
 pub const SCAN_DEADLINE_MS: u32 = 500;
+
+/// Rollover-slot tag: a one-shot CDS rollover ([`World::prepare_rollover`]).
+const ROLLOVER_SLOT_ONE_SHOT: u32 = 1;
+/// Rollover-slot tag: a scheduled lifecycle ([`World::schedule_rollover`]).
+const ROLLOVER_SLOT_SCHEDULED: u32 = 2;
 
 /// Result of a fault-aware domain query ([`World::query_domain_robust`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -241,7 +249,7 @@ pub struct World {
     registrars: Vec<Registrar>,
     operators: Vec<Operator>,
     third_parties: Vec<ThirdParty>,
-    domains: BTreeMap<Name, Domain>,
+    domains: DomainStore,
     /// Shared authority for all owner-hosted zones.
     owner_authority: Arc<Authority>,
     key_pool: Vec<ZoneKeys>,
@@ -253,13 +261,9 @@ pub struct World {
     pending_rollover: BTreeMap<Name, ZoneKeys>,
     /// Scheduled rollover lifecycles driven by the daily tick.
     rollovers: BTreeMap<Name, RolloverState>,
-    /// Per-domain change generation for *served-zone* edits (signing,
-    /// re-signing, CDS publication, hosting moves) on domains outside the
-    /// studied TLDs. Edits under a studied TLD are folded into that
-    /// registry's per-delegation counter instead, so the scan hot path
-    /// ([`World::domain_generation`]) costs one map probe; this overflow
-    /// map is normally empty and skipped with an O(1) check.
-    zone_generations: FnvHashMap<Name, u64>,
+    /// Name interner shared by every registry, the domain store, and any
+    /// downstream scanner/traffic machinery that wants stable `NameId`s.
+    interner: Arc<NameInterner>,
     /// Event log.
     pub events: EventLog,
     /// Whether a purchase from a default-signing registrar is signed
@@ -283,11 +287,13 @@ impl World {
         let valid_until = config.end.plus_days(400).epoch_seconds();
 
         let network = Arc::new(Network::new());
+        let interner = Arc::new(NameInterner::new());
 
-        // Registries.
+        // Registries (all sharing one interner so `NameId`s are global).
         let mut registries = BTreeMap::new();
         for tld in ALL_TLDS {
-            let registry = Registry::new(tld, &mut rng, valid_from, valid_until);
+            let registry =
+                Registry::with_interner(tld, &mut rng, valid_from, valid_until, interner.clone());
             network.register(tld.registry_ns(), registry.authority());
             registries.insert(tld, registry);
         }
@@ -362,14 +368,14 @@ impl World {
             registrars: Vec::new(),
             operators: Vec::new(),
             third_parties: Vec::new(),
-            domains: BTreeMap::new(),
+            domains: DomainStore::new(interner.clone()),
             owner_authority: Arc::new(Authority::new()),
             key_pool,
             mass_sign_queue: Vec::new(),
             cds_first_seen: BTreeMap::new(),
             pending_rollover: BTreeMap::new(),
             rollovers: BTreeMap::new(),
-            zone_generations: FnvHashMap::default(),
+            interner,
             events: EventLog::new(),
             auto_sign_on_purchase: true,
             annex: Annex::default(),
@@ -511,6 +517,11 @@ impl World {
         &self.annex
     }
 
+    /// The name interner shared by every registry and the domain store.
+    pub fn interner(&self) -> &Arc<NameInterner> {
+        &self.interner
+    }
+
     /// Domain access.
     pub fn domain(&self, name: &Name) -> Option<&Domain> {
         self.domains.get(&name.to_canonical())
@@ -535,31 +546,21 @@ impl World {
     /// invalidation contract every new mutation path must honour.
     pub fn domain_generation(&self, domain: &Name) -> u64 {
         // `Name` hashes case-insensitively (RFC 4034); no canonical copy.
-        let registry_gen = Tld::of_domain(domain)
+        // Served-zone edits are folded into the registry's columnar counter
+        // by `bump_zone_generation`, so the scan path pays one probe.
+        Tld::of_domain(domain)
             .map(|tld| self.registries[&tld].generation_of(domain))
-            .unwrap_or(0);
-        // Served-zone edits under a studied TLD were folded into the
-        // registry counter by `bump_zone_generation`; the overflow map is
-        // normally empty, so the scan hot path pays one probe, not two.
-        let zone_gen = if self.zone_generations.is_empty() {
-            0
-        } else {
-            self.zone_generations.get(domain).copied().unwrap_or(0)
-        };
-        registry_gen + zone_gen
+            .unwrap_or(0)
     }
 
     /// Records a served-zone edit for `domain` (cache invalidation).
+    /// Every registered domain sits under a studied TLD (purchase is the
+    /// only entry into the store), so the registry fold is total.
     fn bump_zone_generation(&mut self, domain: &Name) {
         if let Some(registry) = Tld::of_domain(domain).and_then(|tld| self.registries.get_mut(&tld))
         {
             registry.note_external_change(domain);
-            return;
         }
-        *self
-            .zone_generations
-            .entry(domain.to_canonical())
-            .or_insert(0) += 1;
     }
 
     // ----------------------------------------------------------- actions --
@@ -1597,6 +1598,12 @@ impl World {
         self.network.set_response_cache(enabled);
     }
 
+    /// Caps every authority's wire-response cache at `entries` (see
+    /// `dsec_authserver::Authority::set_response_cache_capacity`).
+    pub fn set_response_cache_capacity(&self, entries: usize) {
+        self.network.set_response_cache_capacity(entries);
+    }
+
     /// Publishes a CDS record (for the zone's current KSK) in a signed
     /// domain's zone — what RFC 7344 asks operators to do so the parent
     /// can pick the DS up in-band.
@@ -1639,13 +1646,14 @@ impl World {
         let key = domain.to_canonical();
         let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
         let old_keys = d.keys.clone().ok_or(ActionError::DnssecUnsupported)?;
-        if self.pending_rollover.contains_key(&key) || self.rollovers.contains_key(&key) {
+        if self.rollover_in_flight(&key) {
             return Err(ActionError::RolloverInProgress);
         }
         let new_keys = self.keys_differing_from(domain, old_keys.ksk_tag());
         let new_ds = new_keys.ds(DigestType::Sha256);
         self.publish_cds_record(domain, &old_keys, new_ds.clone())?;
-        self.pending_rollover.insert(key, new_keys);
+        self.pending_rollover.insert(key.clone(), new_keys);
+        self.mark_rollover_slot(&key, ROLLOVER_SLOT_ONE_SHOT);
         self.events.record(
             self.today,
             // The one-shot CDS flow is a KSK-family transition.
@@ -1666,6 +1674,7 @@ impl World {
             .pending_rollover
             .remove(&key)
             .ok_or(ActionError::NoPendingRollover)?;
+        self.clear_rollover_slot(&key);
         self.resign_with(domain, &new_keys)?;
         self.domains.get_mut(&key).expect("checked").keys = Some(new_keys);
         self.events.record(
@@ -1713,7 +1722,7 @@ impl World {
         let key = domain.to_canonical();
         let d = self.domains.get(&key).ok_or(ActionError::NoSuchDomain)?;
         let old_keys = d.keys.clone().ok_or(ActionError::DnssecUnsupported)?;
-        if self.rollovers.contains_key(&key) || self.pending_rollover.contains_key(&key) {
+        if self.rollover_in_flight(&key) {
             return Err(ActionError::RolloverInProgress);
         }
         let new_keys = match plan.style {
@@ -1743,7 +1752,7 @@ impl World {
             }
         };
         self.rollovers.insert(
-            key,
+            key.clone(),
             RolloverState {
                 plan,
                 phase: RolloverPhase::Scheduled,
@@ -1755,7 +1764,36 @@ impl World {
                 expiry_noted: false,
             },
         );
+        self.mark_rollover_slot(&key, ROLLOVER_SLOT_SCHEDULED);
         Ok(())
+    }
+
+    // The columnar rollover-slot values mirroring the two state maps.
+    // `NO_ROLLOVER_SLOT` (the column default) means "no rollover in
+    // flight"; the probe below is the O(1) guard both entry points use
+    // instead of two `BTreeMap` lookups.
+
+    /// O(1) check against the [`DomainStore`] rollover-slot column:
+    /// is any rollover (one-shot CDS or scheduled lifecycle) already in
+    /// flight for `domain`?
+    fn rollover_in_flight(&self, domain: &Name) -> bool {
+        match self.domains.row_of(domain) {
+            Some(row) => self.domains.rollover_slot(row) != NO_ROLLOVER_SLOT,
+            // Unregistered names can't be mid-rollover.
+            None => false,
+        }
+    }
+
+    fn mark_rollover_slot(&mut self, domain: &Name, slot: u32) {
+        if let Some(row) = self.domains.row_of(domain) {
+            self.domains.set_rollover_slot(row, slot);
+        }
+    }
+
+    fn clear_rollover_slot(&mut self, domain: &Name) {
+        if let Some(row) = self.domains.row_of(domain) {
+            self.domains.set_rollover_slot(row, NO_ROLLOVER_SLOT);
+        }
     }
 
     /// Freezes the operator side of a scheduled rollover (the operator is
@@ -1919,6 +1957,7 @@ impl World {
                                 // The operator finished long ago; this late
                                 // DS landing was the last outstanding leg.
                                 self.rollovers.remove(domain);
+                                self.clear_rollover_slot(domain);
                             }
                         }
                         Err(e) => self.events.record(
@@ -1958,6 +1997,7 @@ impl World {
                     st.signed_until = None;
                 } else {
                     self.rollovers.remove(domain);
+                    self.clear_rollover_slot(domain);
                 }
                 self.events.record(
                     today,

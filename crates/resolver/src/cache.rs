@@ -316,7 +316,19 @@ impl Cache {
         }
         self.shards
             .iter()
-            .map(|shard| shard.write().enforce(self.per_shard_capacity, now, self.max_stale))
+            .map(|shard| {
+                // Shared-lock probe first: a shard at or under its bound
+                // has nothing to evict (exactly `Shard::enforce`'s own
+                // early-out), and the read lock coexists with concurrent
+                // lookups where the old unconditional write lock
+                // serialized every worker behind the sweep. `put_shared`
+                // re-enforces under its own write lock, so a racing
+                // insert between the probe and here is still bounded.
+                if shard.read().entries.len() <= self.per_shard_capacity {
+                    return 0;
+                }
+                shard.write().enforce(self.per_shard_capacity, now, self.max_stale)
+            })
             .sum()
     }
 

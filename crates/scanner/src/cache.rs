@@ -22,14 +22,29 @@
 //! * entries for domains that left the zone files are pruned after
 //!   every cached scan, so the cache never outgrows the live population.
 //!
-//! [`Name`] hashes and compares case-insensitively, so lookups need no
-//! canonical copy of the key — the hot path is allocation-free.
+//! Keys are packed [`DomainKey`]s — the registry's columnar row id, not
+//! the `Name`. The columnar enumeration hands each scan item its row and
+//! generation in one dense sweep, so the warm path hashes one integer
+//! per domain and never touches name bytes at all.
 
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
-use dsec_wire::{FnvHashMap, FnvHashSet, Name};
+use dsec_ecosystem::Tld;
+use dsec_wire::{FnvHashMap, FnvHashSet};
 
 use crate::snapshot::OperatorStats;
+
+/// The scan-scope-stable identity of one delegation: the studied TLD in
+/// the high 32 bits, the registry's columnar row in the low 32. Rows are
+/// never reused within a world ([`dsec_ecosystem::DomainTable`] keeps
+/// dead rows), so a key can only ever mean one name.
+pub type DomainKey = u64;
+
+/// Packs a (TLD, columnar row) pair into a [`DomainKey`].
+#[inline]
+pub fn domain_key(tld: Tld, row: u32) -> DomainKey {
+    ((tld as u64) << 32) | row as u64
+}
 
 #[derive(Debug, Clone)]
 struct CacheEntry {
@@ -66,7 +81,7 @@ impl CacheStats {
 /// Cross-snapshot cache of classified per-domain scan results.
 #[derive(Debug, Clone, Default)]
 pub struct ScanCache {
-    entries: FnvHashMap<Name, CacheEntry>,
+    entries: FnvHashMap<DomainKey, CacheEntry>,
     hits: u64,
     misses: u64,
     /// (scan-scope fingerprint, summed registry population epoch) at the
@@ -82,10 +97,10 @@ impl ScanCache {
         Self::default()
     }
 
-    /// The cached (operator key, stats cell) for `domain` if it was
+    /// The cached (operator key, stats cell) for `key` if it was
     /// classified at exactly `generation`. Counts a hit or a miss.
-    pub fn lookup(&mut self, domain: &Name, generation: u64) -> Option<(Arc<str>, OperatorStats)> {
-        match self.entries.get(domain) {
+    pub fn lookup(&mut self, key: DomainKey, generation: u64) -> Option<(Arc<str>, OperatorStats)> {
+        match self.entries.get(&key) {
             Some(entry) if entry.generation == generation => {
                 self.hits += 1;
                 Some((entry.operator.clone(), entry.stats))
@@ -97,14 +112,14 @@ impl ScanCache {
         }
     }
 
-    /// The cached (operator key, stats cell) for `domain` if it was
+    /// The cached (operator key, stats cell) for `key` if it was
     /// classified at exactly `generation`, **without** touching the
     /// hit/miss counters. This is the shared-read half of the parallel
     /// cache pass: workers peek through `&ScanCache` concurrently and
     /// tally hits/misses privately, then the merge step records them
     /// once via [`ScanCache::note_lookups`].
-    pub fn peek(&self, domain: &Name, generation: u64) -> Option<(Arc<str>, OperatorStats)> {
-        match self.entries.get(domain) {
+    pub fn peek(&self, key: DomainKey, generation: u64) -> Option<(Arc<str>, OperatorStats)> {
+        match self.entries.get(&key) {
             Some(entry) if entry.generation == generation => {
                 Some((entry.operator.clone(), entry.stats))
             }
@@ -119,12 +134,12 @@ impl ScanCache {
         self.misses += misses;
     }
 
-    /// Stores the classified cell for `domain` at `generation`. Callers
+    /// Stores the classified cell for `key` at `generation`. Callers
     /// must not insert unobserved (unreachable/indeterminate) outcomes;
     /// this is enforced with a debug assertion.
     pub fn insert(
         &mut self,
-        domain: &Name,
+        key: DomainKey,
         generation: u64,
         operator: Arc<str>,
         stats: OperatorStats,
@@ -135,7 +150,7 @@ impl ScanCache {
             "unobserved outcomes must never be cached"
         );
         self.entries.insert(
-            domain.clone(),
+            key,
             CacheEntry {
                 generation,
                 operator,
@@ -146,8 +161,8 @@ impl ScanCache {
 
     /// Drops entries for domains not in `live`: keeps the cache bounded
     /// by the current population.
-    pub fn retain_live(&mut self, live: &FnvHashSet<&Name>) {
-        self.entries.retain(|name, _| live.contains(name));
+    pub fn retain_live(&mut self, live: &FnvHashSet<DomainKey>) {
+        self.entries.retain(|key, _| live.contains(key));
     }
 
     /// Whether a departed-domain prune is due for a scan scope identified
@@ -213,15 +228,41 @@ impl ScanCache {
 /// the fault plane is enabled (failure draws must not be replayed from
 /// a cache) and under `force_full` (a ground-truth scan must not read
 /// any cache). Entries for departed domains are left in place — a
-/// re-registered name resumes at a strictly larger generation, so they
-/// can never be served, and the map stays bounded by every name the
-/// world has ever delegated.
-#[derive(Debug, Default)]
+/// re-registered name resumes its *row* (rows are per-name-stable) at
+/// a strictly larger generation, so they can never be served.
+///
+/// The memo is an optimization, not working state, so its size is hard
+/// capped ([`MEMO_CAP`] entries): a full memo keeps refreshing keys it
+/// already holds (their generation moved) but admits no new keys. Below
+/// the cap the map stays bounded by every name the world has ever
+/// delegated; past it, campaigns simply lean on their own per-campaign
+/// [`ScanCache`], which is unaffected.
+#[derive(Debug)]
 pub(crate) struct ScanMemo {
-    entries: RwLock<FnvHashMap<Name, CacheEntry>>,
+    entries: RwLock<FnvHashMap<DomainKey, CacheEntry>>,
+    cap: usize,
+}
+
+/// World-lifetime memo entry cap: comfortably above the 1:200-scale
+/// population (~743 K), deliberately below 1:20 (~7.4 M) so the memo's
+/// footprint stops tracking the population at campaign scale.
+const MEMO_CAP: usize = 2 * 1024 * 1024;
+
+impl Default for ScanMemo {
+    fn default() -> Self {
+        Self::with_capacity(MEMO_CAP)
+    }
 }
 
 impl ScanMemo {
+    /// A memo admitting at most `cap` keys (tests use tiny caps; the
+    /// world annex uses [`MEMO_CAP`] via `default`).
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        Self {
+            entries: RwLock::new(FnvHashMap::default()),
+            cap,
+        }
+    }
     /// A read view for one worker's sweep: the lock is taken once per
     /// chunk, not once per probe. Readers share; [`ScanMemo::store`]
     /// waits until every view is dropped.
@@ -231,22 +272,26 @@ impl ScanMemo {
         }
     }
 
-    /// Stores freshly classified cells, under one write lock.
+    /// Stores freshly classified cells, under one write lock. A full
+    /// memo refreshes keys it already holds and drops the rest.
     /// Unobserved outcomes must be filtered out by the caller, exactly
     /// as for [`ScanCache::insert`].
     pub(crate) fn store(
         &self,
-        cells: impl IntoIterator<Item = (Name, u64, Arc<str>, OperatorStats)>,
+        cells: impl IntoIterator<Item = (DomainKey, u64, Arc<str>, OperatorStats)>,
     ) {
         let mut entries = self.entries.write().expect("scan memo lock");
-        for (domain, generation, operator, stats) in cells {
+        for (key, generation, operator, stats) in cells {
             debug_assert_eq!(
                 stats.unobserved(),
                 0,
                 "unobserved outcomes must never be cached"
             );
+            if entries.len() >= self.cap && !entries.contains_key(&key) {
+                continue;
+            }
             entries.insert(
-                domain,
+                key,
                 CacheEntry {
                     generation,
                     operator,
@@ -259,14 +304,14 @@ impl ScanMemo {
 
 /// A frozen read view of a [`ScanMemo`] (see [`ScanMemo::view`]).
 pub(crate) struct MemoView<'a> {
-    entries: RwLockReadGuard<'a, FnvHashMap<Name, CacheEntry>>,
+    entries: RwLockReadGuard<'a, FnvHashMap<DomainKey, CacheEntry>>,
 }
 
 impl MemoView<'_> {
-    /// The memoized (operator key, stats cell) for `domain` if it was
+    /// The memoized (operator key, stats cell) for `key` if it was
     /// classified at exactly `generation`.
-    pub(crate) fn get(&self, domain: &Name, generation: u64) -> Option<(Arc<str>, OperatorStats)> {
-        match self.entries.get(domain) {
+    pub(crate) fn get(&self, key: DomainKey, generation: u64) -> Option<(Arc<str>, OperatorStats)> {
+        match self.entries.get(&key) {
             Some(entry) if entry.generation == generation => {
                 Some((entry.operator.clone(), entry.stats))
             }
@@ -279,8 +324,8 @@ impl MemoView<'_> {
 mod tests {
     use super::*;
 
-    fn name(s: &str) -> Name {
-        Name::parse(s).unwrap()
+    fn key(row: u32) -> DomainKey {
+        domain_key(Tld::Com, row)
     }
 
     fn op(s: &str) -> Arc<str> {
@@ -295,48 +340,40 @@ mod tests {
     }
 
     #[test]
+    fn packed_keys_separate_tlds_and_rows() {
+        assert_ne!(domain_key(Tld::Com, 7), domain_key(Tld::Net, 7));
+        assert_ne!(domain_key(Tld::Com, 7), domain_key(Tld::Com, 8));
+        assert_eq!(domain_key(Tld::Nl, 3), domain_key(Tld::Nl, 3));
+    }
+
+    #[test]
     fn lookup_hits_only_on_matching_generation() {
         let mut cache = ScanCache::new();
-        assert!(cache.lookup(&name("a.com"), 1).is_none(), "cold miss");
-        cache.insert(&name("a.com"), 1, op("ns.host.net"), cell(1));
-        assert_eq!(
-            cache.lookup(&name("a.com"), 1),
-            Some((op("ns.host.net"), cell(1)))
-        );
-        assert!(cache.lookup(&name("a.com"), 2).is_none(), "stale generation");
+        assert!(cache.lookup(key(0), 1).is_none(), "cold miss");
+        cache.insert(key(0), 1, op("ns.host.net"), cell(1));
+        assert_eq!(cache.lookup(key(0), 1), Some((op("ns.host.net"), cell(1))));
+        assert!(cache.lookup(key(0), 2).is_none(), "stale generation");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
         assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
-    fn lookup_is_case_insensitive() {
-        let mut cache = ScanCache::new();
-        cache.insert(&name("A.Com"), 1, op("ns.host.net"), cell(1));
-        assert_eq!(
-            cache.lookup(&name("a.com"), 1),
-            Some((op("ns.host.net"), cell(1))),
-            "Name equality/hashing is case-insensitive"
-        );
-    }
-
-    #[test]
     fn retain_live_prunes_departed_domains() {
         let mut cache = ScanCache::new();
-        cache.insert(&name("a.com"), 1, op("x.net"), cell(1));
-        cache.insert(&name("b.com"), 1, op("x.net"), cell(1));
-        let a = name("a.com");
-        let live: FnvHashSet<&Name> = [&a].into_iter().collect();
+        cache.insert(key(0), 1, op("x.net"), cell(1));
+        cache.insert(key(1), 1, op("x.net"), cell(1));
+        let live: FnvHashSet<DomainKey> = [key(0)].into_iter().collect();
         cache.retain_live(&live);
         assert_eq!(cache.len(), 1);
-        assert!(cache.lookup(&name("a.com"), 1).is_some());
+        assert!(cache.lookup(key(0), 1).is_some());
     }
 
     #[test]
     fn clear_resets_counters() {
         let mut cache = ScanCache::new();
-        cache.insert(&name("a.com"), 1, op("x.net"), cell(1));
-        cache.lookup(&name("a.com"), 1);
+        cache.insert(key(0), 1, op("x.net"), cell(1));
+        cache.lookup(key(0), 1);
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
@@ -350,28 +387,47 @@ mod tests {
         let mut cache = ScanCache::new();
         let mut stats = cell(1);
         stats.unreachable = 1;
-        cache.insert(&name("a.com"), 1, op("x.net"), stats);
+        cache.insert(key(0), 1, op("x.net"), stats);
     }
 
     #[test]
     fn memo_hits_only_on_exact_generation() {
         let memo = ScanMemo::default();
         memo.store([
-            (name("a.com"), 1, op("x.net"), cell(1)),
-            (name("c.com"), 5, op("y.net"), cell(1)),
+            (key(0), 1, op("x.net"), cell(1)),
+            (key(2), 5, op("y.net"), cell(1)),
         ]);
         let view = memo.view();
-        assert_eq!(view.get(&name("a.com"), 1), Some((op("x.net"), cell(1))));
-        assert_eq!(view.get(&name("b.com"), 9), None, "never stored");
-        assert_eq!(view.get(&name("c.com"), 4), None, "stale generation");
+        assert_eq!(view.get(key(0), 1), Some((op("x.net"), cell(1))));
+        assert_eq!(view.get(key(1), 9), None, "never stored");
+        assert_eq!(view.get(key(2), 4), None, "stale generation");
         drop(view);
 
-        // Refresh c.com at its current generation: the next view hits.
-        memo.store([(name("c.com"), 4, op("y.net"), cell(1))]);
-        assert_eq!(
-            memo.view().get(&name("c.com"), 4),
-            Some((op("y.net"), cell(1)))
-        );
+        // Refresh row 2 at its current generation: the next view hits.
+        memo.store([(key(2), 4, op("y.net"), cell(1))]);
+        assert_eq!(memo.view().get(key(2), 4), Some((op("y.net"), cell(1))));
+    }
+
+    #[test]
+    fn memo_cap_refreshes_held_keys_but_admits_no_new_ones() {
+        let memo = ScanMemo::with_capacity(2);
+        memo.store([
+            (key(0), 1, op("x.net"), cell(1)),
+            (key(1), 1, op("x.net"), cell(1)),
+            (key(2), 1, op("y.net"), cell(1)),
+        ]);
+        // Third key arrived over the cap: dropped, never served.
+        assert_eq!(memo.view().get(key(2), 1), None);
+
+        // Held keys still refresh in place at their new generation...
+        memo.store([(key(0), 7, op("z.net"), cell(2))]);
+        assert_eq!(memo.view().get(key(0), 7), Some((op("z.net"), cell(2))));
+        assert_eq!(memo.view().get(key(0), 1), None, "old generation gone");
+
+        // ...and a refresh does not open a slot for new keys.
+        memo.store([(key(3), 1, op("x.net"), cell(1))]);
+        assert_eq!(memo.view().get(key(3), 1), None);
+        assert_eq!(memo.view().get(key(1), 1), Some((op("x.net"), cell(1))));
     }
 
     #[test]
@@ -381,6 +437,6 @@ mod tests {
         let memo = ScanMemo::default();
         let mut stats = cell(1);
         stats.indeterminate = 1;
-        memo.store([(name("a.com"), 1, op("x.net"), stats)]);
+        memo.store([(key(0), 1, op("x.net"), stats)]);
     }
 }

@@ -19,15 +19,17 @@ pub mod operator_id;
 pub mod rollover_census;
 pub mod snapshot;
 pub mod store;
+pub mod stream;
 pub mod takeover_census;
 
-pub use cache::{CacheStats, ScanCache};
+pub use cache::{domain_key, CacheStats, DomainKey, ScanCache};
 pub use operator_id::{operator_key, operator_of};
 pub use rollover_census::{rollover_census, rollover_census_table, OperatorRolloverStats};
 pub use snapshot::{
     coverage_curve, operators_to_cover, Metric, OperatorStats, ScanOptions, Snapshot,
 };
 pub use store::{LongitudinalStore, SeriesPoint};
+pub use stream::{scan_campaign_streamed, SnapshotWriter, StreamedStore};
 pub use takeover_census::{takeover_census, takeover_census_table, RegistrarTakeoverStats};
 
 use dsec_ecosystem::{SimDate, Tld, World, ALL_TLDS};

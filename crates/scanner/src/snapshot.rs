@@ -12,8 +12,20 @@ use dsec_dnssec::{classify, DeploymentStatus};
 use dsec_ecosystem::{ObservationQuality, SimDate, Tld, World, ALL_TLDS};
 use dsec_wire::{FnvHashSet, Name};
 
-use crate::cache::{ScanCache, ScanMemo};
+use crate::cache::{domain_key, DomainKey, ScanCache, ScanMemo};
 use crate::operator_id::operator_of;
+
+/// One delegation to scan: the borrowed name plus the columnar identity
+/// the incremental cache keys on — the row-packed [`DomainKey`] and the
+/// current change generation, both read in one dense registry sweep
+/// ([`dsec_ecosystem::Registry::delegations_columnar`]) instead of a
+/// per-domain map probe.
+struct ScanItem<'a> {
+    name: &'a Name,
+    tld: Tld,
+    key: DomainKey,
+    generation: u64,
+}
 
 /// Aggregate DNSSEC state of one (operator, TLD) cell.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -162,15 +174,21 @@ impl Snapshot {
     ) -> Snapshot {
         let now = world.today.epoch_seconds();
         // Enumerate the population by *borrowing* each registry's
-        // delegation table — ~10⁵ names per snapshot, so cloning them
-        // here used to cost more than the whole warm cache pass.
-        let pairs: Vec<(&Name, Tld)> = tlds
+        // columnar delegation table — names stay where they are, and the
+        // change generation rides along from the same dense sweep, so
+        // the cache pass never hashes a name or probes a map for it.
+        let pairs: Vec<ScanItem<'_>> = tlds
             .iter()
             .flat_map(|&tld| {
                 world
                     .registry(tld)
-                    .delegation_names()
-                    .map(move |domain| (domain, tld))
+                    .delegations_columnar()
+                    .map(move |(row, name, generation)| ScanItem {
+                        name,
+                        tld,
+                        key: domain_key(tld, row),
+                        generation,
+                    })
             })
             .collect();
 
@@ -204,11 +222,9 @@ impl Snapshot {
             _ => None,
         };
 
-        let mut generation_at: Vec<u64> = vec![0; pairs.len()];
         let mut to_scan: Vec<usize> = Vec::with_capacity(pairs.len());
         if let Some(cache) = cache.as_deref_mut() {
             let partials = run_cache_pass(
-                world,
                 &pairs,
                 cache,
                 memo.as_deref(),
@@ -220,10 +236,7 @@ impl Snapshot {
                 for (key, stats) in part.agg {
                     agg.entry(key).or_default().absorb(&stats);
                 }
-                for (i, generation) in part.to_scan {
-                    generation_at[i] = generation;
-                    to_scan.push(i);
-                }
+                to_scan.extend(part.to_scan);
                 hits += part.hits;
                 misses += part.misses;
             }
@@ -273,22 +286,22 @@ impl Snapshot {
             options.threads,
         ));
 
-        let mut memo_new: Vec<(Name, u64, Arc<str>, OperatorStats)> = Vec::new();
+        let mut memo_new: Vec<(DomainKey, u64, Arc<str>, OperatorStats)> = Vec::new();
         for (i, stats, failed) in settled {
-            let (domain, tld) = &pairs[i];
+            let item = &pairs[i];
             let operator = operator_at[i]
                 .clone()
                 .expect("scanned domains have a prepared operator key");
             // Unreachable/indeterminate outcomes are never cached.
             if !failed {
                 if let Some(cache) = cache.as_deref_mut() {
-                    cache.insert(domain, generation_at[i], operator.clone(), stats);
+                    cache.insert(item.key, item.generation, operator.clone(), stats);
                 }
                 if memo.is_some() {
-                    memo_new.push(((*domain).clone(), generation_at[i], operator.clone(), stats));
+                    memo_new.push((item.key, item.generation, operator.clone(), stats));
                 }
             }
-            agg.entry((operator, *tld)).or_default().absorb(&stats);
+            agg.entry((operator, item.tld)).or_default().absorb(&stats);
         }
         if let Some(memo) = &memo {
             memo.store(memo_new);
@@ -314,7 +327,7 @@ impl Snapshot {
                 .map(|&tld| world.registry(tld).population_epoch())
                 .fold(0u64, u64::wrapping_add);
             if cache.needs_prune(fingerprint, epoch) {
-                let live: FnvHashSet<&Name> = pairs.iter().map(|&(domain, _)| domain).collect();
+                let live: FnvHashSet<DomainKey> = pairs.iter().map(|item| item.key).collect();
                 cache.retain_live(&live);
                 cache.note_pruned(fingerprint, epoch);
             }
@@ -403,32 +416,33 @@ impl Metric {
 /// and private lookup tallies.
 struct CachePassPart {
     agg: HashMap<(Arc<str>, Tld), OperatorStats>,
-    /// (pair index, change generation) for domains that must be scanned.
-    to_scan: Vec<(usize, u64)>,
+    /// Pair indices of domains that must be scanned.
+    to_scan: Vec<usize>,
     hits: u64,
     misses: u64,
 }
 
-/// The fused threaded cache pass: change-generation read, cache peek,
-/// memo probe, and warm-hit aggregation in one sweep. Workers share the
-/// cache immutably ([`ScanCache::peek`] never counts) and take one memo
-/// read view per chunk; everything mutable is chunk-private; chunks are
-/// contiguous and re-joined in spawn order, so the concatenated
-/// work-lists are in ascending pair order. Pure reads of ecosystem,
-/// cache, and memo state — threading cannot change the result. A memo
+/// The fused threaded cache pass: cache peek, memo probe, and warm-hit
+/// aggregation in one sweep. The change generation was already read by
+/// the columnar enumeration and rides on each [`ScanItem`], so workers
+/// hash one packed integer per domain and never touch name bytes.
+/// Workers share the cache immutably ([`ScanCache::peek`] never counts)
+/// and take one memo read view per chunk; everything mutable is
+/// chunk-private; chunks are contiguous and re-joined in spawn order, so
+/// the concatenated work-lists are in ascending pair order. Pure reads
+/// of cache and memo state — threading cannot change the result. A memo
 /// hit counts as a cache hit (the two levels are one logical cache) and
 /// is **not** written back into the [`ScanCache`]: later sweeps probe
 /// both levels anyway, so a write-back would only add an insert per
 /// domain to the cold path.
 fn run_cache_pass(
-    world: &World,
-    pairs: &[(&Name, Tld)],
+    pairs: &[ScanItem<'_>],
     cache: &ScanCache,
     memo: Option<&ScanMemo>,
     force_full: bool,
     threads: usize,
 ) -> Vec<CachePassPart> {
-    let sweep = |base: usize, part: &[(&Name, Tld)]| -> CachePassPart {
+    let sweep = |base: usize, part: &[ScanItem<'_>]| -> CachePassPart {
         let mut out = CachePassPart {
             agg: HashMap::new(),
             to_scan: Vec::with_capacity(part.len()),
@@ -436,19 +450,25 @@ fn run_cache_pass(
             misses: 0,
         };
         let memo_view = memo.map(ScanMemo::view);
-        for (offset, (domain, tld)) in part.iter().enumerate() {
-            let generation = world.domain_generation(domain);
+        for (offset, item) in part.iter().enumerate() {
             if !force_full {
-                if let Some((operator, stats)) = cache.peek(domain, generation).or_else(|| {
-                    memo_view.as_ref().and_then(|view| view.get(domain, generation))
-                }) {
+                if let Some((operator, stats)) =
+                    cache.peek(item.key, item.generation).or_else(|| {
+                        memo_view
+                            .as_ref()
+                            .and_then(|view| view.get(item.key, item.generation))
+                    })
+                {
                     out.hits += 1;
-                    out.agg.entry((operator, *tld)).or_default().absorb(&stats);
+                    out.agg
+                        .entry((operator, item.tld))
+                        .or_default()
+                        .absorb(&stats);
                     continue;
                 }
             }
             out.misses += 1;
-            out.to_scan.push((base + offset, generation));
+            out.to_scan.push(base + offset);
         }
         out
     };
@@ -478,12 +498,12 @@ fn run_cache_pass(
 /// passes.
 fn run_operators(
     world: &World,
-    pairs: &[(&Name, Tld)],
+    pairs: &[ScanItem<'_>],
     indices: &[usize],
     threads: usize,
 ) -> Vec<Arc<str>> {
     let operator_for = |&i: &usize| -> Arc<str> {
-        let (domain, tld) = &pairs[i];
+        let ScanItem { name: domain, tld, .. } = &pairs[i];
         let ns = world.registry(*tld).ns_of(domain);
         operator_of(&ns)
             .map(|n| Arc::from(n.to_string()))
@@ -515,7 +535,7 @@ fn run_operators(
 /// scheduling cannot reorder them.
 fn run_pass(
     world: &World,
-    pairs: &[(&Name, Tld)],
+    pairs: &[ScanItem<'_>],
     indices: &[usize],
     now: u32,
     rounds: u32,
@@ -526,7 +546,7 @@ fn run_pass(
         return indices
             .iter()
             .map(|&i| {
-                let (stats, failed) = scan_domain(world, pairs[i].0, now, rounds);
+                let (stats, failed) = scan_domain(world, pairs[i].name, now, rounds);
                 (i, stats, failed)
             })
             .collect();
@@ -539,7 +559,7 @@ fn run_pass(
                 scope.spawn(move |_| {
                     part.iter()
                         .map(|&i| {
-                            let (stats, failed) = scan_domain(world, pairs[i].0, now, rounds);
+                            let (stats, failed) = scan_domain(world, pairs[i].name, now, rounds);
                             (i, stats, failed)
                         })
                         .collect::<Vec<_>>()
