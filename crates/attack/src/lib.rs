@@ -30,6 +30,10 @@
 
 #![warn(missing_docs)]
 
+pub mod onpath;
+
+pub use onpath::{OnPathCampaign, OnPathPhase, OnPathVector};
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

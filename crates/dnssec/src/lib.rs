@@ -8,7 +8,9 @@
 //!   (RFC 4035 §5) with typed failure reasons;
 //! - [`deployment`]: the paper's not/partial/full/misconfigured taxonomy;
 //! - [`cds`]: CDS/CDNSKEY automated delegation maintenance
-//!   (RFC 7344 / RFC 8078).
+//!   (RFC 7344 / RFC 8078);
+//! - [`trust_anchor`]: the RFC 5011 follower state machine
+//!   (AddPend → Valid → Revoked with hold-down timers).
 //!
 //! Signatures are real RSA over real canonical RRset bytes (via
 //! `dsec-crypto`), so a "misconfigured" domain in the simulation is a
@@ -21,6 +23,7 @@ pub mod deployment;
 pub mod keys;
 pub mod nsec3;
 pub mod signer;
+pub mod trust_anchor;
 pub mod validate;
 
 pub use cds::{process_scan, CdsAction, CdsError, CdsScan};
@@ -28,6 +31,7 @@ pub use deployment::{classify, DeploymentStatus, Misconfiguration, Observation};
 pub use keys::{ds_matches, make_ds, ZoneKeys, DEFAULT_KEY_BITS};
 pub use nsec3::{hashed_owner_name, nsec3_hash, nsec3_hash_memoized, Nsec3Config, Nsec3Memo};
 pub use signer::{sign_rrset, sign_zone, sign_zone_set, SignerConfig, SigningSet};
+pub use trust_anchor::{AnchorState, AnchorTracker, ADD_HOLD_DOWN_DAYS};
 pub use validate::{authenticate_dnskeys, validate_rrset, ValidationError};
 
 /// Errors from key management and signing.

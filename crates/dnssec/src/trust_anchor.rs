@@ -1,0 +1,148 @@
+//! RFC 5011 automated trust-anchor updates: the follower's state
+//! machine.
+//!
+//! A validating resolver that follows RFC 5011 does not trust a newly
+//! published root key the moment it appears. The key sits in **AddPend**
+//! for a hold-down period (30 days here, the RFC's
+//! `add_hold_down_time` scaled to the simulation's day clock); only
+//! after the hold-down elapses does it become a **Valid** trust anchor.
+//! A key whose REVOKE bit the follower observes moves to **Revoked**
+//! and is never trusted again.
+//!
+//! The machine is pure day arithmetic over plain day numbers — the
+//! caller (the ecosystem's [`AnchorRollPlan`]) owns the calendar and
+//! converts its `SimDate`s. The interesting failure mode falls straight
+//! out of the arithmetic: if the *old* anchor is revoked before the
+//! *new* one's hold-down elapses, the follower has no Valid anchor at
+//! all and every validated answer goes Bogus until promotion day — the
+//! stranded-validator window experiment E-A2 measures.
+//!
+//! [`AnchorRollPlan`]: ../../dsec_ecosystem/anchor/struct.AnchorRollPlan.html
+
+/// RFC 5011 `add_hold_down_time`, in simulation days. The RFC requires
+/// 30 days minimum; the simulation uses exactly that.
+pub const ADD_HOLD_DOWN_DAYS: u32 = 30;
+
+/// Where one tracked key is in the RFC 5011 lifecycle, as seen by a
+/// follower on a given day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnchorState {
+    /// Seen in the zone, hold-down timer running: **not** yet used for
+    /// validation.
+    AddPend,
+    /// The hold-down elapsed without incident: a trust anchor.
+    Valid,
+    /// The REVOKE bit was observed: never trusted again.
+    Revoked,
+}
+
+/// A follower's view of one candidate trust anchor.
+///
+/// Construct it the day the key is first observed in the zone's DNSKEY
+/// RRset; query [`AnchorTracker::state_on`] with any later day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnchorTracker {
+    /// Day the follower first saw the key published.
+    first_seen: u32,
+    /// Hold-down length applied to this key, days.
+    hold_down_days: u32,
+    /// Day the follower saw the REVOKE bit, if ever.
+    revoked_on: Option<u32>,
+}
+
+impl AnchorTracker {
+    /// A key first observed on `first_seen`, with the standard
+    /// [`ADD_HOLD_DOWN_DAYS`] hold-down.
+    pub fn seen(first_seen: u32) -> AnchorTracker {
+        AnchorTracker {
+            first_seen,
+            hold_down_days: ADD_HOLD_DOWN_DAYS,
+            revoked_on: None,
+        }
+    }
+
+    /// Overrides the hold-down length (builder style; tests and
+    /// what-if runs).
+    pub fn with_hold_down(mut self, days: u32) -> AnchorTracker {
+        self.hold_down_days = days;
+        self
+    }
+
+    /// Records that the follower observed the REVOKE bit on `day`. A
+    /// revocation seen during AddPend aborts the promotion entirely, per
+    /// RFC 5011 §2.2.
+    pub fn revoke(&mut self, day: u32) {
+        if self.revoked_on.is_none() {
+            self.revoked_on = Some(day);
+        }
+    }
+
+    /// First day the key counts as a Valid trust anchor (if never
+    /// revoked before then).
+    pub fn valid_from(&self) -> u32 {
+        self.first_seen.saturating_add(self.hold_down_days)
+    }
+
+    /// The key's state as the follower sees it on `day`.
+    pub fn state_on(&self, day: u32) -> AnchorState {
+        if let Some(revoked) = self.revoked_on {
+            if day >= revoked {
+                return AnchorState::Revoked;
+            }
+        }
+        if day >= self.valid_from() {
+            AnchorState::Valid
+        } else {
+            AnchorState::AddPend
+        }
+    }
+
+    /// Whether the follower uses this key for validation on `day`.
+    pub fn trusted_on(&self, day: u32) -> bool {
+        self.state_on(day) == AnchorState::Valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_down_gates_promotion() {
+        let t = AnchorTracker::seen(100);
+        assert_eq!(t.state_on(100), AnchorState::AddPend);
+        assert_eq!(t.state_on(129), AnchorState::AddPend);
+        assert_eq!(t.valid_from(), 130);
+        assert_eq!(t.state_on(130), AnchorState::Valid);
+        assert!(t.trusted_on(130));
+        assert!(!t.trusted_on(129));
+    }
+
+    #[test]
+    fn revocation_is_terminal() {
+        let mut t = AnchorTracker::seen(100);
+        t.revoke(200);
+        assert_eq!(t.state_on(199), AnchorState::Valid);
+        assert_eq!(t.state_on(200), AnchorState::Revoked);
+        assert_eq!(t.state_on(10_000), AnchorState::Revoked);
+        // A second revoke call does not move the day.
+        t.revoke(300);
+        assert_eq!(t.state_on(200), AnchorState::Revoked);
+    }
+
+    #[test]
+    fn revocation_during_hold_down_aborts_promotion() {
+        let mut t = AnchorTracker::seen(100);
+        t.revoke(110);
+        assert_eq!(t.state_on(109), AnchorState::AddPend);
+        assert_eq!(t.state_on(110), AnchorState::Revoked);
+        assert_eq!(t.state_on(130), AnchorState::Revoked, "never Valid");
+    }
+
+    #[test]
+    fn custom_hold_down_applies() {
+        let t = AnchorTracker::seen(0).with_hold_down(7);
+        assert!(!t.trusted_on(6));
+        assert!(t.trusted_on(7));
+    }
+}

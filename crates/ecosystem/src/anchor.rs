@@ -1,0 +1,123 @@
+//! The root trust-anchor roll: RFC 5011 on the world's calendar.
+//!
+//! The rollover plane (PR 6) rolls *zone* keys under an unchanged trust
+//! anchor; this plane rolls the anchor itself. The timeline mirrors the
+//! real KSK-2017 choreography:
+//!
+//! 1. **publish** — the successor KSK appears in the root DNSKEY RRset
+//!    next to the old one (double-signed, so either anchor validates).
+//!    RFC 5011 followers observe it and start the add hold-down.
+//! 2. **promotion** = publish + hold-down — followers now trust the
+//!    successor as well.
+//! 3. **revoke** — the old KSK leaves the RRset and the zone is signed
+//!    by the successor only.
+//!
+//! A *correct* roll revokes at or after promotion: there is always at
+//! least one anchor the follower trusts, and validation never blinks. A
+//! *mistimed* roll revokes **during** the hold-down — every RFC 5011
+//! follower is stranded with only the withdrawn anchor until promotion
+//! day, and every validated answer in the gap goes Bogus. The stranded
+//! window is the half-open interval `[revoke, promotion)`, the same
+//! pure day arithmetic as [`RolloverPlan`](crate::rollover::RolloverPlan).
+
+use dsec_dnssec::ADD_HOLD_DOWN_DAYS;
+
+use crate::clock::SimDate;
+
+/// A scheduled root trust-anchor roll. Pure calendar arithmetic — the
+/// world's driver owns the zone mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnchorRollPlan {
+    /// Day the successor KSK is published alongside the old one.
+    pub publish: SimDate,
+    /// RFC 5011 add hold-down applied by followers, days.
+    pub hold_down_days: u32,
+    /// Day the old KSK is revoked and the zone re-signed with the
+    /// successor only.
+    pub revoke: SimDate,
+}
+
+impl AnchorRollPlan {
+    /// A correct roll: publish on `publish`, revoke the old anchor the
+    /// day the hold-down elapses — followers are never anchor-less.
+    pub fn correct(publish: SimDate) -> AnchorRollPlan {
+        AnchorRollPlan {
+            publish,
+            hold_down_days: ADD_HOLD_DOWN_DAYS,
+            revoke: publish.plus_days(ADD_HOLD_DOWN_DAYS),
+        }
+    }
+
+    /// A mistimed roll: the old anchor is revoked only `revoke_after`
+    /// days after publication, `revoke_after < hold_down` — RFC 5011
+    /// followers are stranded for the rest of the hold-down.
+    pub fn mistimed(publish: SimDate, revoke_after: u32) -> AnchorRollPlan {
+        AnchorRollPlan {
+            publish,
+            hold_down_days: ADD_HOLD_DOWN_DAYS,
+            revoke: publish.plus_days(revoke_after),
+        }
+    }
+
+    /// Overrides the follower hold-down (builder style).
+    pub fn with_hold_down(mut self, days: u32) -> AnchorRollPlan {
+        self.hold_down_days = days;
+        self
+    }
+
+    /// The day followers start trusting the successor anchor.
+    pub fn promotion(&self) -> SimDate {
+        self.publish.plus_days(self.hold_down_days)
+    }
+
+    /// The stranded-validator window `[revoke, promotion)`: days on
+    /// which a follower trusts *only* the already-revoked anchor.
+    /// `None` when the roll is correctly timed (revoke ≥ promotion).
+    pub fn stranded_window(&self) -> Option<(SimDate, SimDate)> {
+        if self.revoke < self.promotion() {
+            Some((self.revoke, self.promotion()))
+        } else {
+            None
+        }
+    }
+
+    /// Whether a follower is stranded (no valid anchor) on `day`.
+    pub fn is_stranded_on(&self, day: SimDate) -> bool {
+        self.stranded_window()
+            .is_some_and(|(from, until)| day >= from && day < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_roll_has_no_stranded_window() {
+        let plan = AnchorRollPlan::correct(SimDate(100));
+        assert_eq!(plan.promotion(), SimDate(130));
+        assert_eq!(plan.revoke, SimDate(130));
+        assert_eq!(plan.stranded_window(), None);
+        assert!(!plan.is_stranded_on(SimDate(129)));
+        assert!(!plan.is_stranded_on(SimDate(130)));
+    }
+
+    #[test]
+    fn mistimed_roll_strands_followers_until_promotion() {
+        let plan = AnchorRollPlan::mistimed(SimDate(100), 10);
+        assert_eq!(plan.revoke, SimDate(110));
+        assert_eq!(plan.promotion(), SimDate(130));
+        assert_eq!(plan.stranded_window(), Some((SimDate(110), SimDate(130))));
+        assert!(!plan.is_stranded_on(SimDate(109)), "old anchor still live");
+        assert!(plan.is_stranded_on(SimDate(110)), "revoke day strands");
+        assert!(plan.is_stranded_on(SimDate(129)), "last hold-down day");
+        assert!(!plan.is_stranded_on(SimDate(130)), "promotion heals");
+    }
+
+    #[test]
+    fn custom_hold_down_moves_promotion() {
+        let plan = AnchorRollPlan::mistimed(SimDate(0), 2).with_hold_down(5);
+        assert_eq!(plan.promotion(), SimDate(5));
+        assert_eq!(plan.stranded_window(), Some((SimDate(2), SimDate(5))));
+    }
+}

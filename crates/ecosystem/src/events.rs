@@ -136,6 +136,34 @@ pub enum Event {
         /// The recovered domain.
         domain: Name,
     },
+    /// SECURITY: an on-path attacker started racing forged responses
+    /// against resolutions under a zone (the Kaminsky-style campaign).
+    PoisonRaceLaunched {
+        /// The zone whose subtree is contested.
+        zone: Name,
+    },
+    /// SECURITY: the on-path forgery campaign against a zone ended.
+    PoisonRaceEnded {
+        /// The zone that is no longer contested.
+        zone: Name,
+    },
+    /// A successor root trust anchor was published alongside the old one
+    /// (RFC 5011 AddPend: the hold-down clock starts).
+    TrustAnchorPublished {
+        /// Day the new anchor becomes trusted by followers.
+        trusted_on: SimDate,
+    },
+    /// The hold-down elapsed: RFC 5011 followers now trust the new
+    /// anchor.
+    TrustAnchorPromoted,
+    /// The old root trust anchor was revoked and the zone re-signed with
+    /// the successor only.
+    TrustAnchorRevoked {
+        /// Whether followers already trusted the successor when the old
+        /// anchor went away (`false` marks a mistimed roll: validators
+        /// are stranded until promotion).
+        followers_ready: bool,
+    },
 }
 
 impl Event {
@@ -161,6 +189,11 @@ impl Event {
             Event::AttackRepelled { .. } => "attack_repelled",
             Event::HijackDetected { .. } => "hijack_detected",
             Event::HijackRemediated { .. } => "hijack_remediated",
+            Event::PoisonRaceLaunched { .. } => "poison_race_launched",
+            Event::PoisonRaceEnded { .. } => "poison_race_ended",
+            Event::TrustAnchorPublished { .. } => "trust_anchor_published",
+            Event::TrustAnchorPromoted => "trust_anchor_promoted",
+            Event::TrustAnchorRevoked { .. } => "trust_anchor_revoked",
         }
     }
 
@@ -174,6 +207,8 @@ impl Event {
                 | Event::AttackRepelled { .. }
                 | Event::HijackDetected { .. }
                 | Event::HijackRemediated { .. }
+                | Event::PoisonRaceLaunched { .. }
+                | Event::PoisonRaceEnded { .. }
         )
     }
 
@@ -189,6 +224,9 @@ impl Event {
                 | Event::RolloverCompleted { .. }
                 | Event::RolloverAbrupt { .. }
                 | Event::SignatureExpired { .. }
+                | Event::TrustAnchorPublished { .. }
+                | Event::TrustAnchorPromoted
+                | Event::TrustAnchorRevoked { .. }
         )
     }
 }

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod anchor;
 pub mod annex;
 pub mod clock;
 pub mod domain;
@@ -27,6 +28,7 @@ pub mod table;
 pub mod tld;
 pub mod world;
 
+pub use anchor::AnchorRollPlan;
 pub use annex::Annex;
 pub use clock::SimDate;
 pub use domain::{Domain, Hosting};

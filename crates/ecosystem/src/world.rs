@@ -18,6 +18,7 @@ use dsec_wire::{
     DsRdata, Message, Name, NameInterner, RData, Record, RrSet, RrType, SoaRdata, Zone,
 };
 
+use crate::anchor::AnchorRollPlan;
 use crate::annex::Annex;
 use crate::clock::SimDate;
 use crate::domain::{Domain, Hosting};
@@ -236,6 +237,21 @@ struct MassSignTask {
     per_day: usize,
 }
 
+/// A scheduled root trust-anchor roll in progress (RFC 5011 on the
+/// producer side; followers are modelled by [`World::trust_anchor`]).
+struct AnchorRollState {
+    /// The calendar.
+    plan: AnchorRollPlan,
+    /// The successor root keys (generated at scheduling time).
+    new_keys: ZoneKeys,
+    /// Publish day has passed: root is double-signed.
+    published: bool,
+    /// Promotion day has passed: followers trust the successor.
+    promoted: bool,
+    /// Revoke day has passed: root signed by the successor only.
+    revoked: bool,
+}
+
 /// The simulated world.
 pub struct World {
     /// Today's date.
@@ -245,6 +261,13 @@ pub struct World {
     /// The network all queries flow over.
     pub network: Arc<Network>,
     root_keys: ZoneKeys,
+    /// The root authority (kept so a trust-anchor roll can re-sign and
+    /// republish the root zone after construction).
+    root_auth: Arc<Authority>,
+    /// The root server's hostname.
+    root_ns: Name,
+    /// A scheduled root trust-anchor roll, if any.
+    anchor_roll: Option<AnchorRollState>,
     registries: BTreeMap<Tld, Registry>,
     registrars: Vec<Registrar>,
     operators: Vec<Operator>,
@@ -347,8 +370,8 @@ impl World {
         sign_zone(&mut root_zone, &root_keys, &signer).expect("root zone signs");
         let root_auth = Arc::new(Authority::new());
         root_auth.upsert_zone(root_zone);
-        network.register(root_ns.clone(), root_auth);
-        network.set_root_hints(vec![root_ns]);
+        network.register(root_ns.clone(), root_auth.clone());
+        network.set_root_hints(vec![root_ns.clone()]);
 
         // Shared key pool for customer zones.
         let pool_template = Name::parse("pool.invalid").unwrap();
@@ -364,6 +387,9 @@ impl World {
             config,
             network,
             root_keys,
+            root_auth,
+            root_ns,
+            anchor_roll: None,
             registries,
             registrars: Vec::new(),
             operators: Vec::new(),
@@ -385,9 +411,127 @@ impl World {
 
     // ------------------------------------------------------------ setup --
 
-    /// The trust anchor a validating resolver should use for this world.
+    /// The trust anchors an RFC 5011 follower holds *today*.
+    ///
+    /// Without a scheduled anchor roll this is the construction-time
+    /// root DS, unchanged. During a roll the follower keeps trusting
+    /// the old anchor and adds the successor only once its add
+    /// hold-down has elapsed ([`AnchorRollPlan::promotion`]); before
+    /// that day the successor sits in AddPend and contributes nothing.
+    /// A mistimed roll that revokes the old key inside the hold-down
+    /// therefore leaves this set pointing at a key the root zone is no
+    /// longer signed with — the stranded-validator window.
     pub fn trust_anchor(&self) -> Vec<DsRdata> {
-        vec![self.root_keys.ds(DigestType::Sha256)]
+        let mut anchors = vec![self.root_keys.ds(DigestType::Sha256)];
+        if let Some(roll) = &self.anchor_roll {
+            if roll.published && self.today >= roll.plan.promotion() {
+                anchors.push(roll.new_keys.ds(DigestType::Sha256));
+            }
+        }
+        anchors
+    }
+
+    /// Schedules a root trust-anchor roll (one at a time): successor
+    /// keys are generated now, published next to the old ones on the
+    /// plan's publish day, and the old anchor revoked — root re-signed
+    /// by the successor only — on its revoke day. Driven by
+    /// [`World::tick`] like the rollover plane.
+    pub fn schedule_anchor_roll(&mut self, plan: AnchorRollPlan) {
+        let new_keys =
+            ZoneKeys::generate_default(&mut self.rng, Name::root(), Algorithm::RsaSha256)
+                .expect("RSA-SHA256 supported");
+        self.anchor_roll = Some(AnchorRollState {
+            plan,
+            new_keys,
+            published: false,
+            promoted: false,
+            revoked: false,
+        });
+    }
+
+    /// The scheduled anchor-roll plan, if one exists.
+    pub fn anchor_roll_plan(&self) -> Option<AnchorRollPlan> {
+        self.anchor_roll.as_ref().map(|s| s.plan)
+    }
+
+    /// Crosses any anchor-roll phase boundaries today's date has
+    /// reached, re-signing and republishing the root zone at each.
+    fn drive_anchor_roll(&mut self) {
+        let today = self.today;
+        let Some(mut roll) = self.anchor_roll.take() else {
+            return;
+        };
+        if !roll.published && today >= roll.plan.publish {
+            roll.published = true;
+            let set = SigningSet::double(&self.root_keys, &roll.new_keys)
+                .expect("both key sets belong to the root");
+            self.resign_root(&set);
+            self.events.record(
+                today,
+                Event::TrustAnchorPublished {
+                    trusted_on: roll.plan.promotion(),
+                },
+            );
+        }
+        if roll.published && !roll.promoted && today >= roll.plan.promotion() {
+            roll.promoted = true;
+            self.events.record(today, Event::TrustAnchorPromoted);
+        }
+        if roll.published && !roll.revoked && today >= roll.plan.revoke {
+            roll.revoked = true;
+            let set = SigningSet::single(&roll.new_keys);
+            self.resign_root(&set);
+            self.events.record(
+                today,
+                Event::TrustAnchorRevoked {
+                    followers_ready: roll.promoted,
+                },
+            );
+        }
+        self.anchor_roll = Some(roll);
+    }
+
+    /// Rebuilds the root zone (same recipe as construction, serial
+    /// bumped to today) and signs it with `set`.
+    fn resign_root(&mut self, set: &SigningSet) {
+        let mut zone = Zone::new(Name::root());
+        zone.add(Record::new(
+            Name::root(),
+            3600,
+            RData::Soa(SoaRdata {
+                mname: self.root_ns.clone(),
+                rname: Name::parse("hostmaster.root-servers.sim").unwrap(),
+                serial: 1 + self.today.0,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            }),
+        ))
+        .expect("SOA fits");
+        zone.add(Record::new(
+            Name::root(),
+            3600,
+            RData::Ns(self.root_ns.clone()),
+        ))
+        .expect("NS fits");
+        for (tld, registry) in &self.registries {
+            zone.add(Record::new(
+                tld.zone(),
+                172_800,
+                RData::Ns(tld.registry_ns()),
+            ))
+            .expect("TLD NS fits");
+            zone.add(Record::new(
+                tld.zone(),
+                86_400,
+                RData::Ds(registry.keys().ds(DigestType::Sha256)),
+            ))
+            .expect("TLD DS fits");
+        }
+        let signer = self.signer_config();
+        sign_zone_set(&mut zone, set, &signer).expect("root zone re-signs");
+        self.root_auth.upsert_zone(zone);
     }
 
     /// Adds a standalone DNS operator with `host_count` nameservers under
@@ -1017,6 +1161,7 @@ impl World {
         self.third_party_adoption();
         self.process_renewals();
         self.drive_rollovers();
+        self.drive_anchor_roll();
         if self.today.days_since(self.config.start).is_multiple_of(self.config.audit_interval_days.max(1)) {
             self.run_audits();
         }

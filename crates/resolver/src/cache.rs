@@ -349,6 +349,35 @@ impl Cache {
             shard.write().entries.clear();
         }
     }
+
+    /// Evicts every entry whose qname is at/under `origin`, returning how
+    /// many were dropped. This is the subtree flush strict-bailiwick
+    /// hygiene and RFC 5011 re-priming call for: after a trust-anchor
+    /// change (or a detected forgery flood) nothing signed under the old
+    /// regime may keep being served from cache. Flushing at the root
+    /// empties the cache. Shards are swept one write lock at a time.
+    pub fn flush_origin(&self, origin: &Name) -> usize {
+        if origin.is_root() {
+            let flushed = self.len();
+            self.clear();
+            return flushed;
+        }
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mut shard = shard.write();
+                let before = shard.entries.len();
+                shard.entries.retain(|(raw, _), _| {
+                    !self
+                        .interner
+                        .resolve(NameId::from_raw(*raw))
+                        .map(|name| name.is_subdomain_of(origin))
+                        .unwrap_or(false)
+                });
+                before - shard.entries.len()
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +401,7 @@ mod tests {
             security: Security::Insecure,
             chain: Vec::new(),
             negative_ttl: None,
+            poisoned: false,
         }
     }
 
@@ -382,6 +412,7 @@ mod tests {
             security: Security::Insecure,
             chain: Vec::new(),
             negative_ttl,
+            poisoned: false,
         }
     }
 
@@ -650,6 +681,48 @@ mod tests {
                 let served_before = cache.get_stale(key, now).is_some();
                 cache.evict_expired(now);
                 prop_assert_eq!(cache.get_stale(key, now).is_some(), served_before);
+            }
+
+            /// After a trust-anchor change under `origin`, flushing the
+            /// subtree evicts *exactly* the entries at or below it —
+            /// no stale-signed entry survives, and nothing outside the
+            /// subtree is touched — for any mix of cached names.
+            #[test]
+            fn flush_origin_evicts_exactly_the_subtree(
+                picks in proptest::collection::vec(0usize..6, 1..24),
+            ) {
+                let cache = Cache::new();
+                let pool = [
+                    "example.com",
+                    "www.example.com",
+                    "a.b.example.com",
+                    "example.net",
+                    "www.example.net",
+                    "com",
+                ];
+                let origin = name("example.com");
+                let planted: Vec<(Name, RrType)> = picks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        let qtype = if i % 2 == 0 { RrType::A } else { RrType::Aaaa };
+                        (name(pool[p]), qtype)
+                    })
+                    .collect();
+                for (qname, qtype) in &planted {
+                    cache.put(qname, *qtype, &answer(600), 0);
+                }
+                let before = cache.len();
+                let flushed = cache.flush_origin(&origin);
+                prop_assert_eq!(cache.len() + flushed, before, "flush lost count");
+                for (qname, qtype) in &planted {
+                    let hit = cache.get(qname, *qtype, 0).is_some();
+                    if qname.is_subdomain_of(&origin) {
+                        prop_assert!(!hit, "stale entry {qname} survived the flush");
+                    } else {
+                        prop_assert!(hit, "outside entry {qname} was evicted");
+                    }
+                }
             }
 
             /// Negative-cache TTLs are clamped to the SOA minimum the

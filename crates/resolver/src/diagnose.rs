@@ -330,6 +330,95 @@ fn query_any(network: &Network, servers: &[Name], qname: &Name, rtype: RrType) -
     servers.iter().find_map(|ns| network.query(ns, &query))
 }
 
+/// How a wrong answer got wrong — the three capture planes a chaos
+/// campaign must tell apart when assigning blame.
+///
+/// `Hijacked` (registrar channel) and `Poisoned` (on-path) both hand the
+/// user attacker-controlled records, but the fix lives with a different
+/// party: the registrar's DS/NS authentication for the former, the
+/// resolver operator's entropy/bailiwick hardening for the latter.
+/// `Bogus` is the validator refusing to serve either kind of forgery —
+/// an availability loss, not an integrity loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureKind {
+    /// The answer matches the registrant's intended data.
+    Clean,
+    /// On-path capture: a forged response won the spoofing race and the
+    /// resolver admitted it ([`Answer::poisoned`](crate::Answer)).
+    Poisoned,
+    /// Registrar-channel capture: the chain looks clean (or merely
+    /// insecure) but the served records disagree with the registrant's
+    /// authoritative data — a forged-DS/forged-NS takeover.
+    Hijacked,
+    /// The validator caught a broken chain and withheld the answer.
+    Bogus,
+}
+
+impl CaptureKind {
+    /// One-line explanation naming the responsible plane.
+    pub fn explanation(&self) -> &'static str {
+        match self {
+            CaptureKind::Clean => "answer matches the registrant's data",
+            CaptureKind::Poisoned => {
+                "on-path capture: a forged response beat the resolver's \
+                 entropy — harden txid/port/0x20, enable strict bailiwick"
+            }
+            CaptureKind::Hijacked => {
+                "registrar-channel capture: served records diverge from the \
+                 registrant's — audit the registrar's DS/NS change \
+                 authentication"
+            }
+            CaptureKind::Bogus => {
+                "validation failure: the chain is broken, the validator \
+                 withheld the answer (availability loss, integrity intact)"
+            }
+        }
+    }
+}
+
+impl fmt::Display for CaptureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            CaptureKind::Clean => "clean",
+            CaptureKind::Poisoned => "poisoned",
+            CaptureKind::Hijacked => "hijacked",
+            CaptureKind::Bogus => "bogus",
+        };
+        write!(f, "{label}: {}", self.explanation())
+    }
+}
+
+/// Classifies how `answer` relates to the registrant's intended records
+/// (`expected`, when known — pass `None` to skip the hijack check).
+///
+/// Precedence: an admitted forgery is `Poisoned` regardless of what the
+/// records happen to say; a bogus chain is the validator speaking; only
+/// a clean-looking answer whose records diverge from `expected` is the
+/// registrar-channel `Hijacked` signature.
+pub fn capture_kind(answer: &crate::Answer, expected: Option<&[Record]>) -> CaptureKind {
+    if answer.poisoned {
+        return CaptureKind::Poisoned;
+    }
+    if matches!(answer.security, crate::Security::Bogus(_)) {
+        return CaptureKind::Bogus;
+    }
+    if let Some(expected) = expected {
+        let served: Vec<&Record> = answer
+            .records
+            .iter()
+            .filter(|r| r.rtype() != RrType::Rrsig)
+            .collect();
+        let legit: Vec<&Record> = expected
+            .iter()
+            .filter(|r| r.rtype() != RrType::Rrsig)
+            .collect();
+        if served != legit {
+            return CaptureKind::Hijacked;
+        }
+    }
+    CaptureKind::Clean
+}
+
 impl fmt::Display for Diagnosis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "chain diagnosis for {}", self.target)?;
@@ -365,5 +454,77 @@ impl fmt::Display for Diagnosis {
             writeln!(f, "  advice: {a}")?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod capture_tests {
+    use super::*;
+    use crate::{Answer, Security};
+    use dsec_wire::Rcode;
+
+    fn answer(records: Vec<Record>, security: Security, poisoned: bool) -> Answer {
+        Answer {
+            records,
+            rcode: Rcode::NoError,
+            security,
+            chain: Vec::new(),
+            negative_ttl: None,
+            poisoned,
+        }
+    }
+
+    fn a_record(name: &str, ip: &str) -> Record {
+        Record::new(
+            Name::parse(name).unwrap(),
+            300,
+            RData::A(ip.parse().unwrap()),
+        )
+    }
+
+    #[test]
+    fn matching_records_are_clean() {
+        let legit = vec![a_record("www.example.nl", "192.0.2.80")];
+        let served = answer(legit.clone(), Security::Insecure, false);
+        assert_eq!(capture_kind(&served, Some(&legit)), CaptureKind::Clean);
+        assert_eq!(capture_kind(&served, None), CaptureKind::Clean);
+    }
+
+    #[test]
+    fn poisoned_flag_wins_over_everything() {
+        let legit = vec![a_record("www.example.nl", "192.0.2.80")];
+        let served = answer(legit.clone(), Security::Insecure, true);
+        assert_eq!(capture_kind(&served, Some(&legit)), CaptureKind::Poisoned);
+    }
+
+    #[test]
+    fn diverging_records_are_the_hijack_signature() {
+        let legit = vec![a_record("www.example.nl", "192.0.2.80")];
+        let forged = vec![a_record("www.example.nl", "203.0.113.66")];
+        let served = answer(forged, Security::Insecure, false);
+        assert_eq!(capture_kind(&served, Some(&legit)), CaptureKind::Hijacked);
+        // Without a baseline the divergence is invisible.
+        let served = answer(vec![a_record("www.example.nl", "203.0.113.66")], Security::Insecure, false);
+        assert_eq!(capture_kind(&served, None), CaptureKind::Clean);
+    }
+
+    #[test]
+    fn bogus_chain_is_the_validator_speaking() {
+        use dsec_dnssec::validate::ValidationError;
+        let served = answer(
+            Vec::new(),
+            Security::Bogus(ValidationError::MissingRrsig),
+            false,
+        );
+        assert_eq!(capture_kind(&served, None), CaptureKind::Bogus);
+        // Each kind explains itself distinctly.
+        for kind in [
+            CaptureKind::Clean,
+            CaptureKind::Poisoned,
+            CaptureKind::Hijacked,
+            CaptureKind::Bogus,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
     }
 }

@@ -17,6 +17,7 @@ pub mod breaker;
 pub mod cache;
 pub mod diagnose;
 pub mod retry;
+pub mod spoofguard;
 
 use dsec_authserver::{Network, QueryOutcome};
 use dsec_crypto::DigestType;
@@ -28,8 +29,9 @@ use dsec_wire::{
 
 pub use breaker::{BreakerEvent, BreakerPolicy, BreakerSet, Transition};
 pub use cache::{Cache, CacheKey};
-pub use diagnose::{diagnose, Diagnosis, DsLink, SignatureState, ZoneDiagnosis};
+pub use diagnose::{capture_kind, diagnose, CaptureKind, Diagnosis, DsLink, SignatureState, ZoneDiagnosis};
 pub use retry::{HealthCache, ResolverStats, ResolverStatsSnapshot, RetryPolicy};
+pub use spoofguard::{OnPathThreat, SpoofGuard, POISON_A, POISON_AAAA, POISON_TTL};
 
 /// The RFC 4035 security state of a resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +68,12 @@ pub struct Answer {
     /// section. `None` when the response carried no SOA (or the answer
     /// is positive) — the cache falls back to a short default.
     pub negative_ttl: Option<u32>,
+    /// True when an on-path attacker's forged response won the spoofing
+    /// race and was admitted into this resolution (see
+    /// [`spoofguard::OnPathThreat`]). A validating chain still turns the
+    /// forgery into [`Security::Bogus`]; on non-validating paths the flag
+    /// is the only trace that the records are attacker-controlled.
+    pub poisoned: bool,
 }
 
 /// Errors that abort resolution before any answer.
@@ -144,6 +152,14 @@ pub struct Resolver {
     /// Simulated ms spent so far in the current top-level resolution,
     /// checked against [`RetryPolicy::budget_ms`].
     budget_spent: std::cell::Cell<u32>,
+    /// Anti-spoofing defense profile (entropy, 0x20, bailiwick).
+    spoof_guard: SpoofGuard,
+    /// The on-path spoofing threat this resolver is exposed to, if any.
+    threat: Option<OnPathThreat>,
+    /// Set by [`Resolver::guard_response`] when a forged response was
+    /// substituted; consumed when the terminal answer is built so the
+    /// [`Answer::poisoned`] flag lands on exactly that resolution.
+    forged_in_flight: std::cell::Cell<bool>,
 }
 
 impl Resolver {
@@ -162,7 +178,30 @@ impl Resolver {
             stats: retry::ResolverStats::new(),
             breaker: None,
             budget_spent: std::cell::Cell::new(0),
+            spoof_guard: SpoofGuard::default(),
+            threat: None,
+            forged_in_flight: std::cell::Cell::new(false),
         }
+    }
+
+    /// Replaces the anti-spoofing defense profile (builder style). The
+    /// default is [`SpoofGuard::hardened`].
+    pub fn with_spoof_guard(mut self, guard: SpoofGuard) -> Self {
+        self.spoof_guard = guard;
+        self
+    }
+
+    /// Exposes this resolver to an on-path spoofing threat (builder
+    /// style). Without a threat no forged packets exist and the guard
+    /// logic is skipped entirely on the hot path.
+    pub fn with_on_path_threat(mut self, threat: OnPathThreat) -> Self {
+        self.threat = Some(threat);
+        self
+    }
+
+    /// The active anti-spoofing defense profile.
+    pub fn spoof_guard(&self) -> &SpoofGuard {
+        &self.spoof_guard
     }
 
     /// Replaces the retry policy (builder style).
@@ -337,7 +376,7 @@ impl Resolver {
         for _ in 0..self.max_steps {
             chain.push(zone.clone());
             let resp = self
-                .query_any(&servers, qname, qtype, now)
+                .query_any(&servers, qname, qtype, now, &zone)
                 .ok_or_else(|| ResolveError::AllServersUnreachable(zone.to_string()))?;
 
             // Referral?
@@ -440,6 +479,10 @@ impl Resolver {
                 .filter(|r| r.rtype() != RrType::Rrsig)
                 .cloned()
                 .collect();
+            let poisoned = self.forged_in_flight.take();
+            if poisoned {
+                self.stats.count_poison_admitted();
+            }
             return Ok((
                 Answer {
                     records,
@@ -447,6 +490,7 @@ impl Resolver {
                     security,
                     chain: Vec::new(),
                     negative_ttl,
+                    poisoned,
                 },
                 if has_direct_answer { None } else { cname_target },
             ));
@@ -463,7 +507,7 @@ impl Resolver {
         ds_records: &[DsRdata],
         now: u32,
     ) -> Result<Vec<DnskeyRdata>, Security> {
-        let Some(resp) = self.query_any(servers, zone, RrType::Dnskey, now) else {
+        let Some(resp) = self.query_any(servers, zone, RrType::Dnskey, now, zone) else {
             return Err(Security::Bogus(ValidationError::MissingDnskey));
         };
         let dnskey_records: Vec<Record> = resp
@@ -552,6 +596,34 @@ impl Resolver {
         self.budget_spent.set(self.budget_spent.get().saturating_add(ms));
     }
 
+    /// Applies the on-path threat model to an accepted response: the
+    /// deterministic Kaminsky race (a won race substitutes the attacker's
+    /// forged response for the legitimate one), then strict-bailiwick
+    /// scrubbing of whichever response survives. When no threat is
+    /// configured no forged packets exist, so this is a single branch on
+    /// the hot path.
+    fn guard_response(&self, response: Message, query: &Message, bailiwick: &Name) -> Message {
+        let Some(threat) = &self.threat else {
+            return response;
+        };
+        let Some(q) = query.questions.first() else {
+            return response;
+        };
+        let mut resp = response;
+        if threat.covers(&q.name, q.qtype) {
+            self.stats.count_poison_race();
+            if threat.race_won(&self.spoof_guard, &q.name, q.qtype) {
+                resp = threat.forged_response(query);
+                self.forged_in_flight.set(true);
+            }
+        }
+        let scrubbed = self.spoof_guard.scrub_response(&mut resp, bailiwick);
+        if scrubbed > 0 {
+            self.stats.count_poison_scrubbed(scrubbed as u64);
+        }
+        resp
+    }
+
     /// Queries the zone cut's servers with retries, backoff, health-aware
     /// rotation, and TCP fallback on truncation.
     ///
@@ -569,7 +641,14 @@ impl Resolver {
     /// backoff) crosses the budget, and an enabled circuit breaker
     /// ([`Resolver::with_breaker`]) skips servers whose breaker is open,
     /// letting one half-open probe through per probe interval.
-    fn query_any(&self, servers: &[Name], qname: &Name, qtype: RrType, now: u32) -> Option<Message> {
+    fn query_any(
+        &self,
+        servers: &[Name],
+        qname: &Name,
+        qtype: RrType,
+        now: u32,
+        bailiwick: &Name,
+    ) -> Option<Message> {
         let id = self.next_id.get();
         self.next_id.set(id.wrapping_add(1));
         let query = Message::query(id, qname.clone(), qtype, true);
@@ -626,7 +705,7 @@ impl Resolver {
                                     self.spend(latency_ms);
                                     self.health.record_success(ns);
                                     self.note_upstream_success(ns, now);
-                                    return Some(response);
+                                    return Some(self.guard_response(response, &query, bailiwick));
                                 }
                                 _ => {
                                     self.stats.count_timeout();
@@ -648,7 +727,7 @@ impl Resolver {
                             continue;
                         }
                         self.health.record_success(ns);
-                        return Some(response);
+                        return Some(self.guard_response(response, &query, bailiwick));
                     }
                 }
             }
@@ -703,6 +782,7 @@ impl Resolver {
                     security: Security::Insecure,
                     chain: vec![Name::parse(&zone).unwrap_or_else(|_| Name::root())],
                     negative_ttl: None,
+                    poisoned: false,
                 },
                 degradation: Degradation::Unreachable,
             }),

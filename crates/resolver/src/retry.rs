@@ -185,6 +185,9 @@ pub struct ResolverStats {
     budget_exhausted: Cell<u64>,
     breaker_trips: Cell<u64>,
     breaker_short_circuits: Cell<u64>,
+    poison_races: Cell<u64>,
+    poison_admitted: Cell<u64>,
+    poison_scrubbed: Cell<u64>,
 }
 
 /// A point-in-time copy of [`ResolverStats`].
@@ -221,6 +224,16 @@ pub struct ResolverStatsSnapshot {
     /// Upstream attempts skipped because an authority's breaker was
     /// open (and the probe slot for the current interval was spent).
     pub breaker_short_circuits: u64,
+    /// Query exchanges contested by an on-path spoofing race (an
+    /// [`OnPathThreat`](crate::OnPathThreat) covered the query).
+    pub poison_races: u64,
+    /// Forged responses that won their race and were admitted into a
+    /// resolution (the answers carry
+    /// [`Answer::poisoned`](crate::Answer::poisoned)).
+    pub poison_admitted: u64,
+    /// Records dropped by strict bailiwick filtering
+    /// ([`SpoofGuard::strict_bailiwick`](crate::SpoofGuard)).
+    pub poison_scrubbed: u64,
 }
 
 impl ResolverStatsSnapshot {
@@ -294,6 +307,18 @@ impl ResolverStats {
         self.breaker_short_circuits.set(self.breaker_short_circuits.get() + 1);
     }
 
+    pub(crate) fn count_poison_race(&self) {
+        self.poison_races.set(self.poison_races.get() + 1);
+    }
+
+    pub(crate) fn count_poison_admitted(&self) {
+        self.poison_admitted.set(self.poison_admitted.get() + 1);
+    }
+
+    pub(crate) fn count_poison_scrubbed(&self, records: u64) {
+        self.poison_scrubbed.set(self.poison_scrubbed.get() + records);
+    }
+
     /// A copy of the current counter values.
     pub fn snapshot(&self) -> ResolverStatsSnapshot {
         ResolverStatsSnapshot {
@@ -309,6 +334,9 @@ impl ResolverStats {
             budget_exhausted: self.budget_exhausted.get(),
             breaker_trips: self.breaker_trips.get(),
             breaker_short_circuits: self.breaker_short_circuits.get(),
+            poison_races: self.poison_races.get(),
+            poison_admitted: self.poison_admitted.get(),
+            poison_scrubbed: self.poison_scrubbed.get(),
         }
     }
 }

@@ -16,6 +16,7 @@
 
 pub mod cache;
 pub mod operator_id;
+pub mod poison_census;
 pub mod rollover_census;
 pub mod snapshot;
 pub mod store;
@@ -24,6 +25,7 @@ pub mod takeover_census;
 
 pub use cache::{domain_key, CacheStats, DomainKey, ScanCache};
 pub use operator_id::{operator_key, operator_of};
+pub use poison_census::{poison_census, poison_census_table, RegistrarPoisonStats};
 pub use rollover_census::{rollover_census, rollover_census_table, OperatorRolloverStats};
 pub use snapshot::{
     coverage_curve, operators_to_cover, Metric, OperatorStats, ScanOptions, Snapshot,

@@ -51,6 +51,11 @@ pub enum Outcome {
     /// A validating user resolved a captured domain and their resolver
     /// refused the forged data (Bogus → SERVFAIL): DNSSEC did its job.
     SavedByValidation,
+    /// An on-path attacker's forged response won the spoofing race and
+    /// was served to the user as ordinary DNS — cache poisoning reached
+    /// them (the resolver's entropy/bailiwick defenses, not the
+    /// registrar's channel, decided this outcome).
+    Poisoned,
 }
 
 /// Classifies a resolution result into an [`Outcome`].
@@ -70,6 +75,10 @@ pub fn classify_answer(answer: &Answer) -> Outcome {
         Security::Secure if answer.rcode == Rcode::ServFail => Outcome::ServFail,
         Security::Insecure if answer.rcode == Rcode::ServFail => Outcome::ServFail,
         Security::Secure => Outcome::Secure,
+        // An admitted forgery that is actually being served: the user got
+        // the attacker's records as ordinary DNS. (A forgery the
+        // validator caught is `Bogus` above — integrity held.)
+        Security::Insecure if answer.poisoned => Outcome::Poisoned,
         Security::Insecure => Outcome::Insecure,
     }
 }
@@ -93,6 +102,8 @@ pub struct OutcomeCounts {
     pub hijacked: u64,
     /// Validation shielded a user from a captured domain's forged data.
     pub saved_by_validation: u64,
+    /// An on-path forgery won the spoofing race and was served.
+    pub poisoned: u64,
 }
 
 impl OutcomeCounts {
@@ -106,6 +117,7 @@ impl OutcomeCounts {
             + self.negative
             + self.hijacked
             + self.saved_by_validation
+            + self.poisoned
     }
 
     /// Adds one outcome.
@@ -119,6 +131,7 @@ impl OutcomeCounts {
             Outcome::NegativeHit => self.negative += 1,
             Outcome::Hijacked => self.hijacked += 1,
             Outcome::SavedByValidation => self.saved_by_validation += 1,
+            Outcome::Poisoned => self.poisoned += 1,
         }
     }
 
@@ -132,6 +145,7 @@ impl OutcomeCounts {
         self.negative += other.negative;
         self.hijacked += other.hijacked;
         self.saved_by_validation += other.saved_by_validation;
+        self.poisoned += other.poisoned;
     }
 
     /// Fraction of queries that were cryptographically protected.
@@ -147,14 +161,20 @@ impl OutcomeCounts {
     /// Fraction of queries the user got *an answer* for: everything but
     /// validation refusals (Bogus, SavedByValidation) and hard failures
     /// (ServFail). Stale and negative-cache serves count as available —
-    /// that is the whole point of graceful degradation. Hijacked counts
-    /// too: the user *did* get an answer, which is exactly the problem.
+    /// that is the whole point of graceful degradation. Hijacked and
+    /// Poisoned count too: the user *did* get an answer, which is
+    /// exactly the problem.
     pub fn availability(&self) -> f64 {
         let total = self.total();
         if total == 0 {
             0.0
         } else {
-            (self.secure + self.insecure + self.stale + self.negative + self.hijacked) as f64
+            (self.secure
+                + self.insecure
+                + self.stale
+                + self.negative
+                + self.hijacked
+                + self.poisoned) as f64
                 / total as f64
         }
     }
@@ -244,6 +264,11 @@ impl TrafficReport {
             )
         } else {
             String::new()
+        };
+        let attack = if self.outcomes.poisoned > 0 {
+            format!("{attack} {} poisoned;", self.outcomes.poisoned)
+        } else {
+            attack
         };
         format!(
             "user traffic : {} queries, {:.1}% secure / {:.1}% insecure / {} bogus / {} servfail; \

@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dsec_ecosystem::World;
-use dsec_resolver::{BreakerPolicy, Cache, CacheKey, Resolver, RetryPolicy};
+use dsec_resolver::{BreakerPolicy, Cache, CacheKey, OnPathThreat, Resolver, RetryPolicy, SpoofGuard};
 use dsec_wire::{name_hash64, Name};
 use dsec_workloads::TrafficMix;
 
@@ -94,6 +94,15 @@ pub struct LoadConfig {
     /// resolver refused the forged chain was
     /// [`Outcome::SavedByValidation`].
     pub captured: Vec<Name>,
+    /// Anti-spoofing defense profile every worker resolver runs with.
+    /// The default is [`SpoofGuard::hardened`] — full TXID + source-port
+    /// entropy, 0x20 encoding, strict bailiwick — which leaves runs
+    /// without an on-path threat byte-identical to the pre-knob driver.
+    pub spoof_guard: SpoofGuard,
+    /// Optional on-path attacker racing forged responses against the
+    /// fleet's fresh resolutions. `None` (the default) skips the spoofing
+    /// race entirely.
+    pub threat: Option<OnPathThreat>,
 }
 
 impl Default for LoadConfig {
@@ -111,6 +120,8 @@ impl Default for LoadConfig {
             now_offset_s: 0,
             validating_share: 1.0,
             captured: Vec::new(),
+            spoof_guard: SpoofGuard::hardened(),
+            threat: None,
         }
     }
 }
@@ -171,6 +182,18 @@ impl LoadConfig {
     /// (builder style).
     pub fn with_captured(mut self, captured: Vec<Name>) -> Self {
         self.captured = captured;
+        self
+    }
+
+    /// Sets the fleet's anti-spoofing defense profile (builder style).
+    pub fn with_spoof_guard(mut self, guard: SpoofGuard) -> Self {
+        self.spoof_guard = guard;
+        self
+    }
+
+    /// Arms an on-path forgery race against the fleet (builder style).
+    pub fn with_threat(mut self, threat: OnPathThreat) -> Self {
+        self.threat = Some(threat);
         self
     }
 
@@ -280,6 +303,9 @@ fn add_stats(
     dst.budget_exhausted += src.budget_exhausted;
     dst.breaker_trips += src.breaker_trips;
     dst.breaker_short_circuits += src.breaker_short_circuits;
+    dst.poison_races += src.poison_races;
+    dst.poison_admitted += src.poison_admitted;
+    dst.poison_scrubbed += src.poison_scrubbed;
 }
 
 /// Runs the load against `world`: plans the stream, shards it across
@@ -383,16 +409,22 @@ pub fn run_load_mixed(
                 scope.spawn(move |_| {
                     let mut resolver = Resolver::new(network.clone(), trust_anchor)
                         .with_policy(RetryPolicy::default())
-                        .with_shared_cache(cache.clone());
+                        .with_shared_cache(cache.clone())
+                        .with_spoof_guard(config.spoof_guard);
                     // The non-validating half of the fleet: no trust
                     // anchor, its own shared cache. Idle (and free of
                     // cache traffic) at the default validating_share.
                     let mut nv_resolver = Resolver::new(network, Vec::new())
                         .with_policy(RetryPolicy::default())
-                        .with_shared_cache(nv_cache.clone());
+                        .with_shared_cache(nv_cache.clone())
+                        .with_spoof_guard(config.spoof_guard);
                     if let Some(policy) = config.breaker {
                         resolver = resolver.with_breaker(policy);
                         nv_resolver = nv_resolver.with_breaker(policy);
+                    }
+                    if let Some(threat) = &config.threat {
+                        resolver = resolver.with_on_path_threat(threat.clone());
+                        nv_resolver = nv_resolver.with_on_path_threat(threat.clone());
                     }
                     let mut tally =
                         WorkerTally::new(population.registrars.len(), population.operators.len());

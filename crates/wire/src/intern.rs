@@ -38,6 +38,14 @@ impl NameId {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a `NameId` from a value previously obtained via
+    /// [`NameId::raw`]. Only meaningful with raw values that came from
+    /// the same interner — [`NameInterner::resolve`] returns `None` for
+    /// ids the interner never issued.
+    pub fn from_raw(raw: u32) -> NameId {
+        NameId(raw)
+    }
 }
 
 #[derive(Debug, Default)]

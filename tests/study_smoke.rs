@@ -10,13 +10,13 @@ use dsec::scanner::Metric;
 fn tiny_study_produces_every_artifact() {
     let output = run_study(&StudyConfig::tiny());
 
-    // All sixteen experiments exist, with artifacts where expected.
+    // All seventeen experiments exist, with artifacts where expected.
     let ids: Vec<&str> = output.experiments.iter().map(|e| e.id).collect();
     assert_eq!(
         ids,
         vec![
             "E-T1", "E-F3", "E-T2", "E-T3", "E-T4", "E-F4", "E-F5", "E-F6", "E-F7", "E-F8",
-            "E-S52", "E-P1", "E-U1", "E-R2", "E-K1", "E-A1"
+            "E-S52", "E-P1", "E-U1", "E-R2", "E-K1", "E-A1", "E-A2"
         ]
     );
     for e in &output.experiments {
